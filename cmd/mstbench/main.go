@@ -1,0 +1,94 @@
+// Command mstbench regenerates the paper's tables and figures on the
+// simulated machine. Each experiment prints the rows/series of the
+// corresponding figure; EXPERIMENTS.md records the comparison with the
+// paper's reported shapes.
+//
+// Usage:
+//
+//	mstbench -experiment fig3 -ps 4,8,16,32,64 -vppe 512 -eppe 8192
+//	mstbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kamsta/internal/bench"
+)
+
+func main() {
+	def := bench.DefaultScale()
+	experiment := flag.String("experiment", "all",
+		"experiment to run: "+strings.Join(bench.ExperimentNames(), ", ")+", or all")
+	ps := flag.String("ps", join(def.Ps), "comma-separated PE counts")
+	vppe := flag.Uint64("vppe", def.VPerPE, "weak scaling: vertices per PE")
+	eppe := flag.Uint64("eppe", def.EPerPE, "weak scaling: undirected edges per PE")
+	dense := flag.Uint64("dense-eppe", def.DenseEPerPE, "Fig. 4: denser edges per PE")
+	rwScale := flag.Uint64("rw-scale", def.RealWorldScale, "real-world stand-in downscale divisor")
+	seed := flag.Uint64("seed", def.Seed, "instance seed")
+	reps := flag.Int("reps", def.Reps, "repetitions per measurement (min modeled time kept)")
+	cap := flag.Int("basecap", 0, "base-case vertex threshold (0 = VPerPE/4)")
+	flag.Parse()
+
+	scale := bench.Scale{
+		VPerPE:         *vppe,
+		EPerPE:         *eppe,
+		DenseEPerPE:    *dense,
+		RealWorldScale: *rwScale,
+		Seed:           *seed,
+		Reps:           *reps,
+		BaseCaseCap:    *cap,
+	}
+	var err error
+	scale.Ps, err = parseInts(*ps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstbench: bad -ps: %v\n", err)
+		os.Exit(2)
+	}
+
+	runners := bench.Experiments()
+	if *experiment == "all" {
+		for _, name := range bench.ExperimentNames() {
+			runners[name](os.Stdout, scale)
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mstbench: unknown experiment %q (have %s)\n",
+			*experiment, strings.Join(bench.ExperimentNames(), ", "))
+		os.Exit(2)
+	}
+	run(os.Stdout, scale)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad PE count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func join(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, v := range xs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,117 @@
+// Command mstgen generates one of the paper's graph families and either
+// writes the edge list (one "u v w" line per undirected edge) or prints
+// instance statistics, for inspecting the workloads the benchmarks use.
+//
+// Usage:
+//
+//	mstgen -family gnm -n 1024 -m 8192 -seed 7 -stats
+//	mstgen -family rgg2d -n 4096 -m 32768 > edges.txt
+//	mstgen -realworld US-road -rw-scale 16384 -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/gen"
+	"kamsta/internal/graph"
+)
+
+var families = map[string]gen.Family{
+	"grid2d": gen.Grid2D,
+	"rgg2d":  gen.RGG2D,
+	"rgg3d":  gen.RGG3D,
+	"rhg":    gen.RHG,
+	"gnm":    gen.GNM,
+	"rmat":   gen.RMAT,
+	"road":   gen.RoadLike,
+}
+
+func main() {
+	family := flag.String("family", "gnm", "graph family: grid2d, rgg2d, rgg3d, rhg, gnm, rmat, road")
+	n := flag.Uint64("n", 1024, "target vertex count")
+	m := flag.Uint64("m", 8192, "target undirected edge count")
+	seed := flag.Uint64("seed", 1, "instance seed")
+	pes := flag.Int("p", 4, "PEs used for generation (result is p-independent)")
+	realworld := flag.String("realworld", "", "generate a Table I stand-in instead (e.g. twitter, US-road)")
+	rwScale := flag.Uint64("rw-scale", 1<<14, "real-world downscale divisor")
+	stats := flag.Bool("stats", false, "print instance statistics instead of edges")
+	flag.Parse()
+
+	var spec gen.Spec
+	if *realworld != "" {
+		var err error
+		spec, err = gen.RealWorldSpec(*realworld, *rwScale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mstgen: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		f, ok := families[strings.ToLower(*family)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mstgen: unknown family %q\n", *family)
+			os.Exit(2)
+		}
+		spec = gen.Spec{Family: f, N: *n, M: *m, Seed: *seed}
+	}
+
+	chunks := make([][]graph.Edge, *pes)
+	w := comm.NewWorld(*pes)
+	w.Run(func(c *comm.Comm) {
+		edges, _ := gen.Build(c, spec, dsort.Options{})
+		chunks[c.Rank()] = edges
+	})
+	var all []graph.Edge
+	for _, ch := range chunks {
+		all = append(all, ch...)
+	}
+
+	if *stats {
+		printStats(spec, all)
+		return
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, e := range all {
+		if e.U < e.V {
+			fmt.Fprintf(out, "%d %d %d\n", e.U, e.V, e.W)
+		}
+	}
+}
+
+func printStats(spec gen.Spec, all []graph.Edge) {
+	deg := map[graph.VID]int{}
+	local := 0
+	for _, e := range all {
+		deg[e.U]++
+		d := int64(e.U) - int64(e.V)
+		if d < 0 {
+			d = -d
+		}
+		if spec.N > 0 && d <= int64(spec.N)/16 {
+			local++
+		}
+	}
+	var ds []int
+	for _, d := range deg {
+		ds = append(ds, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	maxDeg, med := 0, 0
+	if len(ds) > 0 {
+		maxDeg, med = ds[0], ds[len(ds)/2]
+	}
+	fmt.Printf("instance      %s\n", spec.Label())
+	fmt.Printf("vertices      %d\n", len(deg))
+	fmt.Printf("edges (dir)   %d\n", len(all))
+	fmt.Printf("avg degree    %.2f\n", float64(len(all))/float64(max(1, len(deg))))
+	fmt.Printf("max degree    %d\n", maxDeg)
+	fmt.Printf("median degree %d\n", med)
+	fmt.Printf("near edges    %.1f%% (|u-v| <= n/16)\n", 100*float64(local)/float64(max(1, len(all))))
+}

@@ -1,0 +1,102 @@
+// Command mstverify cross-checks every distributed algorithm against
+// sequential Kruskal on a sweep of generated instances — the repository's
+// end-to-end smoke test in executable form.
+//
+// Usage:
+//
+//	mstverify                  # default sweep
+//	mstverify -n 2000 -m 12000 -ps 2,4,8 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kamsta"
+)
+
+func main() {
+	n := flag.Uint64("n", 600, "vertices per instance")
+	m := flag.Uint64("m", 3000, "undirected edges per instance")
+	ps := flag.String("ps", "1,3,4,8", "PE counts to verify")
+	seeds := flag.Uint64("seeds", 3, "number of seeds per configuration")
+	threads := flag.Int("threads", 2, "threads per PE")
+	flag.Parse()
+
+	peList, err := parseInts(*ps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
+		os.Exit(2)
+	}
+	run(*n, *m, peList, *seeds, *threads)
+}
+
+func run(n, m uint64, peList []int, seeds uint64, threads int) {
+	fams := []struct {
+		name string
+		spec func(seed uint64) kamsta.GraphSpec
+	}{
+		{"2D-GRID", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.Grid2D, N: n, Seed: s} }},
+		{"2D-RGG", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.RGG2D, N: n, M: m, Seed: s} }},
+		{"3D-RGG", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.RGG3D, N: n, M: m, Seed: s} }},
+		{"RHG", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.RHG, N: n, M: m, Seed: s} }},
+		{"GNM", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.GNM, N: n, M: m, Seed: s} }},
+		{"RMAT", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.RMAT, N: n, M: m, Seed: s} }},
+	}
+	algs := []kamsta.Algorithm{kamsta.AlgBoruvka, kamsta.AlgFilterBoruvka, kamsta.AlgMNDMST, kamsta.AlgSparseMatrix}
+	failures := 0
+	checks := 0
+	for _, fam := range fams {
+		for seed := uint64(1); seed <= seeds; seed++ {
+			spec := fam.spec(seed)
+			want, err := kamsta.ComputeMSFSpec(spec, kamsta.Config{PEs: 2, Algorithm: kamsta.AlgKruskal})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", fam.name, err)
+				os.Exit(1)
+			}
+			for _, alg := range algs {
+				for _, p := range peList {
+					got, err := kamsta.ComputeMSFSpec(spec, kamsta.Config{PEs: p, Threads: threads, Algorithm: alg})
+					checks++
+					if err != nil {
+						fmt.Printf("FAIL %-8s %-14s p=%-3d seed=%d: %v\n", fam.name, alg, p, seed, err)
+						failures++
+						continue
+					}
+					if got.TotalWeight != want.TotalWeight || got.NumEdges != want.NumEdges {
+						fmt.Printf("FAIL %-8s %-14s p=%-3d seed=%d: weight %d/%d want %d/%d\n",
+							fam.name, alg, p, seed, got.TotalWeight, got.NumEdges, want.TotalWeight, want.NumEdges)
+						failures++
+					}
+				}
+			}
+			fmt.Printf("ok   %-8s seed=%d weight=%d edges=%d\n", fam.name, seed, want.TotalWeight, want.NumEdges)
+		}
+	}
+	fmt.Printf("\n%d checks, %d failures\n", checks, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad PE count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+// Single-linkage clustering via MST — another §I application (the paper
+// cites affinity clustering and MST-based clustering at scale).
+//
+// Cutting the k−1 heaviest edges of the MST of a point cloud's proximity
+// graph yields exactly the single-linkage clustering with k clusters. The
+// example plants three Gaussian blobs, builds a neighborhood graph, runs
+// the distributed Filter-Borůvka, and recovers the blobs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"kamsta"
+	"kamsta/internal/rng"
+	"kamsta/internal/unionfind"
+)
+
+const k = 3 // clusters to recover
+
+type point struct{ x, y float64 }
+
+func main() {
+	// Three blobs of 60 points each.
+	r := rng.New(2024)
+	centers := []point{{0, 0}, {10, 2}, {5, 9}}
+	var pts []point
+	for _, c := range centers {
+		for i := 0; i < 60; i++ {
+			pts = append(pts, point{
+				x: c.x + gauss(r)*1.2,
+				y: c.y + gauss(r)*1.2,
+			})
+		}
+	}
+
+	// Proximity graph: connect each point to its 8 nearest neighbors, plus
+	// a backbone through the x-sorted order so the graph is connected even
+	// across well-separated blobs. (kNN keeps it sparse, as the MST-based
+	// clustering literature does; the backbone's heavy inter-blob links are
+	// exactly what single-linkage cuts.)
+	var edges []kamsta.InputEdge
+	seen := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		edges = append(edges, kamsta.InputEdge{
+			U: uint64(a + 1), V: uint64(b + 1), W: uint32(dist(pts[a], pts[b])*1000) + 1})
+	}
+	xorder := make([]int, len(pts))
+	for i := range xorder {
+		xorder[i] = i
+	}
+	sort.Slice(xorder, func(a, b int) bool { return pts[xorder[a]].x < pts[xorder[b]].x })
+	for i := 1; i < len(xorder); i++ {
+		addEdge(xorder[i-1], xorder[i])
+	}
+	for i := range pts {
+		type nb struct {
+			j int
+			d float64
+		}
+		var nbs []nb
+		for j := range pts {
+			if i != j {
+				nbs = append(nbs, nb{j, dist(pts[i], pts[j])})
+			}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+		for _, n := range nbs[:8] {
+			addEdge(i, n.j)
+		}
+	}
+
+	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
+		PEs:       6,
+		Algorithm: kamsta.AlgFilterBoruvka,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.NumEdges != len(pts)-1 {
+		log.Fatalf("proximity graph not connected: MST has %d edges for %d points", rep.NumEdges, len(pts))
+	}
+
+	// Single linkage: drop the k-1 heaviest MST edges.
+	mst := append([]kamsta.InputEdge(nil), rep.MSTEdges...)
+	sort.Slice(mst, func(i, j int) bool { return mst[i].W < mst[j].W })
+	uf := unionfind.New(len(pts) + 1)
+	for _, e := range mst[:len(mst)-(k-1)] {
+		uf.Union(int(e.U), int(e.V))
+	}
+
+	// Report cluster sizes and purity vs the planted blobs.
+	clusters := map[int][]int{}
+	for i := range pts {
+		root := uf.Find(i + 1)
+		clusters[root] = append(clusters[root], i)
+	}
+	fmt.Printf("MST weight %d; cut %d heaviest edges → %d clusters\n", rep.TotalWeight, k-1, len(clusters))
+	pure := 0
+	for _, members := range clusters {
+		count := map[int]int{}
+		for _, i := range members {
+			count[i/60]++ // planted blob id
+		}
+		best, bestBlob := 0, -1
+		for blob, c := range count {
+			if c > best {
+				best, bestBlob = c, blob
+			}
+		}
+		pure += best
+		fmt.Printf("  cluster of %3d points, %3.0f%% from blob %d\n",
+			len(members), 100*float64(best)/float64(len(members)), bestBlob)
+	}
+	purity := float64(pure) / float64(len(pts))
+	fmt.Printf("overall purity: %.1f%%\n", 100*purity)
+	if len(clusters) != k || purity < 0.95 {
+		log.Fatal("single-linkage clustering failed to recover the planted blobs")
+	}
+}
+
+func dist(a, b point) float64 {
+	return math.Hypot(a.x-b.x, a.y-b.y)
+}
+
+// gauss draws a standard normal via Box–Muller.
+func gauss(r *rng.RNG) float64 {
+	u1, u2 := r.Float64(), r.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

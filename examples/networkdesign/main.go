@@ -1,0 +1,105 @@
+// Network design with MSTs — §I's third application family (the paper
+// cites MST-based topology control for wireless networks).
+//
+// Given radio towers on a map with link costs growing superlinearly in
+// distance (power ∝ d²), the MST is the minimum-total-power backbone that
+// keeps every tower connected. The example compares the MST backbone
+// against two naive designs (star around a hub, daisy chain) and verifies
+// the MST wins, then reports the modeled cost of computing it at two
+// machine widths.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"kamsta"
+	"kamsta/internal/rng"
+)
+
+func main() {
+	// Towers scattered over a 100x100 km region, deterministic.
+	const towers = 150
+	r := rng.New(7)
+	xs := make([]float64, towers)
+	ys := make([]float64, towers)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+		ys[i] = r.Float64() * 100
+	}
+	cost := func(i, j int) uint32 {
+		d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+		return uint32(d*d) + 1 // transmit power ∝ distance²
+	}
+
+	// Candidate links: complete graph (towers is small).
+	var edges []kamsta.InputEdge
+	for i := 0; i < towers; i++ {
+		for j := i + 1; j < towers; j++ {
+			edges = append(edges, kamsta.InputEdge{U: uint64(i + 1), V: uint64(j + 1), W: cost(i, j)})
+		}
+	}
+
+	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
+		PEs:       8,
+		Threads:   2,
+		Algorithm: kamsta.AlgFilterBoruvka, // dense input: the filter shines
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.NumEdges != towers-1 {
+		log.Fatalf("backbone disconnected: %d edges", rep.NumEdges)
+	}
+
+	// Naive design 1: star around the most central tower.
+	bestHub, bestStar := -1, uint64(math.MaxUint64)
+	for h := 0; h < towers; h++ {
+		total := uint64(0)
+		for i := 0; i < towers; i++ {
+			if i != h {
+				total += uint64(cost(h, i))
+			}
+		}
+		if total < bestStar {
+			bestHub, bestStar = h, total
+		}
+	}
+	// Naive design 2: daisy chain in x-order.
+	order := make([]int, towers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	chain := uint64(0)
+	for i := 1; i < towers; i++ {
+		chain += uint64(cost(order[i-1], order[i]))
+	}
+
+	fmt.Printf("backbone design for %d towers (link cost = distance² in km²):\n", towers)
+	fmt.Printf("  MST backbone:         %10d\n", rep.TotalWeight)
+	fmt.Printf("  best star (hub %3d):  %10d  (%.1fx MST)\n", bestHub+1, bestStar, float64(bestStar)/float64(rep.TotalWeight))
+	fmt.Printf("  x-order daisy chain:  %10d  (%.1fx MST)\n", chain, float64(chain)/float64(rep.TotalWeight))
+	if rep.TotalWeight >= bestStar || rep.TotalWeight >= chain {
+		log.Fatal("MST backbone should beat both naive designs")
+	}
+
+	// The longest single hop in the backbone bounds the radio range needed.
+	maxHop := uint32(0)
+	for _, e := range rep.MSTEdges {
+		if e.W > maxHop {
+			maxHop = e.W
+		}
+	}
+	fmt.Printf("  max hop power:        %10d (bottleneck link; minimax-optimal by MST theory)\n", maxHop)
+
+	// Same computation on a wider simulated machine: the modeled time
+	// illustrates the scaling the benchmarks measure systematically.
+	wide, err := kamsta.ComputeMSF(edges, kamsta.Config{PEs: 32, Algorithm: kamsta.AlgFilterBoruvka})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled time: %.2e s on 8 PEs vs %.2e s on 32 PEs\n", rep.ModeledSeconds, wide.ModeledSeconds)
+}

@@ -1,0 +1,269 @@
+// Package alltoall implements the sparse personalized all-to-all exchange
+// strategies of the paper (§II-A, §VI-A). A direct exchange delivers every
+// message in one hop at cost α·p + β·ℓ; its startup term α·p becomes
+// prohibitive at scale when messages are small. The two-level grid strategy
+// routes each message through one intermediate PE chosen so that both
+// physical exchanges involve at most √p + 2 participants, reducing the
+// startup term to O(α·√p) at the cost of doubling the communication volume.
+// The hypercube strategy (Johnsson–Ho) is the d = log p limit of the same
+// idea. Auto picks direct or grid by the paper's average-message-size rule
+// (500 bytes on their system).
+package alltoall
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"kamsta/internal/comm"
+)
+
+// Strategy selects a routing scheme for Exchange.
+type Strategy int
+
+const (
+	// Auto chooses Direct for large average message sizes and Grid below
+	// DefaultGridThreshold bytes per message, as in §VI-A. Auto is the
+	// zero value so unset options default to it.
+	Auto Strategy = iota
+	// Direct delivers every message in one hop (one-level, MPI_Alltoallv).
+	Direct
+	// Grid routes through a √p × √p logical grid (two-level, §VI-A).
+	Grid
+	// Hypercube routes along log p hypercube dimensions; requires p to be a
+	// power of two.
+	Hypercube
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case Grid:
+		return "grid"
+	case Hypercube:
+		return "hypercube"
+	case Auto:
+		return "auto"
+	}
+	if d := multiLevelDims(s); d > 0 {
+		return fmt.Sprintf("multilevel-%dd", d)
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// DefaultGridThreshold is the average bytes-per-message below which Auto
+// prefers the two-level grid exchange (the paper uses 500 on SuperMUC-NG).
+const DefaultGridThreshold = 500
+
+// hop is a routed message fragment: a payload travelling from Src to Dst,
+// possibly via intermediates.
+type hop[T any] struct {
+	Src, Dst int32
+	Items    []T
+}
+
+// hopHeaderBytes is the modeled wire overhead of one hop header.
+const hopHeaderBytes = 8
+
+// Exchange performs a personalized all-to-all: send[j] is delivered to PE j
+// and the result's slot i holds what PE i sent here. All PEs must call it
+// collectively with the same strategy. Received slices are owned by the
+// caller.
+func Exchange[T any](c *comm.Comm, s Strategy, send [][]T) [][]T {
+	if len(send) != c.P() {
+		panic(fmt.Sprintf("alltoall: %d buckets on a %d-PE world", len(send), c.P()))
+	}
+	switch s {
+	case Direct:
+		return comm.Alltoall(c, send)
+	case Grid:
+		return gridExchange(c, send)
+	case Hypercube:
+		return hypercubeExchange(c, send)
+	case Auto:
+		return autoExchange(c, send)
+	default:
+		if d := multiLevelDims(s); d > 0 {
+			return multiLevelExchange(c, d, send)
+		}
+		panic("alltoall: unknown strategy " + s.String())
+	}
+}
+
+// autoExchange makes a global decision between Direct and Grid based on the
+// average number of payload bytes per (ordered) PE pair, mirroring §VI-A.
+func autoExchange[T any](c *comm.Comm, send [][]T) [][]T {
+	elem := elemSize[T]()
+	local := 0
+	for j, b := range send {
+		if j != c.Rank() {
+			local += len(b) * elem
+		}
+	}
+	total := comm.Allreduce(c, local, func(a, b int) int { return a + b })
+	p := c.P()
+	pairs := p * (p - 1)
+	if pairs == 0 || total/pairs >= DefaultGridThreshold {
+		return comm.Alltoall(c, send)
+	}
+	return gridExchange(c, send)
+}
+
+// gridGeom captures the logical grid of §VI-A: c = ⌊√p⌋ columns and
+// r = ⌈p/c⌉ rows, PE i at (row i/c, column i mod c).
+type gridGeom struct {
+	p, c, r int
+}
+
+func newGridGeom(p int) gridGeom {
+	c := int(math.Sqrt(float64(p)))
+	for c*c > p {
+		c--
+	}
+	if c < 1 {
+		c = 1
+	}
+	r := (p + c - 1) / c
+	return gridGeom{p: p, c: c, r: r}
+}
+
+func (g gridGeom) col(i int) int { return i % g.c }
+func (g gridGeom) row(i int) int { return i / g.c }
+
+// intermediate returns the relay PE for a message i → j: the PE in row(j)
+// and column(i). When that PE does not exist because j lies in the
+// incomplete last row, the paper's rule substitutes the PE in row col(j)
+// and column col(i), and j is virtually appended to row col(j) for the
+// second exchange.
+func (g gridGeom) intermediate(i, j int) int {
+	t := g.row(j)*g.c + g.col(i)
+	if t >= g.p {
+		t = g.col(j)*g.c + g.col(i)
+	}
+	return t
+}
+
+// colSize returns the number of PEs in column k.
+func (g gridGeom) colSize(k int) int {
+	n := g.p / g.c
+	if k < g.p%g.c {
+		n++
+	}
+	return n
+}
+
+// gridExchange implements the two-level indirect all-to-all. Phase 1 moves
+// every message to the intermediate in the sender's column; phase 2 moves
+// it to the final destination along the intermediate's row. Each phase is
+// charged α·(√p-ish participants) + β·(phase volume); the total volume is
+// twice that of a direct exchange, which is exactly the trade the paper
+// makes.
+func gridExchange[T any](c *comm.Comm, send [][]T) [][]T {
+	p, rank := c.P(), c.Rank()
+	g := newGridGeom(p)
+	elem := elemSize[T]()
+
+	// Phase 1: sender → intermediate (within the sender's column).
+	send1 := make([][]hop[T], p)
+	out1 := 0
+	for j, b := range send {
+		if len(b) == 0 {
+			continue
+		}
+		t := g.intermediate(rank, j)
+		send1[t] = append(send1[t], hop[T]{Src: int32(rank), Dst: int32(j), Items: b})
+		if t != rank {
+			out1 += len(b)*elem + hopHeaderBytes
+		}
+	}
+	recv1 := comm.RawAlltoall(c, send1)
+	in1 := 0
+	for s := range recv1 {
+		if s == rank {
+			continue
+		}
+		for _, h := range recv1[s] {
+			in1 += len(h.Items)*elem + hopHeaderBytes
+		}
+	}
+	c.ChargeComm(g.colSize(g.col(rank))-1, max(out1, in1))
+
+	// Phase 2: intermediate → destination (within the intermediate's row,
+	// plus virtually appended members of an incomplete last row).
+	send2 := make([][]hop[T], p)
+	out2 := 0
+	for s := range recv1 {
+		for _, h := range recv1[s] {
+			send2[h.Dst] = append(send2[h.Dst], h)
+			if int(h.Dst) != rank {
+				out2 += len(h.Items)*elem + hopHeaderBytes
+			}
+		}
+	}
+	recv2 := comm.RawAlltoall(c, send2)
+	result := make([][]T, p)
+	in2 := 0
+	for s := range recv2 {
+		for _, h := range recv2[s] {
+			if s != rank {
+				in2 += len(h.Items)*elem + hopHeaderBytes
+			}
+			result[h.Src] = append(result[h.Src], h.Items...)
+		}
+	}
+	c.ChargeComm(g.c+1, max(out2, in2))
+	return result
+}
+
+// hypercubeExchange routes along the log p dimensions of a hypercube: in
+// round d every PE exchanges with rank ^ 2^d all pending messages whose
+// destination differs in bit d. Requires p to be a power of two.
+func hypercubeExchange[T any](c *comm.Comm, send [][]T) [][]T {
+	p, rank := c.P(), c.Rank()
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("alltoall: hypercube needs a power-of-two world, got p=%d", p))
+	}
+	elem := elemSize[T]()
+	pending := make([]hop[T], 0, p)
+	for j, b := range send {
+		if len(b) > 0 {
+			pending = append(pending, hop[T]{Src: int32(rank), Dst: int32(j), Items: b})
+		}
+	}
+	for d := 1; d < p; d <<= 1 {
+		partner := rank ^ d
+		keep := pending[:0]
+		var fwd []hop[T]
+		outBytes := 0
+		for _, h := range pending {
+			if (int(h.Dst)^rank)&d != 0 {
+				fwd = append(fwd, h)
+				outBytes += len(h.Items)*elem + hopHeaderBytes
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		got := comm.RawPairExchange(c, partner, fwd)
+		inBytes := 0
+		for _, h := range got {
+			inBytes += len(h.Items)*elem + hopHeaderBytes
+		}
+		pending = append(keep, got...)
+		c.ChargeComm(1, max(outBytes, inBytes))
+	}
+	result := make([][]T, p)
+	for _, h := range pending {
+		if int(h.Dst) != rank {
+			panic("alltoall: hypercube routing failed to converge")
+		}
+		// append into a nil slice copies, so the result is caller-owned.
+		result[h.Src] = append(result[h.Src], h.Items...)
+	}
+	return result
+}
+
+func elemSize[T any]() int {
+	return int(reflect.TypeFor[T]().Size())
+}

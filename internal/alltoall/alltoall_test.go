@@ -1,0 +1,240 @@
+package alltoall
+
+import (
+	"fmt"
+	"testing"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/rng"
+)
+
+// randomWorkload builds, for each rank, deterministic per-destination
+// buckets of varying sizes (including empty ones).
+func randomWorkload(p, rank int, seed uint64) [][]int {
+	r := rng.New(seed).Split(uint64(rank))
+	send := make([][]int, p)
+	for d := 0; d < p; d++ {
+		n := r.Intn(5) // 0..4 items
+		for k := 0; k < n; k++ {
+			send[d] = append(send[d], rank*1_000_000+d*1000+k)
+		}
+	}
+	return send
+}
+
+func runExchange(t *testing.T, p int, s Strategy) [][][]int {
+	t.Helper()
+	w := comm.NewWorld(p)
+	results := make([][][]int, p)
+	w.Run(func(c *comm.Comm) {
+		send := randomWorkload(p, c.Rank(), 42)
+		results[c.Rank()] = Exchange(c, s, send)
+	})
+	return results
+}
+
+func checkDelivery(t *testing.T, p int, got [][][]int) {
+	t.Helper()
+	for rank := 0; rank < p; rank++ {
+		for src := 0; src < p; src++ {
+			want := randomWorkload(p, src, 42)[rank]
+			have := got[rank][src]
+			if len(have) != len(want) {
+				t.Fatalf("p=%d: rank %d received %d items from %d, want %d", p, rank, len(have), src, len(want))
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("p=%d: rank %d item %d from %d: got %d want %d", p, rank, i, src, have[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDirectDelivery(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		checkDelivery(t, p, runExchange(t, p, Direct))
+	}
+}
+
+func TestGridDelivery(t *testing.T) {
+	// Includes sizes where the last grid row is incomplete (p not c*r).
+	for _, p := range []int{1, 2, 3, 5, 6, 7, 8, 11, 12, 13, 16, 23, 25, 31} {
+		checkDelivery(t, p, runExchange(t, p, Grid))
+	}
+}
+
+func TestHypercubeDelivery(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		checkDelivery(t, p, runExchange(t, p, Hypercube))
+	}
+}
+
+func TestAutoDelivery(t *testing.T) {
+	for _, p := range []int{1, 3, 8, 13} {
+		checkDelivery(t, p, runExchange(t, p, Auto))
+	}
+}
+
+func TestStrategiesAgree(t *testing.T) {
+	for _, p := range []int{4, 8, 16} {
+		d := runExchange(t, p, Direct)
+		g := runExchange(t, p, Grid)
+		h := runExchange(t, p, Hypercube)
+		for rank := 0; rank < p; rank++ {
+			for src := 0; src < p; src++ {
+				if fmt.Sprint(d[rank][src]) != fmt.Sprint(g[rank][src]) {
+					t.Fatalf("p=%d: direct and grid disagree at [%d][%d]", p, rank, src)
+				}
+				if fmt.Sprint(d[rank][src]) != fmt.Sprint(h[rank][src]) {
+					t.Fatalf("p=%d: direct and hypercube disagree at [%d][%d]", p, rank, src)
+				}
+			}
+		}
+	}
+}
+
+func TestHypercubePanicsOnNonPowerOfTwo(t *testing.T) {
+	// The guard fires before any collective call, so recovering inside each
+	// PE cannot deadlock the world.
+	w := comm.NewWorld(3)
+	panicked := make([]bool, 3)
+	w.Run(func(c *comm.Comm) {
+		defer func() {
+			if recover() != nil {
+				panicked[c.Rank()] = true
+			}
+		}()
+		Exchange(c, Hypercube, make([][]int, 3))
+	})
+	for r, ok := range panicked {
+		if !ok {
+			t.Fatalf("rank %d did not reject a 3-PE hypercube", r)
+		}
+	}
+}
+
+func TestGridGeometry(t *testing.T) {
+	for p := 1; p <= 64; p++ {
+		g := newGridGeom(p)
+		if g.c < 1 || g.c*g.c > p {
+			t.Fatalf("p=%d: c=%d violates c=floor(sqrt(p))", p, g.c)
+		}
+		if (g.c+1)*(g.c+1) <= p {
+			t.Fatalf("p=%d: c=%d is not the floor of sqrt", p, g.c)
+		}
+		if g.r != (p+g.c-1)/g.c {
+			t.Fatalf("p=%d: r=%d want ceil(p/c)", p, g.r)
+		}
+		// Paper invariant: c <= r <= c+2.
+		if g.r < g.c || g.r > g.c+2 {
+			t.Fatalf("p=%d: r=%d outside [c, c+2] with c=%d", p, g.r, g.c)
+		}
+		// Every intermediate must exist and lie in the sender's column.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				tm := g.intermediate(i, j)
+				if tm < 0 || tm >= p {
+					t.Fatalf("p=%d: intermediate(%d,%d)=%d out of range", p, i, j, tm)
+				}
+				if g.col(tm) != g.col(i) {
+					t.Fatalf("p=%d: intermediate(%d,%d)=%d not in sender's column", p, i, j, tm)
+				}
+			}
+		}
+	}
+}
+
+func TestColSizeSumsToP(t *testing.T) {
+	for p := 1; p <= 40; p++ {
+		g := newGridGeom(p)
+		sum := 0
+		for k := 0; k < g.c; k++ {
+			sum += g.colSize(k)
+		}
+		if sum != p {
+			t.Fatalf("p=%d: column sizes sum to %d", p, sum)
+		}
+	}
+}
+
+// startupCost measures the modeled time of one empty-payload exchange.
+func startupCost(p int, s Strategy) float64 {
+	w := comm.NewWorld(p)
+	w.Run(func(c *comm.Comm) {
+		send := make([][]int, p)
+		for d := range send {
+			send[d] = []int{d} // one tiny item per destination
+		}
+		Exchange(c, s, send)
+	})
+	return w.MaxClock()
+}
+
+func TestGridBeatsDirectStartupAtScale(t *testing.T) {
+	// The whole point of the two-level exchange (Fig. 2): for small
+	// messages the startup term α·p of the direct exchange dominates, while
+	// the grid pays only O(α·√p).
+	p := 256
+	direct := startupCost(p, Direct)
+	grid := startupCost(p, Grid)
+	if grid >= direct {
+		t.Fatalf("p=%d small messages: grid %.3e should beat direct %.3e", p, grid, direct)
+	}
+	if direct/grid < 3 {
+		t.Fatalf("p=%d: expected a large startup gap, got direct/grid = %.1f", p, direct/grid)
+	}
+}
+
+func TestDirectBeatsGridForBigMessages(t *testing.T) {
+	// With large messages the doubled volume of the grid should lose.
+	p := 16
+	big := make([]int, 1<<16)
+	run := func(s Strategy) float64 {
+		w := comm.NewWorld(p)
+		w.Run(func(c *comm.Comm) {
+			send := make([][]int, p)
+			for d := range send {
+				send[d] = big
+			}
+			Exchange(c, s, send)
+		})
+		return w.MaxClock()
+	}
+	direct, grid := run(Direct), run(Grid)
+	if direct >= grid {
+		t.Fatalf("p=%d big messages: direct %.3e should beat grid %.3e", p, direct, grid)
+	}
+}
+
+func TestAutoPicksGridForTinyMessages(t *testing.T) {
+	p := 64
+	auto := startupCost(p, Auto)
+	grid := startupCost(p, Grid)
+	direct := startupCost(p, Direct)
+	if auto > grid*1.5 {
+		t.Fatalf("auto (%.3e) should be close to grid (%.3e), not direct (%.3e)", auto, grid, direct)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{Direct: "direct", Grid: "grid", Hypercube: "hypercube", Auto: "auto"} {
+		if s.String() != want {
+			t.Fatalf("String(%d)=%q want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func BenchmarkDirect64(b *testing.B)    { benchStrategy(b, 64, Direct) }
+func BenchmarkGrid64(b *testing.B)      { benchStrategy(b, 64, Grid) }
+func BenchmarkHypercube64(b *testing.B) { benchStrategy(b, 64, Hypercube) }
+
+func benchStrategy(b *testing.B, p int, s Strategy) {
+	w := comm.NewWorld(p)
+	w.Run(func(c *comm.Comm) {
+		send := randomWorkload(p, c.Rank(), 7)
+		for i := 0; i < b.N; i++ {
+			Exchange(c, s, send)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package alltoall
+
+import (
+	"fmt"
+	"math"
+
+	"kamsta/internal/comm"
+)
+
+// dimBase encodes multi-level strategies in the Strategy space: the value
+// dimBase+d is the d-dimensional indirect exchange. §VI-A notes the
+// two-level grid "can easily be generalized to dimensions 2 < d ≤ log(p)";
+// at d = log p it coincides with the hypercube algorithm. This file is that
+// generalization: the startup term becomes O(α·d·p^(1/d)) at the cost of a
+// d-fold communication volume.
+const dimBase Strategy = 16
+
+// MultiLevel returns the d-dimensional indirect exchange strategy. d must
+// be at least 2; MultiLevel(2) is the generic form of Grid (it uses a
+// padded cube rather than the paper's exact incomplete-row rule, so its
+// constants differ slightly).
+func MultiLevel(d int) Strategy {
+	if d < 2 {
+		panic(fmt.Sprintf("alltoall: MultiLevel dimension %d < 2", d))
+	}
+	return dimBase + Strategy(d)
+}
+
+// multiLevelDims extracts d from a MultiLevel strategy, or 0.
+func multiLevelDims(s Strategy) int {
+	if s > dimBase {
+		return int(s - dimBase)
+	}
+	return 0
+}
+
+// cubeGeom is the padded d-dimensional cube: side = ⌈p^(1/d)⌉, ranks are
+// mixed-radix vectors over the side, positions ≥ p are virtual.
+type cubeGeom struct {
+	p, d, side int
+}
+
+func newCubeGeom(p, d int) cubeGeom {
+	side := int(math.Ceil(math.Pow(float64(p), 1/float64(d))))
+	if side < 2 {
+		side = 2
+	}
+	// Rounding guard: side^d must cover p.
+	for pow(side, d) < p {
+		side++
+	}
+	return cubeGeom{p: p, d: d, side: side}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+		if r < 0 { // overflow paranoia
+			return math.MaxInt
+		}
+	}
+	return r
+}
+
+// coord returns the k-th digit of rank in base side.
+func (g cubeGeom) coord(rank, k int) int {
+	for i := 0; i < k; i++ {
+		rank /= g.side
+	}
+	return rank % g.side
+}
+
+// replaceCoord returns rank with digit k replaced by c.
+func (g cubeGeom) replaceCoord(rank, k, c int) int {
+	scale := 1
+	for i := 0; i < k; i++ {
+		scale *= g.side
+	}
+	old := (rank / scale) % g.side
+	return rank + (c-old)*scale
+}
+
+// multiLevelExchange routes each message through d−1 intermediates: phase k
+// aligns coordinate k with the destination's. Intermediates that fall into
+// the cube's virtual padding (≥ p) short-circuit directly to the
+// destination, which only ever lowers the hop count.
+func multiLevelExchange[T any](c *comm.Comm, d int, send [][]T) [][]T {
+	p, rank := c.P(), c.Rank()
+	g := newCubeGeom(p, d)
+	elem := elemSize[T]()
+
+	pending := make([]hop[T], 0, p)
+	for j, b := range send {
+		if len(b) > 0 {
+			pending = append(pending, hop[T]{Src: int32(rank), Dst: int32(j), Items: b})
+		}
+	}
+	for k := 0; k < g.d; k++ {
+		sendK := make([][]hop[T], p)
+		out := 0
+		var keep []hop[T]
+		for _, h := range pending {
+			next := g.replaceCoord(rank, k, g.coord(int(h.Dst), k))
+			if next >= p {
+				next = int(h.Dst) // virtual intermediate: go direct
+			}
+			if next == rank {
+				keep = append(keep, h)
+				continue
+			}
+			sendK[next] = append(sendK[next], h)
+			out += len(h.Items)*elem + hopHeaderBytes
+		}
+		recv := comm.RawAlltoall(c, sendK)
+		in := 0
+		pending = keep
+		for s := range recv {
+			for _, h := range recv[s] {
+				in += len(h.Items)*elem + hopHeaderBytes
+				pending = append(pending, h)
+			}
+		}
+		c.ChargeComm(g.side-1, max(out, in))
+	}
+	result := make([][]T, p)
+	for _, h := range pending {
+		if int(h.Dst) != rank {
+			panic("alltoall: multi-level routing failed to converge")
+		}
+		result[h.Src] = append(result[h.Src], h.Items...)
+	}
+	return result
+}

@@ -1,0 +1,122 @@
+package alltoall
+
+import (
+	"testing"
+
+	"kamsta/internal/comm"
+)
+
+func TestMultiLevelDelivery(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for _, p := range []int{1, 2, 5, 8, 13, 16, 27, 31} {
+			checkDelivery(t, p, runExchange(t, p, MultiLevel(d)))
+		}
+	}
+}
+
+func TestMultiLevelAgreesWithDirect(t *testing.T) {
+	p := 16
+	dRes := runExchange(t, p, Direct)
+	for _, d := range []int{2, 3, 4} {
+		m := runExchange(t, p, MultiLevel(d))
+		for rank := 0; rank < p; rank++ {
+			for src := 0; src < p; src++ {
+				if len(dRes[rank][src]) != len(m[rank][src]) {
+					t.Fatalf("d=%d: delivery differs at [%d][%d]", d, rank, src)
+				}
+				for i := range dRes[rank][src] {
+					if dRes[rank][src][i] != m[rank][src][i] {
+						t.Fatalf("d=%d: content differs at [%d][%d][%d]", d, rank, src, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiLevelPanicsBelow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MultiLevel(1) should panic")
+		}
+	}()
+	MultiLevel(1)
+}
+
+func TestMultiLevelString(t *testing.T) {
+	if MultiLevel(3).String() != "multilevel-3d" {
+		t.Fatalf("String = %q", MultiLevel(3).String())
+	}
+}
+
+func TestCubeGeometry(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for p := 1; p <= 70; p += 3 {
+			g := newCubeGeom(p, d)
+			if pow(g.side, d) < p {
+				t.Fatalf("p=%d d=%d: cube side %d too small", p, d, g.side)
+			}
+			// replaceCoord must be consistent with coord.
+			for rank := 0; rank < p; rank++ {
+				for k := 0; k < d; k++ {
+					for c := 0; c < g.side; c++ {
+						nr := g.replaceCoord(rank, k, c)
+						if g.coord(nr, k) != c {
+							t.Fatalf("replaceCoord(%d,%d,%d)=%d has coord %d", rank, k, c, nr, g.coord(nr, k))
+						}
+						for kk := 0; kk < d; kk++ {
+							if kk != k && g.coord(nr, kk) != g.coord(rank, kk) {
+								t.Fatalf("replaceCoord disturbed coordinate %d", kk)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStartupCostOrdering verifies the §VI-A trade-off chain for tiny
+// messages at scale: deeper indirection buys smaller startup terms.
+func TestStartupCostOrdering(t *testing.T) {
+	p := 256
+	direct := startupCost(p, Direct)
+	grid := startupCost(p, Grid)
+	d4 := startupCost(p, MultiLevel(4))
+	if grid >= direct {
+		t.Fatalf("grid %.3e should beat direct %.3e", grid, direct)
+	}
+	if d4 >= direct {
+		t.Fatalf("4-level %.3e should beat direct %.3e", d4, direct)
+	}
+	// 4 levels: 4·(p^(1/4)) ≈ 16α per exchange vs grid's 2·16α = 32α; the
+	// deeper scheme must not be slower on startup-dominated traffic.
+	if d4 > grid*1.5 {
+		t.Fatalf("4-level %.3e much slower than grid %.3e on tiny messages", d4, grid)
+	}
+}
+
+func TestMultiLevelVolumeGrowsWithDepth(t *testing.T) {
+	// With large messages, the d-fold volume of deep routing must lose
+	// against direct delivery.
+	p := 16
+	big := make([]int, 1<<15)
+	run := func(s Strategy) float64 {
+		w := comm.NewWorld(p)
+		w.Run(func(c *comm.Comm) {
+			send := make([][]int, p)
+			for d := range send {
+				send[d] = big
+			}
+			Exchange(c, s, send)
+		})
+		return w.MaxClock()
+	}
+	direct := run(Direct)
+	d3 := run(MultiLevel(3))
+	if direct >= d3 {
+		t.Fatalf("big messages: direct %.3e should beat 3-level %.3e", direct, d3)
+	}
+}
+
+func BenchmarkMultiLevel3_64(b *testing.B) { benchStrategy(b, 64, MultiLevel(3)) }

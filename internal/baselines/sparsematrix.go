@@ -1,0 +1,234 @@
+// Package baselines re-implements the two published competitors the paper
+// evaluates against (§VII), as honest, correctness-tested baselines over
+// the same simulated machine:
+//
+//   - sparseMatrix: the Awerbuch–Shiloach MSF adaptation of Baer et al.
+//     [37], which 2D-partitions the adjacency matrix and drives the
+//     computation with (sparse) linear-algebra-style primitives. It does
+//     not exploit vertex locality and keeps globally replicated component
+//     state — the structural reasons the paper's measurements show it
+//     losing by orders of magnitude on local graphs.
+//   - MND-MST: the multi-node algorithm of Panja and Vadhiyar [19]: local
+//     Borůvka contraction per PE followed by hierarchical merging of
+//     contracted graphs onto group leaders, recursing on leaders only —
+//     whose leader bottleneck limits scalability.
+//
+// Simplifications versus the originals are documented in DESIGN.md; both
+// reproduce the exact MSF (verified against Kruskal in the tests), so the
+// benchmark comparisons measure algorithm structure, not wrong answers.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"kamsta/internal/alltoall"
+	"kamsta/internal/comm"
+	"kamsta/internal/graph"
+)
+
+// Result is a baseline MSF outcome.
+type Result struct {
+	// MSTEdges is this PE's share of identified MSF edges (original
+	// working copies; the union over PEs is the MSF, each edge exactly
+	// once).
+	MSTEdges []graph.Edge
+	// TotalWeight and NumEdges are global (identical on all PEs).
+	TotalWeight uint64
+	NumEdges    int
+	// Rounds counts algorithm iterations (Borůvka/AS rounds for
+	// sparseMatrix, merge levels for MND-MST).
+	Rounds int
+}
+
+// Options configures the baselines.
+type Options struct {
+	// A2A is the all-to-all strategy for data movement.
+	A2A alltoall.Strategy
+	// GroupSize is MND-MST's merge fan-in (default 4).
+	GroupSize int
+	// Threads is the intra-PE thread count for MND-MST's local phases.
+	Threads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.A2A == 0 {
+		o.A2A = alltoall.Direct // the originals use plain MPI_Alltoallv
+	}
+	if o.GroupSize < 2 {
+		o.GroupSize = 4
+	}
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	return o
+}
+
+// SparseMatrix computes the MSF in the style of Baer et al.: edges are
+// redistributed into a ⌈√p⌉×⌈√p⌉ 2D block partition of the adjacency
+// matrix, and Awerbuch–Shiloach-style rounds hook every component along
+// its globally lightest incident edge, shortcutting the forest afterwards.
+// Component state (the parent vector) is replicated via allgathered
+// candidate lists each round — the high-communication-volume behaviour of
+// the original's 2D matrix kernels (documented simplification: the
+// original distributes the parent vector over the grid; replicating it
+// does not change the Θ(components)-per-round communication volume that
+// dominates either implementation).
+//
+// Hooking happens in ascending root order against the live forest; with
+// globally distinct weight classes the only possible hook collision is the
+// mutual 2-cycle, whose second side finds the components already merged
+// and skips — so every tree edge is emitted exactly once, by the PE whose
+// block contributed the winning candidate.
+func SparseMatrix(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Options) Result {
+	opt = opt.withDefaults()
+	_ = layout // the 2D partition below replaces the 1D layout
+	p := c.P()
+
+	maxLabel := uint64(0)
+	for _, e := range edges {
+		if e.U > maxLabel {
+			maxLabel = e.U
+		}
+		if e.V > maxLabel {
+			maxLabel = e.V
+		}
+	}
+	maxLabel = comm.Allreduce(c, maxLabel, func(a, b uint64) uint64 { return max(a, b) })
+	if maxLabel == 0 {
+		return finishResult(c, nil, 0)
+	}
+	side := int(math.Sqrt(float64(p)))
+	if side < 1 {
+		side = 1
+	}
+	bucket := func(v graph.VID) int {
+		b := int((v - 1) * uint64(side) / maxLabel)
+		if b >= side {
+			b = side - 1
+		}
+		return b
+	}
+	send := make([][]graph.Edge, p)
+	for _, e := range edges {
+		if e.U < e.V { // one copy per logical edge suffices here
+			blk := bucket(e.U)*side + bucket(e.V)
+			send[blk] = append(send[blk], e)
+		}
+	}
+	mine := flatten(alltoall.Exchange(c, opt.A2A, send))
+	c.ChargeCompute(len(edges))
+
+	// Replicated parent vector (the AS forest).
+	parent := make([]uint32, maxLabel+1)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	find := func(v uint32) uint32 {
+		for parent[v] != v {
+			v = parent[v]
+		}
+		return v
+	}
+
+	type cand struct {
+		Root graph.VID
+		E    graph.Edge
+		Rank int32
+	}
+	var mst []graph.Edge
+	rounds := 0
+	for {
+		// Local minimum candidate per component from this PE's block —
+		// the "min-reduction over matrix rows" of the original.
+		best := map[graph.VID]graph.Edge{}
+		for _, e := range mine {
+			ru, rv := graph.VID(find(uint32(e.U))), graph.VID(find(uint32(e.V)))
+			if ru == rv {
+				continue
+			}
+			if b, ok := best[ru]; !ok || graph.LessWeight(e, b) {
+				best[ru] = e
+			}
+			if b, ok := best[rv]; !ok || graph.LessWeight(e, b) {
+				best[rv] = e
+			}
+		}
+		c.ChargeCompute(len(mine))
+		local := make([]cand, 0, len(best))
+		for r, e := range best {
+			local = append(local, cand{Root: r, E: e, Rank: int32(c.Rank())})
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i].Root < local[j].Root })
+		all := comm.AllgatherConcat(c, local)
+		if len(all) == 0 {
+			break
+		}
+		// Replicated global min per root; rank breaks exact ties so every
+		// PE agrees on the single winning copy.
+		win := map[graph.VID]cand{}
+		for _, cd := range all {
+			if b, ok := win[cd.Root]; !ok || graph.LessWeight(cd.E, b.E) ||
+				(graph.SameWeightClass(cd.E, b.E) && cd.Rank < b.Rank) {
+				win[cd.Root] = cd
+			}
+		}
+		roots := make([]graph.VID, 0, len(win))
+		for r := range win {
+			roots = append(roots, r)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		merged := false
+		for _, r := range roots {
+			cd := win[r]
+			other := graph.VID(find(uint32(cd.E.U)))
+			if other == r {
+				other = graph.VID(find(uint32(cd.E.V)))
+			}
+			if other == r {
+				continue // 2-cycle partner: already merged, edge already emitted
+			}
+			parent[r] = uint32(other)
+			merged = true
+			if cd.Rank == int32(c.Rank()) {
+				mst = append(mst, cd.E)
+			}
+		}
+		// Shortcut (pointer jumping), replicated.
+		for i := range parent {
+			parent[i] = find(uint32(i))
+		}
+		c.ChargeCompute(int(maxLabel + 1))
+		rounds++
+		if !merged {
+			break
+		}
+		if rounds > 96 {
+			panic("baselines: sparseMatrix failed to converge")
+		}
+	}
+	return finishResult(c, mst, rounds)
+}
+
+func finishResult(c *comm.Comm, mst []graph.Edge, rounds int) Result {
+	type agg struct {
+		W uint64
+		N int
+	}
+	local := agg{}
+	for _, e := range mst {
+		local.W += uint64(e.W)
+		local.N++
+	}
+	g := comm.Allreduce(c, local, func(a, b agg) agg { return agg{a.W + b.W, a.N + b.N} })
+	sort.Slice(mst, func(i, j int) bool { return graph.LessLex(mst[i], mst[j]) })
+	return Result{MSTEdges: mst, TotalWeight: g.W, NumEdges: g.N, Rounds: rounds}
+}
+
+func flatten(recv [][]graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for i := range recv {
+		out = append(out, recv[i]...)
+	}
+	return out
+}

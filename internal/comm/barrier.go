@@ -1,0 +1,38 @@
+package comm
+
+import "sync"
+
+// barrier is a reusable (cyclic) barrier for a fixed number of parties.
+// Wait blocks until all parties have called it, then releases everyone and
+// rearms for the next round.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties arrive.
+func (b *barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

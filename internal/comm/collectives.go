@@ -1,0 +1,305 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collectives. Because Go methods cannot take type parameters, the
+// collectives are package-level generic functions taking the Comm as their
+// first argument. Every PE of the world must call the same sequence of
+// collectives with compatible arguments (SPMD); a divergence panics with a
+// diagnostic rather than deadlocking.
+//
+// Modeled costs follow §II-A of the paper:
+//
+//	broadcast, (all)reduce, prefix sum:  α·log p + β·ℓ
+//	allgather:                           α·log p + β·Σℓᵢ
+//	direct personalized all-to-all:      α·p + β·ℓ   (ℓ = bottleneck volume)
+//
+// Indirect all-to-all strategies (grid, hypercube) live in
+// internal/alltoall and self-account via RawAlltoall + ChargeComm.
+
+// Barrier synchronizes all PEs (and their modeled clocks).
+func Barrier(c *Comm) {
+	c.exchange("Barrier", nil, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+	})
+	c.ChargeComm(log2Ceil(c.P()), 0)
+	c.stats.Collectives++
+}
+
+// Bcast distributes root's value to all PEs. For slice-typed T the receivers
+// share the root's backing array and must treat it as read-only; use
+// BcastSlice for an owned copy.
+func Bcast[T any](c *Comm, root int, x T) T {
+	var out T
+	c.exchange("Bcast", x, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		out = boards[root].val.(T)
+	})
+	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// BcastSlice distributes root's slice to all PEs; every PE receives its own
+// copy.
+func BcastSlice[T any](c *Comm, root int, xs []T) []T {
+	var out []T
+	c.exchange("BcastSlice", xs, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		src := boards[root].val.([]T)
+		out = make([]T, len(src))
+		copy(out, src)
+	})
+	c.ChargeComm(log2Ceil(c.P()), len(out)*sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// Allreduce combines every PE's value with the associative op and returns
+// the result on all PEs.
+func Allreduce[T any](c *Comm, x T, op func(a, b T) T) T {
+	var out T
+	c.exchange("Allreduce", x, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		out = boards[0].val.(T)
+		for i := 1; i < len(boards); i++ {
+			out = op(out, boards[i].val.(T))
+		}
+	})
+	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// AllreduceVec combines equal-length vectors element-wise with op and
+// returns the result on all PEs. This is the workhorse of the replicated
+// base case (§IV-D): an allreduce with vector length n′. The reduction runs
+// as a hypercube butterfly so local work is O(ℓ·log p), while the modeled
+// charge is the pipelined-tree bound α·log p + β·ℓ from §II-A.
+func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
+	p, rank := c.P(), c.Rank()
+	acc := make([]T, len(xs))
+	copy(acc, xs)
+	if p > 1 {
+		// Fold ranks beyond the largest power of two into the cube first.
+		k := 1
+		for k*2 <= p {
+			k *= 2
+		}
+		merge := func(tag string, partner int, send bool) {
+			// Both cube and extra ranks pass through the same exchanges to
+			// stay SPMD; ranks without a partner deposit nil. The deposit is
+			// a snapshot: the depositor merges into acc during the same read
+			// window in which its partner reads the board, so the board copy
+			// must stay immutable.
+			var dep any
+			if send {
+				cp := make([]T, len(acc))
+				copy(cp, acc)
+				dep = cp
+			}
+			c.exchange(tag, dep, func(boards []deposit) {
+				c.syncClocks(boards, nil)
+				if partner >= 0 && boards[partner].val != nil {
+					other := boards[partner].val.([]T)
+					if len(other) != len(acc) {
+						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", len(acc), len(other)))
+					}
+					for j := range acc {
+						acc[j] = op(acc[j], other[j])
+					}
+				}
+			})
+		}
+		if rank >= k {
+			merge("ARVfold", -1, true) // extra rank contributes
+		} else if rank+k < p {
+			merge("ARVfold", rank+k, false) // cube rank absorbs extra
+		} else {
+			merge("ARVfold", -1, false)
+		}
+		for d := 1; d < k; d <<= 1 {
+			partner := -1
+			send := false
+			if rank < k {
+				partner = rank ^ d
+				send = true
+			}
+			merge(fmt.Sprintf("ARVbfly%d", d), partner, send)
+		}
+		// Send the final vector back to the extra ranks.
+		finalTag := "ARVunfold"
+		if rank < k {
+			var dep any = acc
+			c.exchange(finalTag, dep, func(boards []deposit) { c.syncClocks(boards, nil) })
+		} else {
+			c.exchange(finalTag, nil, func(boards []deposit) {
+				c.syncClocks(boards, nil)
+				src := boards[rank-k].val.([]T)
+				copy(acc, src)
+			})
+		}
+	}
+	c.ChargeComm(log2Ceil(p), len(xs)*sizeOf[T]())
+	c.stats.Collectives++
+	return acc
+}
+
+// ExScan returns the exclusive prefix combination of x over ranks: rank r
+// receives op(x₀, …, x_{r−1}), and rank 0 receives zero.
+func ExScan[T any](c *Comm, x T, zero T, op func(a, b T) T) T {
+	out := zero
+	c.exchange("ExScan", x, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		for i := 0; i < c.rank; i++ {
+			out = op(out, boards[i].val.(T))
+		}
+	})
+	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// Allgather collects one value from every PE into a rank-indexed slice on
+// all PEs.
+func Allgather[T any](c *Comm, x T) []T {
+	out := make([]T, c.P())
+	c.exchange("Allgather", x, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		for i := range boards {
+			out[i] = boards[i].val.(T)
+		}
+	})
+	c.ChargeComm(log2Ceil(c.P()), c.P()*sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// AllgatherConcat concatenates every PE's slice in rank order on all PEs.
+func AllgatherConcat[T any](c *Comm, xs []T) []T {
+	var out []T
+	total := 0
+	c.exchange("AllgatherConcat", xs, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		for i := range boards {
+			total += len(boards[i].val.([]T))
+		}
+		out = make([]T, 0, total)
+		for i := range boards {
+			out = append(out, boards[i].val.([]T)...)
+		}
+	})
+	c.ChargeComm(log2Ceil(c.P()), total*sizeOf[T]())
+	c.stats.Collectives++
+	return out
+}
+
+// Alltoall performs a direct (one-level) personalized all-to-all exchange:
+// sendTo[i] is delivered to PE i, and the result's slot j holds what PE j
+// sent here. Each PE is charged the §II-A direct cost α·(p−1) + β·ℓ with ℓ
+// its bottleneck volume (max of bytes sent and received, self excluded).
+// Received slices are owned by the caller.
+func Alltoall[T any](c *Comm, sendTo [][]T) [][]T {
+	recv := RawAlltoall(c, sendTo)
+	elem := sizeOf[T]()
+	sent, got := 0, 0
+	for i := range sendTo {
+		if i != c.rank {
+			sent += len(sendTo[i])
+		}
+	}
+	for i := range recv {
+		if i != c.rank {
+			got += len(recv[i])
+		}
+	}
+	c.ChargeComm(c.P()-1, elem*maxInt(sent, got))
+	c.stats.Collectives++
+	return recv
+}
+
+// RawAlltoall moves buckets like Alltoall but charges no modeled cost.
+// It exists so routing strategies (internal/alltoall) can move data in
+// several physical rounds while self-accounting the cost of each round with
+// ChargeComm. Everything else should use Alltoall.
+func RawAlltoall[T any](c *Comm, sendTo [][]T) [][]T {
+	p := c.P()
+	if len(sendTo) != p {
+		panic(fmt.Sprintf("comm: Alltoall with %d buckets on a %d-PE world", len(sendTo), p))
+	}
+	recv := make([][]T, p)
+	c.exchange("Alltoall", sendTo, func(boards []deposit) {
+		c.syncClocks(boards, nil)
+		for i := range boards {
+			bucket := boards[i].val.([][]T)[c.rank]
+			if len(bucket) > 0 {
+				recv[i] = make([]T, len(bucket))
+				copy(recv[i], bucket)
+			}
+		}
+	})
+	return recv
+}
+
+// PairExchange swaps a payload with a partner PE. All PEs of the world must
+// call it in the same superstep; a PE with partner < 0 or partner == rank
+// participates with no transfer and receives nil. Partnerships must be
+// symmetric. Cost: α + β·max(sent, received) per PE.
+func PairExchange[T any](c *Comm, partner int, xs []T) []T {
+	out := RawPairExchange(c, partner, xs)
+	if partner >= 0 && partner != c.rank {
+		c.ChargeComm(1, sizeOf[T]()*maxInt(len(xs), len(out)))
+	}
+	return out
+}
+
+// RawPairExchange is PairExchange without the modeled cost charge, for
+// routing strategies that self-account actual payload bytes (element types
+// containing slices would otherwise be charged header sizes only).
+func RawPairExchange[T any](c *Comm, partner int, xs []T) []T {
+	var out []T
+	c.exchange("PairExchange", xs, func(boards []deposit) {
+		if partner >= 0 && partner != c.rank {
+			m := math.Max(boards[c.rank].clock, boards[partner].clock)
+			c.clock = math.Max(c.clock, m)
+			src := boards[partner].val.([]T)
+			out = make([]T, len(src))
+			copy(out, src)
+		}
+	})
+	c.stats.Collectives++
+	return out
+}
+
+// GroupAllreduce combines values over the listed member ranks only (a
+// sub-communicator). All PEs of the world must call it in the same
+// superstep; non-members pass members == nil and receive the zero value.
+// Groups active in the same superstep must be disjoint.
+func GroupAllreduce[T any](c *Comm, members []int, x T, op func(a, b T) T) T {
+	var out T
+	c.exchange("GroupAllreduce", x, func(boards []deposit) {
+		if len(members) == 0 {
+			return
+		}
+		c.syncClocks(boards, members)
+		out = boards[members[0]].val.(T)
+		for _, m := range members[1:] {
+			out = op(out, boards[m].val.(T))
+		}
+	})
+	if len(members) > 0 {
+		c.ChargeComm(log2Ceil(len(members)), sizeOf[T]())
+	}
+	c.stats.Collectives++
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

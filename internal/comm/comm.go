@@ -1,0 +1,406 @@
+// Package comm simulates the distributed-memory machine model of the paper
+// (§II-A): p processing elements (PEs) with strictly private memory,
+// single-ported point-to-point communication, and the usual collective
+// operations. Each PE is a goroutine; PEs interact only through the
+// primitives of this package, so the communication structure of the
+// algorithms — who sends what to whom in which round — is exactly that of
+// the MPI original, with shared memory acting only as the wire.
+//
+// Two clocks run side by side:
+//
+//   - Wall time: real elapsed time of the simulation, reported per phase.
+//   - Modeled time: the α-β cost model of the paper. Sending a message of
+//     ℓ bytes costs α + βℓ; collectives charge the §II-A complexities
+//     (e.g. α·log p + βℓ for broadcast/reduce, α·p + βℓ for a direct
+//     personalized all-to-all with bottleneck volume ℓ). Local computation
+//     charges a per-operation cost divided by the PE's thread count.
+//
+// Collectives synchronize modeled clocks BSP-style: every participant
+// leaves the operation at max(entry clocks) + operation cost, so stragglers
+// propagate exactly as they would on a real machine. Phase timers attribute
+// modeled and wall time to named phases; the World aggregates the maximum
+// over PEs, which is the quantity all the paper's figures plot.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CostModel holds the machine parameters of the α-β model.
+type CostModel struct {
+	// Alpha is the startup overhead per message in seconds.
+	Alpha float64
+	// Beta is the transfer time per byte in seconds.
+	Beta float64
+	// Compute is the cost of one local edge-granularity operation in
+	// seconds; parallel sections divide it by the PE's thread count.
+	Compute float64
+}
+
+// DefaultCostModel returns parameters of the same order as the paper's
+// machine (SuperMUC-NG: OmniPath 100 Gbit/s, ~10 µs MPI latency).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Alpha:   10e-6,
+		Beta:    1e-9,
+		Compute: 2e-9,
+	}
+}
+
+// World is a simulated machine of P PEs sharing a cost model. Create one
+// with NewWorld, then call Run with the SPMD program.
+type World struct {
+	p       int
+	threads int
+	cost    CostModel
+
+	bar    *barrier
+	boards []deposit
+
+	mu     sync.Mutex
+	phases map[string]*PhaseTime // max-aggregated over PEs
+	stats  Stats
+	clocks []float64 // final modeled clock per PE, for the last Run
+}
+
+type deposit struct {
+	tag   string
+	val   any
+	clock float64
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithCost sets the cost model.
+func WithCost(cm CostModel) Option {
+	return func(w *World) { w.cost = cm }
+}
+
+// WithThreads sets the number of intra-PE threads every PE reports
+// (the paper's OpenMP threads per MPI process). Default 1.
+func WithThreads(t int) Option {
+	return func(w *World) {
+		if t < 1 {
+			t = 1
+		}
+		w.threads = t
+	}
+}
+
+// NewWorld creates a machine with p PEs. It panics if p < 1.
+func NewWorld(p int, opts ...Option) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: world size %d < 1", p))
+	}
+	w := &World{
+		p:       p,
+		threads: 1,
+		cost:    DefaultCostModel(),
+		bar:     newBarrier(p),
+		boards:  make([]deposit, p),
+		phases:  make(map[string]*PhaseTime),
+		clocks:  make([]float64, p),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// P reports the machine width.
+func (w *World) P() int { return w.p }
+
+// Cost reports the configured cost model.
+func (w *World) Cost() CostModel { return w.cost }
+
+// Run executes f as an SPMD program: one goroutine per PE, each receiving
+// its own Comm handle. Run returns when every PE's f has returned. It may
+// be called repeatedly; statistics accumulate across calls.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.p)
+	for r := 0; r < w.p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{
+				rank:    rank,
+				w:       w,
+				threads: w.threads,
+				phases:  make(map[string]*PhaseTime),
+			}
+			f(c)
+			c.flush()
+		}(r)
+	}
+	wg.Wait()
+}
+
+// PhaseTime is the accumulated cost of one named phase.
+type PhaseTime struct {
+	Modeled float64       // modeled seconds (max over PEs when aggregated)
+	Wall    time.Duration // wall seconds (max over PEs when aggregated)
+}
+
+// Phases returns the per-phase times, aggregated as the maximum over all
+// PEs, reflecting the bulk-synchronous critical path.
+func (w *World) Phases() map[string]PhaseTime {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]PhaseTime, len(w.phases))
+	for k, v := range w.phases {
+		out[k] = *v
+	}
+	return out
+}
+
+// PhaseNames returns the phase names in sorted order.
+func (w *World) PhaseNames() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.phases))
+	for k := range w.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MaxClock reports the maximum modeled clock over all PEs after the last
+// Run — the modeled makespan.
+func (w *World) MaxClock() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := 0.0
+	for _, c := range w.clocks {
+		m = math.Max(m, c)
+	}
+	return m
+}
+
+// TotalStats returns traffic statistics summed over all PEs.
+func (w *World) TotalStats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// ResetMetrics clears accumulated phase times, stats and clocks, keeping
+// the machine itself reusable (e.g. between warm-up and measured rounds).
+func (w *World) ResetMetrics() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.phases = make(map[string]*PhaseTime)
+	w.stats = Stats{}
+	for i := range w.clocks {
+		w.clocks[i] = 0
+	}
+}
+
+// Stats counts communication traffic.
+type Stats struct {
+	Messages    int64 // point-to-point messages (or message slots in collectives)
+	Bytes       int64 // payload bytes moved
+	Collectives int64 // collective operations executed
+}
+
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Collectives += o.Collectives
+}
+
+// Comm is a PE's handle to the machine: its rank, its modeled clock, its
+// phase timers and its traffic counters. A Comm must only be used by the
+// goroutine it was handed to.
+type Comm struct {
+	rank    int
+	w       *World
+	threads int
+
+	clock  float64 // modeled seconds since Run start
+	stats  Stats
+	phases map[string]*PhaseTime
+
+	phaseStack []phaseFrame
+}
+
+type phaseFrame struct {
+	name      string
+	clockAt   float64
+	wallAt    time.Time
+	childTime float64       // modeled time consumed by nested phases
+	childWall time.Duration // wall time consumed by nested phases
+}
+
+// Rank reports this PE's rank in 0..P-1.
+func (c *Comm) Rank() int { return c.rank }
+
+// P reports the machine width.
+func (c *Comm) P() int { return c.w.p }
+
+// Threads reports the number of intra-PE threads (for dividing parallel
+// compute charges).
+func (c *Comm) Threads() int { return c.threads }
+
+// Clock returns this PE's current modeled time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// Cost returns the machine's cost model.
+func (c *Comm) Cost() CostModel { return c.w.cost }
+
+// ChargeCompute adds the modeled cost of ops local operations executed by
+// all threads in parallel.
+func (c *Comm) ChargeCompute(ops int) {
+	c.clock += float64(ops) * c.w.cost.Compute / float64(c.threads)
+}
+
+// ChargeComputeSeq adds the modeled cost of ops local operations executed
+// sequentially (not divided by the thread count).
+func (c *Comm) ChargeComputeSeq(ops int) {
+	c.clock += float64(ops) * c.w.cost.Compute
+}
+
+// ResetLocalMetrics zeroes this PE's modeled clock, phase timers and
+// traffic counters. Use together with World.ResetMetrics (and barriers on
+// both sides) to exclude setup work — e.g. graph generation — from a
+// measurement. Panics if called inside an open phase.
+func (c *Comm) ResetLocalMetrics() {
+	if len(c.phaseStack) != 0 {
+		panic("comm: ResetLocalMetrics inside an open phase")
+	}
+	c.clock = 0
+	c.stats = Stats{}
+	c.phases = make(map[string]*PhaseTime)
+}
+
+// ChargeComm adds the modeled cost of msgs message startups plus bytes
+// payload bytes. Communication strategies built on RawExchange use this for
+// self-accounting.
+func (c *Comm) ChargeComm(msgs int, bytes int) {
+	c.clock += float64(msgs)*c.w.cost.Alpha + float64(bytes)*c.w.cost.Beta
+	c.stats.Messages += int64(msgs)
+	c.stats.Bytes += int64(bytes)
+}
+
+// PhaseBegin opens a named phase. Phases may nest; time spent in nested
+// phases is attributed to the nested phase only.
+func (c *Comm) PhaseBegin(name string) {
+	c.phaseStack = append(c.phaseStack, phaseFrame{
+		name:    name,
+		clockAt: c.clock,
+		wallAt:  time.Now(),
+	})
+}
+
+// PhaseEnd closes the innermost open phase.
+func (c *Comm) PhaseEnd() {
+	n := len(c.phaseStack)
+	if n == 0 {
+		panic("comm: PhaseEnd without PhaseBegin")
+	}
+	fr := c.phaseStack[n-1]
+	c.phaseStack = c.phaseStack[:n-1]
+	modeled := c.clock - fr.clockAt - fr.childTime
+	wall := time.Since(fr.wallAt) - fr.childWall
+	pt := c.phases[fr.name]
+	if pt == nil {
+		pt = &PhaseTime{}
+		c.phases[fr.name] = pt
+	}
+	pt.Modeled += modeled
+	pt.Wall += wall
+	if n >= 2 {
+		parent := &c.phaseStack[n-2]
+		parent.childTime += c.clock - fr.clockAt
+		parent.childWall += time.Since(fr.wallAt)
+	}
+}
+
+// Phase runs f inside a named phase.
+func (c *Comm) Phase(name string, f func()) {
+	c.PhaseBegin(name)
+	defer c.PhaseEnd()
+	f()
+}
+
+// flush merges this PE's metrics into the world (max for times, sum for
+// traffic).
+func (c *Comm) flush() {
+	w := c.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for name, pt := range c.phases {
+		agg := w.phases[name]
+		if agg == nil {
+			agg = &PhaseTime{}
+			w.phases[name] = agg
+		}
+		agg.Modeled = math.Max(agg.Modeled, pt.Modeled)
+		if pt.Wall > agg.Wall {
+			agg.Wall = pt.Wall
+		}
+	}
+	w.stats.add(c.stats)
+	if c.clock > w.clocks[c.rank] {
+		w.clocks[c.rank] = c.clock
+	}
+}
+
+// log2Ceil returns ceil(log2(n)) with log2Ceil(1) == 0 and a minimum of 1
+// for n > 1.
+func log2Ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	return k
+}
+
+// sizeOf returns the in-memory size of T in bytes for cost accounting.
+func sizeOf[T any]() int {
+	return int(reflect.TypeFor[T]().Size())
+}
+
+// exchange deposits (tag, val, clock) on this PE's board slot, waits for
+// everyone, invokes read with the full board (valid only during the call),
+// and waits again so slots can be reused. It is the single synchronization
+// primitive all collectives are built from. The tag check catches SPMD
+// divergence bugs (different PEs calling different collectives) immediately
+// instead of deadlocking.
+func (c *Comm) exchange(tag string, val any, read func(boards []deposit)) {
+	w := c.w
+	w.boards[c.rank] = deposit{tag: tag, val: val, clock: c.clock}
+	w.bar.Wait()
+	if c.rank == 0 {
+		for i := 1; i < w.p; i++ {
+			if w.boards[i].tag != tag {
+				panic(fmt.Sprintf("comm: SPMD divergence: rank 0 in %q, rank %d in %q", tag, i, w.boards[i].tag))
+			}
+		}
+	}
+	read(w.boards)
+	w.bar.Wait()
+}
+
+// syncClocks sets this PE's clock to the maximum entry clock among the
+// given deposits (BSP barrier semantics), then returns that maximum.
+func (c *Comm) syncClocks(deps []deposit, members []int) float64 {
+	m := c.clock
+	if members == nil {
+		for i := range deps {
+			m = math.Max(m, deps[i].clock)
+		}
+	} else {
+		for _, i := range members {
+			m = math.Max(m, deps[i].clock)
+		}
+	}
+	c.clock = m
+	return m
+}

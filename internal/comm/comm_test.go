@@ -1,0 +1,544 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var worldSizes = []int{1, 2, 3, 4, 7, 8, 16}
+
+func TestWorldRunRanks(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		w.Run(func(c *Comm) {
+			mu.Lock()
+			seen[c.Rank()] = true
+			mu.Unlock()
+			if c.P() != p {
+				t.Errorf("P()=%d want %d", c.P(), p)
+			}
+		})
+		if len(seen) != p {
+			t.Fatalf("p=%d: only %d ranks ran", p, len(seen))
+		}
+	}
+}
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) should panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	w := NewWorld(p)
+	var phase [p]int32
+	w.Run(func(c *Comm) {
+		phase[c.Rank()] = 1
+		Barrier(c)
+		// After the barrier, every PE must observe everyone in phase 1.
+		for i := 0; i < p; i++ {
+			if phase[i] != 1 {
+				t.Errorf("rank %d saw rank %d not yet at barrier", c.Rank(), i)
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		root := p / 2
+		w.Run(func(c *Comm) {
+			v := -1
+			if c.Rank() == root {
+				v = 42
+			}
+			got := Bcast(c, root, v)
+			if got != 42 {
+				t.Errorf("p=%d rank=%d: Bcast got %d", p, c.Rank(), got)
+			}
+		})
+	}
+}
+
+func TestBcastSliceOwnership(t *testing.T) {
+	w := NewWorld(4)
+	results := make([][]int, 4)
+	w.Run(func(c *Comm) {
+		var xs []int
+		if c.Rank() == 0 {
+			xs = []int{1, 2, 3}
+		}
+		got := BcastSlice(c, 0, xs)
+		got[0] += c.Rank() // mutate the copy; must not affect others
+		results[c.Rank()] = got
+	})
+	for r, res := range results {
+		if len(res) != 3 || res[0] != 1+r || res[1] != 2 || res[2] != 3 {
+			t.Fatalf("rank %d got %v; copies are not independent", r, res)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		want := p * (p - 1) / 2
+		w.Run(func(c *Comm) {
+			got := Allreduce(c, c.Rank(), func(a, b int) int { return a + b })
+			if got != want {
+				t.Errorf("p=%d rank=%d: Allreduce=%d want %d", p, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		got := Allreduce(c, (c.Rank()*3)%5, func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		if got != 4 {
+			t.Errorf("Allreduce max=%d want 4", got)
+		}
+	})
+}
+
+func TestAllreduceVec(t *testing.T) {
+	for _, p := range worldSizes {
+		for _, n := range []int{0, 1, 5, 100} {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				xs := make([]int, n)
+				for j := range xs {
+					xs[j] = c.Rank() + j
+				}
+				got := AllreduceVec(c, xs, func(a, b int) int { return a + b })
+				for j := range got {
+					want := p*j + p*(p-1)/2
+					if got[j] != want {
+						t.Errorf("p=%d n=%d rank=%d: got[%d]=%d want %d", p, n, c.Rank(), j, got[j], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceVecMin(t *testing.T) {
+	type slot struct{ W, Owner int }
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			xs := make([]slot, 8)
+			for j := range xs {
+				xs[j] = slot{W: (c.Rank()*7+j*3)%13 + 1, Owner: c.Rank()}
+			}
+			got := AllreduceVec(c, xs, func(a, b slot) slot {
+				if a.W < b.W || (a.W == b.W && a.Owner < b.Owner) {
+					return a
+				}
+				return b
+			})
+			// Recompute expectation directly.
+			for j := range got {
+				best := slot{W: 1 << 30}
+				for r := 0; r < p; r++ {
+					s := slot{W: (r*7+j*3)%13 + 1, Owner: r}
+					if s.W < best.W || (s.W == best.W && s.Owner < best.Owner) {
+						best = s
+					}
+				}
+				if got[j] != best {
+					t.Errorf("p=%d slot %d: got %+v want %+v", p, j, got[j], best)
+				}
+			}
+		})
+	}
+}
+
+func TestExScan(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			got := ExScan(c, c.Rank()+1, 0, func(a, b int) int { return a + b })
+			want := 0
+			for i := 0; i < c.Rank(); i++ {
+				want += i + 1
+			}
+			if got != want {
+				t.Errorf("p=%d rank=%d: ExScan=%d want %d", p, c.Rank(), got, want)
+			}
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			got := Allgather(c, c.Rank()*c.Rank())
+			for i := range got {
+				if got[i] != i*i {
+					t.Errorf("p=%d: Allgather[%d]=%d want %d", p, i, got[i], i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestAllgatherConcat(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			xs := make([]int, c.Rank()) // rank r contributes r copies of r
+			for j := range xs {
+				xs[j] = c.Rank()
+			}
+			got := AllgatherConcat(c, xs)
+			want := p * (p - 1) / 2
+			if len(got) != want {
+				t.Fatalf("p=%d: concat length %d want %d", p, len(got), want)
+			}
+			k := 0
+			for r := 0; r < p; r++ {
+				for j := 0; j < r; j++ {
+					if got[k] != r {
+						t.Fatalf("p=%d: concat[%d]=%d want %d", p, k, got[k], r)
+					}
+					k++
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallRouting(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			send := make([][]int, p)
+			for d := 0; d < p; d++ {
+				// rank r sends d+1 copies of r*100+d to PE d
+				for j := 0; j <= d; j++ {
+					send[d] = append(send[d], c.Rank()*100+d)
+				}
+			}
+			recv := Alltoall(c, send)
+			for s := 0; s < p; s++ {
+				if len(recv[s]) != c.Rank()+1 {
+					t.Errorf("p=%d rank=%d: from %d got %d items want %d", p, c.Rank(), s, len(recv[s]), c.Rank()+1)
+					continue
+				}
+				for _, v := range recv[s] {
+					if v != s*100+c.Rank() {
+						t.Errorf("p=%d rank=%d: from %d got value %d", p, c.Rank(), s, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallReceivedDataIsOwned(t *testing.T) {
+	w := NewWorld(2)
+	var got [2][]int
+	w.Run(func(c *Comm) {
+		send := make([][]int, 2)
+		send[1-c.Rank()] = []int{c.Rank() + 10}
+		recv := Alltoall(c, send)
+		recv[1-c.Rank()][0] += 100 // mutate received copy
+		send[1-c.Rank()][0] = -1   // mutate our send buffer after the call
+		got[c.Rank()] = recv[1-c.Rank()]
+	})
+	if got[0][0] != 111 || got[1][0] != 110 {
+		t.Fatalf("received data is aliased: %v %v", got[0], got[1])
+	}
+}
+
+func TestPairExchange(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			partner := c.Rank() ^ 1
+			out := PairExchange(c, partner, []int{c.Rank(), c.Rank() * 2})
+			if len(out) != 2 || out[0] != partner || out[1] != partner*2 {
+				t.Errorf("p=%d rank=%d: PairExchange got %v", p, c.Rank(), out)
+			}
+		})
+	}
+}
+
+func TestPairExchangeNoPartner(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		partner := -1
+		if c.Rank() < 2 {
+			partner = c.Rank() ^ 1
+		}
+		out := PairExchange(c, partner, []int{c.Rank()})
+		if c.Rank() == 2 && out != nil {
+			t.Errorf("lonely rank received %v", out)
+		}
+		if c.Rank() < 2 && (len(out) != 1 || out[0] != partner) {
+			t.Errorf("rank %d got %v", c.Rank(), out)
+		}
+	})
+}
+
+func TestGroupAllreduce(t *testing.T) {
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		var members []int
+		if c.Rank() < 4 {
+			members = []int{0, 1, 2, 3}
+		} else {
+			members = []int{4, 5, 6, 7}
+		}
+		got := GroupAllreduce(c, members, c.Rank(), func(a, b int) int { return a + b })
+		want := 0 + 1 + 2 + 3
+		if c.Rank() >= 4 {
+			want = 4 + 5 + 6 + 7
+		}
+		if got != want {
+			t.Errorf("rank %d: group sum %d want %d", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestGroupAllreduceNonMember(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		var members []int
+		if c.Rank() < 2 {
+			members = []int{0, 1}
+		}
+		got := GroupAllreduce(c, members, c.Rank()+1, func(a, b int) int { return a + b })
+		if c.Rank() < 2 && got != 3 {
+			t.Errorf("member rank %d got %d want 3", c.Rank(), got)
+		}
+		if c.Rank() >= 2 && got != 0 {
+			t.Errorf("non-member rank %d got %d want zero value", c.Rank(), got)
+		}
+	})
+}
+
+func TestModeledClockAdvances(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		before := c.Clock()
+		Barrier(c)
+		Allreduce(c, 1, func(a, b int) int { return a + b })
+		if c.Clock() <= before {
+			t.Errorf("rank %d: clock did not advance over collectives", c.Rank())
+		}
+	})
+	if w.MaxClock() <= 0 {
+		t.Fatal("world MaxClock should be positive after a run")
+	}
+}
+
+func TestClockBSPSync(t *testing.T) {
+	// A straggler's modeled time must propagate to everyone at a barrier.
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 2 {
+			c.ChargeComputeSeq(1_000_000_000) // 1e9 ops ≈ 2s modeled
+		}
+		Barrier(c)
+		if c.Clock() < 1.0 {
+			t.Errorf("rank %d clock %.3f did not sync with straggler", c.Rank(), c.Clock())
+		}
+	})
+}
+
+func TestChargeComputeDividesByThreads(t *testing.T) {
+	w1 := NewWorld(1, WithThreads(1))
+	w8 := NewWorld(1, WithThreads(8))
+	var t1, t8 float64
+	w1.Run(func(c *Comm) { c.ChargeCompute(1000000); t1 = c.Clock() })
+	w8.Run(func(c *Comm) { c.ChargeCompute(1000000); t8 = c.Clock() })
+	if t8 >= t1 {
+		t.Fatalf("8-thread compute charge %.9f not below 1-thread %.9f", t8, t1)
+	}
+	if ratio := t1 / t8; ratio < 7.9 || ratio > 8.1 {
+		t.Fatalf("thread speedup ratio %.2f want 8", ratio)
+	}
+}
+
+func TestAlltoallCostScalesWithP(t *testing.T) {
+	// The direct all-to-all's startup term must grow linearly in p.
+	cost := func(p int) float64 {
+		w := NewWorld(p)
+		var clk float64
+		w.Run(func(c *Comm) {
+			send := make([][]int, p)
+			Alltoall(c, send) // empty payload: pure startup cost
+			if c.Rank() == 0 {
+				clk = c.Clock()
+			}
+		})
+		return clk
+	}
+	c4, c16 := cost(4), cost(16)
+	if c16 < 3*c4 {
+		t.Fatalf("alltoall startup cost p=16 (%.2e) not ~5x p=4 (%.2e)", c16, c4)
+	}
+}
+
+func TestPhaseTimers(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		c.Phase("alpha", func() {
+			c.ChargeComputeSeq(1000)
+		})
+		c.Phase("beta", func() {
+			c.ChargeComputeSeq(3000)
+		})
+	})
+	ph := w.Phases()
+	a, b := ph["alpha"], ph["beta"]
+	if a.Modeled <= 0 || b.Modeled <= 0 {
+		t.Fatalf("phases not recorded: %+v", ph)
+	}
+	if b.Modeled <= a.Modeled {
+		t.Fatalf("beta (%.2e) should cost more than alpha (%.2e)", b.Modeled, a.Modeled)
+	}
+}
+
+func TestNestedPhasesDisjoint(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		c.Phase("outer", func() {
+			c.ChargeComputeSeq(1000)
+			c.Phase("inner", func() {
+				c.ChargeComputeSeq(5000)
+			})
+		})
+	})
+	ph := w.Phases()
+	outer, inner := ph["outer"], ph["inner"]
+	if inner.Modeled <= 0 {
+		t.Fatal("inner phase not recorded")
+	}
+	// Outer must exclude inner's time.
+	if outer.Modeled >= inner.Modeled {
+		t.Fatalf("outer %.2e should be smaller than inner %.2e after exclusion", outer.Modeled, inner.Modeled)
+	}
+}
+
+func TestPhaseNamesSorted(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		c.Phase("zz", func() {})
+		c.Phase("aa", func() {})
+	})
+	names := w.PhaseNames()
+	if len(names) != 2 || names[0] != "aa" || names[1] != "zz" {
+		t.Fatalf("PhaseNames = %v", names)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		send := make([][]byte, 4)
+		for i := range send {
+			send[i] = []byte{1, 2, 3}
+		}
+		Alltoall(c, send)
+	})
+	s := w.TotalStats()
+	if s.Collectives != 4 {
+		t.Fatalf("Collectives=%d want 4", s.Collectives)
+	}
+	if s.Bytes <= 0 || s.Messages <= 0 {
+		t.Fatalf("stats not counted: %+v", s)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) { Barrier(c) })
+	w.ResetMetrics()
+	if w.MaxClock() != 0 {
+		t.Fatal("MaxClock not reset")
+	}
+	if s := w.TotalStats(); s.Collectives != 0 {
+		t.Fatal("stats not reset")
+	}
+	// World must remain usable after reset.
+	w.Run(func(c *Comm) { Barrier(c) })
+	if w.MaxClock() <= 0 {
+		t.Fatal("world unusable after ResetMetrics")
+	}
+}
+
+func TestRepeatedRuns(t *testing.T) {
+	w := NewWorld(3)
+	for i := 0; i < 3; i++ {
+		w.Run(func(c *Comm) {
+			v := Allreduce(c, 1, func(a, b int) int { return a + b })
+			if v != 3 {
+				t.Errorf("run %d: allreduce=%d", i, v)
+			}
+		})
+	}
+}
+
+func TestManyCollectivesStress(t *testing.T) {
+	w := NewWorld(8)
+	done := make(chan struct{})
+	go func() {
+		w.Run(func(c *Comm) {
+			for i := 0; i < 200; i++ {
+				x := Allreduce(c, i, func(a, b int) int { return a + b })
+				if x != 8*i {
+					t.Errorf("iteration %d: got %d", i, x)
+					return
+				}
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("collective stress test deadlocked")
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			Barrier(c)
+		}
+	})
+}
+
+func BenchmarkAlltoall16(b *testing.B) {
+	w := NewWorld(16)
+	payload := make([]int, 64)
+	w.Run(func(c *Comm) {
+		send := make([][]int, 16)
+		for i := range send {
+			send[i] = payload
+		}
+		for i := 0; i < b.N; i++ {
+			Alltoall(c, send)
+		}
+	})
+}

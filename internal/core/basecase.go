@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/graph"
+)
+
+// baseCase finishes the MST computation once the global number of vertices
+// fits on one PE (§IV-D, following Adler et al.): vertex labels are
+// remapped to a dense range and replicated, the lightest edge per vertex is
+// found with an allreduce of vector length n′, and the contraction itself
+// is a replicated local computation — edges stay distributed, unsorted.
+// Identified MST edges are appended to mst on the PE that owns the winning
+// edge. When rec is non-nil, every contraction is recorded in the
+// distributed representative array (Filter-Borůvka's P).
+func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Edge, rec *distArray, opt Options) {
+	// Dense remap: gather the distinct live labels. Each PE contributes its
+	// distinct sources, skipping a first run continued from the previous
+	// non-empty PE; the rank-ordered concatenation of sorted chunks is
+	// globally sorted.
+	var local []graph.VID
+	for lo := 0; lo < len(edges); {
+		hi := lo + 1
+		for hi < len(edges) && edges[hi].U == edges[lo].U {
+			hi++
+		}
+		local = append(local, edges[lo].U)
+		lo = hi
+	}
+	if len(local) > 0 {
+		for i := c.Rank() - 1; i >= 0; i-- {
+			if l.Counts[i] > 0 {
+				if l.Last[i].U == local[0] {
+					local = local[1:]
+				}
+				break
+			}
+		}
+	}
+	verts := comm.AllgatherConcat(c, local)
+	n := len(verts)
+	if n == 0 {
+		return
+	}
+	dense := func(v graph.VID) int32 {
+		i := sort.Search(n, func(i int) bool { return verts[i] >= v })
+		return int32(i)
+	}
+
+	// Working copy with dense endpoints packed beside the edge.
+	type dEdge struct {
+		u, v int32
+		e    graph.Edge
+	}
+	work := make([]dEdge, len(edges))
+	for i, e := range edges {
+		work[i] = dEdge{u: dense(e.U), v: dense(e.V), e: e}
+	}
+	c.ChargeCompute(len(edges) * log2ceilInt(n+1))
+
+	// cand is the allreduce element: the lightest known edge into a vertex.
+	type cand struct {
+		W    graph.Weight
+		TB   uint64
+		Dst  int32
+		Rank int32
+		Idx  int32 // index into the winner's local work slice
+	}
+	empty := cand{W: math.MaxUint32, TB: math.MaxUint64}
+	less := func(a, b cand) bool {
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.TB != b.TB {
+			return a.TB < b.TB
+		}
+		return a.Rank < b.Rank // deterministic winner among equal copies
+	}
+
+	parent := make([]int32, n)
+	for round := 0; ; round++ {
+		vec := make([]cand, n)
+		for i := range vec {
+			vec[i] = empty
+		}
+		for i, de := range work {
+			if de.u == de.v {
+				continue
+			}
+			cd := cand{W: de.e.W, TB: de.e.TB, Dst: de.v, Rank: int32(c.Rank()), Idx: int32(i)}
+			if less(cd, vec[de.u]) {
+				vec[de.u] = cd
+			}
+			rd := cand{W: de.e.W, TB: de.e.TB, Dst: de.u, Rank: int32(c.Rank()), Idx: int32(i)}
+			if less(rd, vec[de.v]) {
+				vec[de.v] = rd
+			}
+		}
+		c.ChargeCompute(len(work))
+		global := comm.AllreduceVec(c, vec, func(a, b cand) cand {
+			if less(a, b) {
+				return a
+			}
+			return b
+		})
+
+		// Replicated contraction: identical on every PE.
+		merged := false
+		for i := range parent {
+			parent[i] = int32(i)
+		}
+		for u := 0; u < n; u++ {
+			g := global[u]
+			if g.W == math.MaxUint32 {
+				continue
+			}
+			v := g.Dst
+			// 2-cycle tie-break: mutual minimum keeps the smaller index.
+			gv := global[v]
+			if gv.W != math.MaxUint32 && gv.Dst == int32(u) && gv.TB == g.TB && int32(u) < v {
+				continue // we are the designated root of this 2-cycle
+			}
+			parent[u] = v
+			merged = true
+			// The PE owning the winning copy emits the MST edge.
+			if g.Rank == int32(c.Rank()) {
+				*mst = append(*mst, work[g.Idx].e)
+			}
+		}
+		if !merged {
+			break
+		}
+		// Pointer jumping to roots (replicated, no communication).
+		for i := range parent {
+			r := parent[i]
+			for parent[r] != r {
+				r = parent[r]
+			}
+			for parent[i] != r {
+				parent[i], i = r, int(parent[i])
+			}
+		}
+		c.ChargeCompute(n)
+		if rec != nil {
+			pairs := make([]labelPair, 0, n)
+			for i := 0; i < n; i++ {
+				if parent[i] != int32(i) {
+					pairs = append(pairs, labelPair{V: verts[i], L: verts[parent[i]]})
+				}
+			}
+			rec.record(c, pairs, opt)
+		}
+		// Relabel the local edges and drop self-loops.
+		kept := work[:0]
+		for _, de := range work {
+			de.u = parent[de.u]
+			de.v = parent[de.v]
+			if de.u != de.v {
+				kept = append(kept, de)
+			}
+		}
+		// Indices into work change after compaction; but vec/global are
+		// rebuilt from scratch next round, so no fixup is needed.
+		work = kept
+		c.ChargeCompute(len(work))
+		if round > 64 {
+			panic("core: base case failed to converge")
+		}
+	}
+}
+
+func log2ceilInt(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}

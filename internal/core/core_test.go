@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/gen"
+	"kamsta/internal/graph"
+	"kamsta/internal/seqmst"
+	"kamsta/internal/verify"
+)
+
+// runDistributed builds the spec's graph on a p-PE world with t threads and
+// runs alg on it, returning the global result, the per-rank MST shares, and
+// the full input edge list for oracle comparison.
+func runDistributed(t *testing.T, p, threads int, spec gen.Spec, opt Options,
+	alg func(*comm.Comm, []graph.Edge, *graph.Layout, Options) Result) (Result, [][]graph.Edge, []graph.Edge) {
+	t.Helper()
+	w := comm.NewWorld(p, comm.WithThreads(threads))
+	results := make([]Result, p)
+	shares := make([][]graph.Edge, p)
+	inputs := make([][]graph.Edge, p)
+	w.Run(func(c *comm.Comm) {
+		edges, layout := gen.Build(c, spec, dsort.Options{})
+		inputs[c.Rank()] = edges
+		r := alg(c, edges, layout, opt)
+		results[c.Rank()] = r
+		shares[c.Rank()] = r.MSTEdges
+	})
+	var all []graph.Edge
+	for _, in := range inputs {
+		all = append(all, in...)
+	}
+	for r := 1; r < p; r++ {
+		if results[r].TotalWeight != results[0].TotalWeight || results[r].NumEdges != results[0].NumEdges {
+			t.Fatalf("ranks disagree on the result: rank %d (%d,%d) vs rank 0 (%d,%d)",
+				r, results[r].TotalWeight, results[r].NumEdges, results[0].TotalWeight, results[0].NumEdges)
+		}
+	}
+	return results[0], shares, all
+}
+
+// oracle computes the reference MSF with sequential Kruskal.
+func oracle(all []graph.Edge) seqmst.Result {
+	und := seqmst.UndirectedFromDirected(all)
+	maxV := graph.VID(0)
+	for _, e := range und {
+		if e.U > maxV {
+			maxV = e.U
+		}
+		if e.V > maxV {
+			maxV = e.V
+		}
+	}
+	return seqmst.Kruskal(int(maxV), und)
+}
+
+// checkAgainstOracle verifies weight, count and edge-set identity (weights
+// are globally distinct, so the MSF is unique).
+func checkAgainstOracle(t *testing.T, label string, res Result, shares [][]graph.Edge, all []graph.Edge) {
+	t.Helper()
+	want := oracle(all)
+	if res.TotalWeight != want.TotalWeight {
+		t.Fatalf("%s: weight %d want %d", label, res.TotalWeight, want.TotalWeight)
+	}
+	if res.NumEdges != len(want.Edges) {
+		t.Fatalf("%s: %d MSF edges want %d", label, res.NumEdges, len(want.Edges))
+	}
+	wantTB := map[uint64]bool{}
+	for _, e := range want.Edges {
+		wantTB[e.TB] = true
+	}
+	seen := map[uint64]bool{}
+	for rank, sh := range shares {
+		for _, e := range sh {
+			if !wantTB[e.TB] {
+				t.Fatalf("%s: rank %d emitted non-MST edge %v", label, rank, e)
+			}
+			if seen[e.TB] {
+				t.Fatalf("%s: MST edge %v emitted twice", label, e)
+			}
+			seen[e.TB] = true
+		}
+	}
+	if len(seen) != len(want.Edges) {
+		t.Fatalf("%s: %d distinct MSF edges collected, want %d", label, len(seen), len(want.Edges))
+	}
+	// Defense in depth: the independent verifier (forest + spanning +
+	// cycle property) must also accept the distributed result.
+	var claimed []graph.Edge
+	for _, sh := range shares {
+		claimed = append(claimed, sh...)
+	}
+	und := seqmst.UndirectedFromDirected(all)
+	if msg := verify.MSF(und, claimed); msg != "" {
+		t.Fatalf("%s: verifier rejected the distributed MSF: %s", label, msg)
+	}
+}
+
+func testSpecs() []gen.Spec {
+	return []gen.Spec{
+		{Family: gen.Grid2D, N: 120, Seed: 1},
+		{Family: gen.RGG2D, N: 150, M: 700, Seed: 2},
+		{Family: gen.GNM, N: 130, M: 500, Seed: 3},
+		{Family: gen.RMAT, N: 128, M: 500, Seed: 4},
+		{Family: gen.RHG, N: 150, M: 600, Seed: 5},
+	}
+}
+
+func TestBoruvkaMatchesKruskalAcrossFamilies(t *testing.T) {
+	for _, spec := range testSpecs() {
+		for _, p := range []int{1, 2, 4, 7} {
+			opt := Options{LocalPreprocessing: true, LocalFilter: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+			res, shares, all := runDistributed(t, p, 1, spec, opt, Boruvka)
+			checkAgainstOracle(t, spec.Label(), res, shares, all)
+		}
+	}
+}
+
+func TestFilterBoruvkaMatchesKruskalAcrossFamilies(t *testing.T) {
+	for _, spec := range testSpecs() {
+		for _, p := range []int{1, 2, 4, 7} {
+			opt := Options{LocalPreprocessing: true, LocalFilter: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16,
+				Filter: FilterOptions{MinEdgesPerPE: 32, MergeBackFraction: 0.25}}
+			res, shares, all := runDistributed(t, p, 1, spec, opt, FilterBoruvka)
+			checkAgainstOracle(t, spec.Label(), res, shares, all)
+		}
+	}
+}
+
+func TestBoruvkaOptionMatrix(t *testing.T) {
+	spec := gen.Spec{Family: gen.GNM, N: 200, M: 900, Seed: 7}
+	for _, pre := range []bool{false, true} {
+		for _, dedup := range []bool{false, true} {
+			for _, threads := range []int{1, 4} {
+				opt := Options{LocalPreprocessing: pre, DedupParallel: dedup, HashDedup: pre, BaseCaseCap: 16}
+				res, shares, all := runDistributed(t, 4, threads, spec, opt, Boruvka)
+				label := spec.Label()
+				checkAgainstOracle(t, label, res, shares, all)
+			}
+		}
+	}
+}
+
+func TestBoruvkaGridHighLocality(t *testing.T) {
+	// Grid graphs exercise the preprocessing path heavily: most edges are
+	// local, so nearly everything contracts before the distributed rounds.
+	spec := gen.Spec{Family: gen.Grid2D, N: 400, Seed: 11}
+	opt := Options{LocalPreprocessing: true, LocalFilter: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+	res, shares, all := runDistributed(t, 4, 2, spec, opt, Boruvka)
+	checkAgainstOracle(t, spec.Label(), res, shares, all)
+}
+
+func TestBoruvkaLargeBaseCaseShortCircuit(t *testing.T) {
+	// With a huge base-case threshold the whole computation happens in the
+	// replicated base case — exercising it as a standalone algorithm.
+	spec := gen.Spec{Family: gen.GNM, N: 150, M: 600, Seed: 13}
+	opt := Options{BaseCaseCap: 1 << 20}
+	res, shares, all := runDistributed(t, 4, 1, spec, opt, Boruvka)
+	if res.Rounds != 0 {
+		t.Fatalf("expected no distributed rounds, got %d", res.Rounds)
+	}
+	checkAgainstOracle(t, spec.Label(), res, shares, all)
+}
+
+func TestBoruvkaTinyBaseCaseManyRounds(t *testing.T) {
+	// A tiny threshold forces many distributed rounds.
+	spec := gen.Spec{Family: gen.GNM, N: 300, M: 1200, Seed: 17}
+	opt := Options{BaseCaseCap: 1, DedupParallel: true}
+	res, shares, all := runDistributed(t, 4, 1, spec, opt, Boruvka)
+	if res.Rounds == 0 {
+		t.Fatal("expected several distributed rounds")
+	}
+	checkAgainstOracle(t, spec.Label(), res, shares, all)
+}
+
+func TestDisconnectedMSF(t *testing.T) {
+	// A graph of several grid components (disconnect by building a small
+	// grid: the generator yields one component, so use GNM sparse enough to
+	// be disconnected).
+	spec := gen.Spec{Family: gen.GNM, N: 400, M: 300, Seed: 19} // m < n → many components
+	opt := Options{LocalPreprocessing: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+	for _, alg := range []func(*comm.Comm, []graph.Edge, *graph.Layout, Options) Result{Boruvka, FilterBoruvka} {
+		res, shares, all := runDistributed(t, 4, 1, spec, opt, alg)
+		checkAgainstOracle(t, spec.Label(), res, shares, all)
+	}
+}
+
+func TestSingleEdgeGraph(t *testing.T) {
+	// Smallest nontrivial input: one undirected edge on a 3-PE world.
+	w := comm.NewWorld(3)
+	weights := make([]uint64, 3)
+	w.Run(func(c *comm.Comm) {
+		var raw []graph.Edge
+		if c.Rank() == 0 {
+			e := graph.NewEdge(1, 2, 5)
+			raw = []graph.Edge{e, graph.Edge{U: 2, V: 1, W: 5, TB: e.TB}}
+		}
+		edges, layout := gen.Finish(c, raw, dsort.Options{})
+		r := Boruvka(c, edges, layout, Options{})
+		weights[c.Rank()] = r.TotalWeight
+	})
+	for rank, w := range weights {
+		if w != 5 {
+			t.Fatalf("rank %d: weight %d want 5", rank, w)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	w := comm.NewWorld(3)
+	w.Run(func(c *comm.Comm) {
+		edges, layout := gen.Finish(c, nil, dsort.Options{})
+		r := Boruvka(c, edges, layout, Options{})
+		if r.TotalWeight != 0 || r.NumEdges != 0 {
+			t.Errorf("empty graph gave %+v", r)
+		}
+		rf := FilterBoruvka(c, edges, layout, Options{})
+		if rf.TotalWeight != 0 || rf.NumEdges != 0 {
+			t.Errorf("empty graph (filter) gave %+v", rf)
+		}
+	})
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	spec := gen.Spec{Family: gen.RMAT, N: 256, M: 1000, Seed: 23}
+	opt := Options{LocalPreprocessing: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+	a, sharesA, _ := runDistributed(t, 4, 2, spec, opt, Boruvka)
+	b, sharesB, _ := runDistributed(t, 4, 2, spec, opt, Boruvka)
+	if a.TotalWeight != b.TotalWeight || a.NumEdges != b.NumEdges {
+		t.Fatal("nondeterministic global result")
+	}
+	for r := range sharesA {
+		if len(sharesA[r]) != len(sharesB[r]) {
+			t.Fatalf("rank %d: nondeterministic share size", r)
+		}
+		for i := range sharesA[r] {
+			if sharesA[r][i] != sharesB[r][i] {
+				t.Fatalf("rank %d: nondeterministic edge %d", r, i)
+			}
+		}
+	}
+}
+
+func TestResultIndependentOfWorldSize(t *testing.T) {
+	spec := gen.Spec{Family: gen.RGG2D, N: 200, M: 900, Seed: 29}
+	opt := Options{LocalPreprocessing: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+	ref, _, _ := runDistributed(t, 1, 1, spec, opt, Boruvka)
+	for _, p := range []int{2, 3, 5, 8} {
+		got, _, _ := runDistributed(t, p, 1, spec, opt, Boruvka)
+		if got.TotalWeight != ref.TotalWeight || got.NumEdges != ref.NumEdges {
+			t.Fatalf("p=%d: (%d,%d) differs from p=1 (%d,%d)",
+				p, got.TotalWeight, got.NumEdges, ref.TotalWeight, ref.NumEdges)
+		}
+	}
+}
+
+func TestFilterAgreesWithPlainBoruvka(t *testing.T) {
+	for _, spec := range testSpecs() {
+		optB := Options{LocalPreprocessing: true, HashDedup: true, DedupParallel: true, BaseCaseCap: 16}
+		optF := optB
+		optF.Filter = FilterOptions{MinEdgesPerPE: 32}
+		b, _, _ := runDistributed(t, 4, 1, spec, optB, Boruvka)
+		f, _, _ := runDistributed(t, 4, 1, spec, optF, FilterBoruvka)
+		if b.TotalWeight != f.TotalWeight || b.NumEdges != f.NumEdges {
+			t.Fatalf("%s: boruvka (%d,%d) vs filterBoruvka (%d,%d)",
+				spec.Label(), b.TotalWeight, b.NumEdges, f.TotalWeight, f.NumEdges)
+		}
+	}
+}
+
+func TestFilterRecursionActuallyPartitions(t *testing.T) {
+	// On a dense graph with a small MinEdgesPerPE the recursion must
+	// perform several base calls.
+	spec := gen.Spec{Family: gen.GNM, N: 300, M: 4000, Seed: 31}
+	opt := Options{BaseCaseCap: 16, DedupParallel: true,
+		Filter: FilterOptions{MinEdgesPerPE: 64, SparseAvgDegree: 4, MergeBackFraction: 0.01}}
+	res, shares, all := runDistributed(t, 4, 1, spec, opt, FilterBoruvka)
+	if res.BaseCalls < 2 {
+		t.Fatalf("expected a real recursion, got %d base calls", res.BaseCalls)
+	}
+	checkAgainstOracle(t, spec.Label(), res, shares, all)
+}
+
+func TestFilterWorkLinearOnDenseGraph(t *testing.T) {
+	// Theorem 1: Filter-Borůvka does O(m) work. Plain Borůvka touches all
+	// m edges every round (log n rounds); the filter variant must touch
+	// asymptotically fewer edge-units on dense inputs. We compare the
+	// edge-touch counters on a dense GNM.
+	spec := gen.Spec{Family: gen.GNM, N: 200, M: 6000, Seed: 37}
+	optB := Options{BaseCaseCap: 1, DedupParallel: false}
+	optF := optB
+	optF.Filter = FilterOptions{MinEdgesPerPE: 64, SparseAvgDegree: 4, MergeBackFraction: 0.01}
+	b, _, _ := runDistributed(t, 4, 1, spec, optB, Boruvka)
+	f, _, _ := runDistributed(t, 4, 1, spec, optF, FilterBoruvka)
+	if f.EdgesTouched >= b.EdgesTouched {
+		t.Fatalf("filtering should reduce touched edges: filter=%d plain=%d", f.EdgesTouched, b.EdgesTouched)
+	}
+}
+
+func TestPhaseTimesRecorded(t *testing.T) {
+	spec := gen.Spec{Family: gen.GNM, N: 200, M: 800, Seed: 41}
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		edges, layout := gen.Build(c, spec, dsort.Options{})
+		Boruvka(c, edges, layout, Options{BaseCaseCap: 16, DedupParallel: true})
+	})
+	ph := w.Phases()
+	for _, name := range []string{PhaseMinEdges, PhaseContract, PhaseLabels, PhaseRedistribute, PhaseBaseCase} {
+		if ph[name].Modeled <= 0 {
+			t.Fatalf("phase %q not recorded: %+v", name, ph)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"sort"
+
+	"kamsta/internal/alltoall"
+	"kamsta/internal/comm"
+	"kamsta/internal/graph"
+	"kamsta/internal/par"
+	"kamsta/internal/rng"
+)
+
+// distArray is Filter-Borůvka's distributed component-representative array
+// P (§V): conceptually P[v] holds a representative for every vertex label,
+// 1D-partitioned over the PEs by label range. Only non-identity entries are
+// stored. Contractions recorded over time form shallow trees; resolve
+// follows them to the roots with batched query rounds (the paper contracts
+// them with O(log log n) pointer-doubling rounds at the end — we resolve on
+// demand at each filter step, which needs the same machinery).
+type distArray struct {
+	n  uint64 // label space is [1, n]
+	m  map[graph.VID]graph.VID
+	lo uint64 // owned label range [lo, hi)
+	hi uint64
+}
+
+// newDistArray creates P over the label space [1, maxLabel], identity
+// everywhere.
+func newDistArray(c *comm.Comm, maxLabel uint64) *distArray {
+	p := uint64(c.P())
+	r := uint64(c.Rank())
+	n := maxLabel + 1
+	return &distArray{
+		n:  n,
+		m:  make(map[graph.VID]graph.VID),
+		lo: r * n / p,
+		hi: (r + 1) * n / p,
+	}
+}
+
+// owner returns the PE owning label v.
+func (d *distArray) owner(c *comm.Comm, v graph.VID) int {
+	p := uint64(c.P())
+	j := v * p / d.n
+	for j+1 < p && v >= (j+1)*d.n/p {
+		j++
+	}
+	for j > 0 && v < j*d.n/p {
+		j--
+	}
+	return int(j)
+}
+
+// record pushes contraction pairs (v → root) to their owners. Collective:
+// all PEs must call together (with possibly empty pair sets).
+func (d *distArray) record(c *comm.Comm, pairs []labelPair, opt Options) {
+	send := make([][]labelPair, c.P())
+	for _, lp := range pairs {
+		o := d.owner(c, lp.V)
+		send[o] = append(send[o], lp)
+	}
+	recv := alltoall.Exchange(c, opt.A2A, send)
+	for i := range recv {
+		for _, lp := range recv[i] {
+			d.m[lp.V] = lp.L
+		}
+	}
+}
+
+// resolve returns the fully-resolved representative for every queried
+// label, following chains across PEs in batched rounds. Collective.
+func (d *distArray) resolve(c *comm.Comm, vs []graph.VID, opt Options) map[graph.VID]graph.VID {
+	r := make(map[graph.VID]graph.VID, len(vs))
+	done := make(map[graph.VID]bool, len(vs))
+	for _, v := range vs {
+		r[v] = v
+	}
+	for iter := 0; ; iter++ {
+		// Distinct pending targets.
+		targetSet := make(map[graph.VID]struct{})
+		for v, cur := range r {
+			if !done[v] {
+				targetSet[cur] = struct{}{}
+			}
+		}
+		send := make([][]graph.VID, c.P())
+		for t := range targetSet {
+			o := d.owner(c, t)
+			send[o] = append(send[o], t)
+		}
+		recvQ := alltoall.Exchange(c, opt.A2A, send)
+		sendR := make([][]labelPair, c.P())
+		for from := range recvQ {
+			for _, t := range recvQ[from] {
+				next, ok := d.m[t]
+				if !ok {
+					next = t
+				}
+				sendR[from] = append(sendR[from], labelPair{V: t, L: next})
+			}
+		}
+		recvR := alltoall.Exchange(c, opt.A2A, sendR)
+		ans := make(map[graph.VID]graph.VID, len(targetSet))
+		for i := range recvR {
+			for _, lp := range recvR[i] {
+				ans[lp.V] = lp.L
+			}
+		}
+		progress := false
+		for v, cur := range r {
+			if done[v] {
+				continue
+			}
+			next := ans[cur]
+			if next == cur {
+				done[v] = true
+			} else {
+				r[v] = next
+				progress = true
+			}
+		}
+		if !comm.Allreduce(c, progress, func(a, b bool) bool { return a || b }) {
+			break
+		}
+		if iter > 128 {
+			panic("core: distributed array resolution failed to converge")
+		}
+	}
+	return r
+}
+
+// segment is one pending edge set of the Filter-Borůvka recursion.
+type segment struct {
+	edges       []graph.Edge
+	needsFilter bool // must be filtered through P before processing
+}
+
+// FilterBoruvka computes the minimum spanning forest with Algorithm 2: one
+// local preprocessing pass, then the Filter-Kruskal-style recursion —
+// partition at a sampled median pivot, solve the light half with the
+// distributed Borůvka base algorithm (recording contractions in P), filter
+// the heavy half through P, recurse on the survivors. The recursion is
+// realized with an explicit segment stack processed in weight order, which
+// also hosts the §VI-C merge-back rule for poorly-filtered segments.
+func FilterBoruvka(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Options) Result {
+	opt = opt.withDefaults()
+	pool := par.NewPool(c.Threads())
+	in := makeInputCopy(c, edges)
+
+	maxLabel := uint64(0)
+	for _, e := range edges {
+		if e.U > maxLabel {
+			maxLabel = e.U
+		}
+	}
+	maxLabel = comm.Allreduce(c, maxLabel, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	P := newDistArray(c, maxLabel)
+
+	var mst []graph.Edge
+	res := Result{}
+	work, l := edges, layout
+
+	if opt.LocalPreprocessing {
+		c.PhaseBegin(PhasePreprocess)
+		work, l = localPreprocess(c, work, l, pool, opt, &mst, P)
+		c.PhaseEnd()
+	}
+
+	stack := []segment{{edges: work}}
+	first := true
+	for len(stack) > 0 {
+		seg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		var segLayout *graph.Layout
+		if seg.needsFilter {
+			c.PhaseBegin(PhaseFilter)
+			seg.edges, segLayout = filterSegment(c, seg.edges, P, pool, opt)
+			m := comm.Allreduce(c, len(seg.edges), func(a, b int) int { return a + b })
+			c.PhaseEnd()
+			// Merge-back (§VI-C): a segment that came out too small is not
+			// worth full processing; fold it into the next pending segment.
+			if m < int(opt.Filter.MergeBackFraction*float64(opt.Filter.MinEdgesPerPE*c.P()))+1 && len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				top.edges = append(top.edges, seg.edges...)
+				top.needsFilter = true
+				continue
+			}
+		} else if first {
+			segLayout, first = l, false
+		} else {
+			seg.edges = dedupedLayout(c, seg.edges, opt)
+			segLayout = graph.BuildLayout(c, seg.edges)
+		}
+
+		verifySymmetric(c, seg.edges, "segment-entry")
+		m := comm.Allreduce(c, len(seg.edges), func(a, b int) int { return a + b })
+		n := graph.GlobalVertexCount(c, segLayout, seg.edges)
+		res.EdgesTouched += len(seg.edges)
+
+		sparse := m <= int(opt.Filter.SparseAvgDegree*float64(n)) ||
+			m < opt.Filter.MinEdgesPerPE*c.P()
+		if sparse {
+			// Distributed Borůvka base (no preprocessing, no per-call MST
+			// redistribution), recording contractions in P.
+			w, wl := seg.edges, segLayout
+			r, t, vc := distributedRounds(c, &w, &wl, pool, opt, &mst, P)
+			res.VertexCounts = append(res.VertexCounts, vc...)
+			res.Rounds += r
+			res.EdgesTouched += t
+			c.PhaseBegin(PhaseBaseCase)
+			baseCase(c, w, wl, &mst, P, opt)
+			c.PhaseEnd()
+			res.BaseCalls++
+			continue
+		}
+
+		c.PhaseBegin(PhaseFilter)
+		pivot, ok := pivotSelect(c, seg.edges, opt)
+		var light, heavy []graph.Edge
+		if ok {
+			light, heavy = partitionAtPivot(seg.edges, pivot, pool)
+			c.ChargeCompute(len(seg.edges))
+		}
+		heavyM := comm.Allreduce(c, len(heavy), func(a, b int) int { return a + b })
+		c.PhaseEnd()
+		if !ok || heavyM == 0 {
+			// Degenerate pivot: no split possible; solve directly.
+			w, wl := seg.edges, segLayout
+			r, t, vc := distributedRounds(c, &w, &wl, pool, opt, &mst, P)
+			res.VertexCounts = append(res.VertexCounts, vc...)
+			res.Rounds += r
+			res.EdgesTouched += t
+			c.PhaseBegin(PhaseBaseCase)
+			baseCase(c, w, wl, &mst, P, opt)
+			c.PhaseEnd()
+			res.BaseCalls++
+			continue
+		}
+		// Heavy first onto the stack so the light half is processed first.
+		stack = append(stack, segment{edges: heavy, needsFilter: true})
+		stack = append(stack, segment{edges: light})
+	}
+
+	c.PhaseBegin(PhaseBaseCase)
+	out := redistributeMST(c, mst, in, opt)
+	c.PhaseEnd()
+	res.MSTEdges = out
+	res.TotalWeight, res.NumEdges = globalWeight(c, out)
+	return res
+}
+
+// dedupedLayout prepares an unfiltered light segment: it is already a
+// sorted subsequence per PE; parallel copies may remain from its parent and
+// are reduced here when enabled.
+func dedupedLayout(c *comm.Comm, edges []graph.Edge, opt Options) []graph.Edge {
+	if opt.DedupParallel {
+		return dedupSorted(c, edges)
+	}
+	return edges
+}
+
+// pivotSelect draws SamplesPerPE random edges per PE, gathers them, and
+// returns the median under the unique weight order (§V: the paper sorts
+// the sample with a distributed sorter and broadcasts the median — a
+// gathered sample yields the identical pivot). ok is false when the
+// segment is globally empty.
+func pivotSelect(c *comm.Comm, edges []graph.Edge, opt Options) (graph.Edge, bool) {
+	r := rng.New(opt.Seed ^ 0xF117).Split(uint64(c.Rank()))
+	samples := make([]graph.Edge, 0, opt.Filter.SamplesPerPE)
+	for i := 0; i < opt.Filter.SamplesPerPE && len(edges) > 0; i++ {
+		samples = append(samples, edges[r.Intn(len(edges))])
+	}
+	all := comm.AllgatherConcat(c, samples)
+	if len(all) == 0 {
+		return graph.Edge{}, false
+	}
+	sort.Slice(all, func(i, j int) bool { return graph.LessWeight(all[i], all[j]) })
+	return all[len(all)/2], true
+}
+
+// weightClassLess orders edges by (W, TB) only — a strict total order on
+// logical undirected edges under which an edge and its back edge compare
+// equal. The partition MUST use this order: the finer LessWeight breaks
+// ties by current endpoint and ID, which would send the two directed
+// copies of the pivot's own weight class to different sides and destroy
+// the symmetric-representation invariant.
+func weightClassLess(a, b graph.Edge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	return a.TB < b.TB
+}
+
+// partitionAtPivot splits edges into (≤ pivot, > pivot) under the weight-
+// class order, preserving local sortedness (stable filters of a sorted
+// sequence stay sorted). Both directed copies of an edge share the weight
+// class, so the symmetric invariant is preserved on both sides.
+func partitionAtPivot(edges []graph.Edge, pivot graph.Edge, pool *par.Pool) (light, heavy []graph.Edge) {
+	light = par.Filter(pool, edges, func(e graph.Edge) bool { return !weightClassLess(pivot, e) })
+	heavy = par.Filter(pool, edges, func(e graph.Edge) bool { return weightClassLess(pivot, e) })
+	return light, heavy
+}
+
+// filterSegment implements FILTER (§V): resolve every endpoint through P,
+// drop intra-component edges (now self-loops), and redistribute the
+// survivors into a fresh sorted, deduplicated, balanced distribution.
+func filterSegment(c *comm.Comm, edges []graph.Edge, P *distArray,
+	pool *par.Pool, opt Options) ([]graph.Edge, *graph.Layout) {
+
+	distinct := make(map[graph.VID]struct{}, len(edges))
+	for _, e := range edges {
+		distinct[e.U] = struct{}{}
+		distinct[e.V] = struct{}{}
+	}
+	vs := make([]graph.VID, 0, len(distinct))
+	for v := range distinct {
+		vs = append(vs, v)
+	}
+	reps := P.resolve(c, vs, opt)
+	out := par.Map(pool, edges, func(e graph.Edge) graph.Edge {
+		e.U = reps[e.U]
+		e.V = reps[e.V]
+		return e
+	})
+	out = par.Filter(pool, out, func(e graph.Edge) bool { return e.U != e.V })
+	c.ChargeCompute(len(edges))
+	return redistribute(c, out, opt)
+}

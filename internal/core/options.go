@@ -1,0 +1,133 @@
+// Package core implements the paper's primary contribution: the scalable
+// distributed-memory Borůvka MST algorithm (Algorithm 1) and the
+// Filter-Borůvka algorithm (Algorithm 2), over the simulated machine of
+// internal/comm.
+//
+// The distributed graph follows §II-B: a lexicographically sorted, 1D
+// partitioned sequence of directed edges with a replicated minlex array
+// (graph.Layout). One Borůvka round (§IV) finds each local vertex's
+// lightest incident edge, contracts the induced pseudo-trees by pointer
+// doubling over sparse all-to-alls (shared vertices act as component roots
+// and never require communication), exchanges new labels for ghost
+// vertices, relabels, and redistributes the contracted graph with a
+// distributed sort. A replicated-vertex base case (§IV-D, Adler et al.)
+// finishes when few vertices remain. Filter-Borůvka wraps this in the
+// Filter-Kruskal recursion (§V) using a distributed component-representative
+// array P.
+package core
+
+import (
+	"kamsta/internal/alltoall"
+	"kamsta/internal/dsort"
+)
+
+// Options configures the distributed MST algorithms. The zero value gives
+// the paper's defaults scaled to the simulator.
+type Options struct {
+	// A2A is the sparse all-to-all strategy for label exchange and pointer
+	// doubling (default Auto: direct for large, two-level grid for small
+	// messages, §VI-A).
+	A2A alltoall.Strategy
+	// Sort configures the distributed sorter used by REDISTRIBUTE.
+	Sort dsort.Options
+	// BaseCaseCap: the distributed rounds stop when the global number of
+	// vertices is at most max(2·p, BaseCaseCap) (§VI-C; the paper uses
+	// 35000 — scaled down here by default to keep simulator runs quick).
+	BaseCaseCap int
+	// LocalPreprocessing enables the §IV-A contraction of provably-local
+	// MST edges before the distributed rounds.
+	LocalPreprocessing bool
+	// PreprocessMinLocalFrac skips preprocessing when the global fraction
+	// of local edges is below this threshold (the paper uses 0.10,
+	// skipping when cut edges exceed 90%).
+	PreprocessMinLocalFrac float64
+	// LocalFilter applies the recursive edge-filtering enhancement inside
+	// local preprocessing (§VI-B).
+	LocalFilter bool
+	// HashDedup uses the hash-table parallel-edge removal in local
+	// preprocessing (§VI-B).
+	HashDedup bool
+	// DedupParallel removes parallel edges during REDISTRIBUTE (keeping
+	// the lightest); the paper notes this is optional for correctness.
+	DedupParallel bool
+	// Filter configures Filter-Borůvka's recursion (ignored by Boruvka).
+	Filter FilterOptions
+	// Seed drives pivot sampling and sorter sampling.
+	Seed uint64
+}
+
+// FilterOptions tunes the Filter-Borůvka recursion (§V, §VI-C).
+type FilterOptions struct {
+	// SparseAvgDegree stops the recursion when directed edges per vertex
+	// fall to this value or below (paper: 4).
+	SparseAvgDegree float64
+	// MinEdgesPerPE stops partitioning when the graph has fewer than this
+	// many directed edges per PE (paper: 1000).
+	MinEdgesPerPE int
+	// SamplesPerPE is the pivot sample size per PE.
+	SamplesPerPE int
+	// MergeBackFraction: if a filtered segment retains fewer than this
+	// fraction of MinEdgesPerPE·p edges, it is merged into the next
+	// pending segment instead of being processed alone (§VI-C merge-back).
+	MergeBackFraction float64
+}
+
+// withDefaults fills in unset fields.
+func (o Options) withDefaults() Options {
+	if o.BaseCaseCap <= 0 {
+		o.BaseCaseCap = 2048
+	}
+	if o.PreprocessMinLocalFrac == 0 {
+		o.PreprocessMinLocalFrac = 0.10
+	}
+	if o.A2A == 0 {
+		o.A2A = alltoall.Auto
+	}
+	if o.Filter.SparseAvgDegree == 0 {
+		o.Filter.SparseAvgDegree = 4
+	}
+	if o.Filter.MinEdgesPerPE == 0 {
+		o.Filter.MinEdgesPerPE = 1000
+	}
+	if o.Filter.SamplesPerPE == 0 {
+		o.Filter.SamplesPerPE = 16
+	}
+	if o.Filter.MergeBackFraction == 0 {
+		o.Filter.MergeBackFraction = 0.25
+	}
+	if o.Sort.Seed == 0 {
+		o.Sort.Seed = o.Seed ^ 0x50F7
+	}
+	return o
+}
+
+// DefaultOptions returns the paper's default configuration (local
+// preprocessing on, hash dedup on, auto all-to-all).
+func DefaultOptions() Options {
+	return Options{
+		LocalPreprocessing: true,
+		LocalFilter:        true,
+		HashDedup:          true,
+		DedupParallel:      true,
+	}.withDefaults()
+}
+
+// Phase names as reported in the paper's running-time breakdown (Fig. 6).
+const (
+	PhasePreprocess   = "localPreprocessing"
+	PhaseMinEdges     = "graphSetup+minEdges"
+	PhaseContract     = "contractComponents"
+	PhaseLabels       = "exchangeLabels+relabel"
+	PhaseRedistribute = "redistribute"
+	PhaseBaseCase     = "basecase+redistributeMST"
+	PhaseFilter       = "partition+filter"
+	PhaseMisc         = "misc"
+)
+
+// PhaseNames lists the Fig. 6 phases in presentation order.
+func PhaseNames() []string {
+	return []string{
+		PhasePreprocess, PhaseMinEdges, PhaseContract, PhaseLabels,
+		PhaseRedistribute, PhaseBaseCase, PhaseFilter, PhaseMisc,
+	}
+}

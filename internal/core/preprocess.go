@@ -1,0 +1,97 @@
+package core
+
+import (
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/graph"
+	"kamsta/internal/localmst"
+	"kamsta/internal/par"
+)
+
+// localPreprocess implements LOCALPREPROCESSING (§IV-A): contract edges
+// that are provably MST edges using only local information — a vertex
+// contracts only along a local edge that is its component's lightest
+// incident edge overall. Afterwards ghost labels are exchanged, edges are
+// relabeled and the global sort order is re-established. Since only local
+// edges were contracted, a local re-sort almost suffices; only the ranges
+// of shared vertices can break global order across a boundary, in which
+// case we fall back to the distributed sorter (the paper resorts those
+// short cross-PE subsequences directly — same outcome).
+//
+// When the global fraction of local edges is below
+// opt.PreprocessMinLocalFrac the step is skipped entirely (§VI-B: the paper
+// skips after a quick check when cut edges exceed 90%).
+func localPreprocess(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
+	pool *par.Pool, opt Options, mst *[]graph.Edge, rec *distArray) ([]graph.Edge, *graph.Layout) {
+
+	isLocal := func(v graph.VID) bool {
+		// A vertex is contractible here iff its whole neighborhood is on
+		// this PE: it appears as a source here and is not shared.
+		first, last := l.SharedSpan(v)
+		return first == last && first == c.Rank()
+	}
+	// Quick check: count local edges (both endpoints contractible).
+	localCnt := 0
+	for _, e := range edges {
+		if isLocal(e.U) && isLocal(e.V) {
+			localCnt++
+		}
+	}
+	type frac struct{ Local, Total int }
+	tot := comm.Allreduce(c, frac{localCnt, len(edges)}, func(a, b frac) frac {
+		return frac{a.Local + b.Local, a.Total + b.Total}
+	})
+	c.ChargeCompute(len(edges))
+	if tot.Total == 0 || float64(tot.Local)/float64(tot.Total) < opt.PreprocessMinLocalFrac {
+		return edges, l
+	}
+
+	res := localmst.Run(edges, isLocal, localmst.Config{
+		Pool:      pool,
+		Filter:    opt.LocalFilter,
+		HashDedup: opt.HashDedup,
+	})
+	*mst = append(*mst, res.MSTEdges...)
+	// Charge the contraction's actual edge touches (rounds compact the
+	// edge set, so this is far below m·rounds).
+	c.ChargeCompute(res.Work)
+
+	// Strip identity labels — only contracted vertices need broadcasting.
+	labels := make(map[graph.VID]graph.VID, len(res.Labels))
+	for v, lbl := range res.Labels {
+		if v != lbl {
+			labels[v] = lbl
+		}
+	}
+	if rec != nil {
+		pairs := make([]labelPair, 0, len(labels))
+		for v, lbl := range labels {
+			pairs = append(pairs, labelPair{V: v, L: lbl})
+		}
+		rec.record(c, pairs, opt)
+	}
+
+	// Ghost updates: my surviving edges already carry my new source labels,
+	// but other PEs' edges pointing at my contracted vertices do not. Push
+	// labels along cut edges as in §IV-B; note the push must use the
+	// ORIGINAL edges (whose reverse copies still exist at the receivers).
+	ghost := exchangeLabels(c, edges, l, labels, opt)
+	work := relabel(c, res.Remaining, l, nil, ghost, pool, false)
+
+	// Re-establish the sorted distributed sequence.
+	localSortEdges(work)
+	c.ChargeCompute(len(work) * log2ceilInt(len(work)+1))
+	if dsort.IsGloballySorted(c, work, graph.LessLex) {
+		if opt.DedupParallel {
+			work = dedupSorted(c, work)
+		}
+		return work, graph.BuildLayout(c, work)
+	}
+	return redistribute(c, work, opt)
+}
+
+// localSortEdges sorts a local edge slice lexicographically in place.
+func localSortEdges(edges []graph.Edge) {
+	// insertion-friendly wrapper over the stdlib sort
+	sortSlice(edges)
+}

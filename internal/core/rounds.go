@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kamsta/internal/alltoall"
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/graph"
+	"kamsta/internal/par"
+)
+
+// minEdge pairs a local vertex with its lightest incident edge's index in
+// the local edge slice.
+type minEdge struct {
+	v   graph.VID
+	idx int
+}
+
+// minEdges finds, for every non-shared local vertex, the lightest incident
+// edge (§IV, MINEDGES). Shared vertices are skipped — they become component
+// roots and are contracted only in the base case. Because the edge sequence
+// is symmetric and sorted, a non-shared vertex's full neighborhood is its
+// contiguous source range, so this is a communication-free segmented min.
+func minEdges(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) []minEdge {
+	ranges := graph.LocalRanges(edges)
+	out := make([]minEdge, len(ranges))
+	pool.For(len(ranges), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			r := ranges[k]
+			if l.IsSharedOn(r.V, c.Rank()) {
+				out[k] = minEdge{v: r.V, idx: -1}
+				continue
+			}
+			best := r.Lo
+			for i := r.Lo + 1; i < r.Hi; i++ {
+				if graph.LessWeight(edges[i], edges[best]) {
+					best = i
+				}
+			}
+			out[k] = minEdge{v: r.V, idx: best}
+		}
+	})
+	c.ChargeCompute(len(edges))
+	// Compact away the shared vertices.
+	kept := out[:0]
+	for _, me := range out {
+		if me.idx >= 0 {
+			kept = append(kept, me)
+		}
+	}
+	return kept
+}
+
+// parentEntry is the pointer-doubling state of one local vertex.
+type parentEntry struct {
+	cur  graph.VID // current pointer along the tree
+	done bool      // cur is the component root
+}
+
+// labelPair carries a vertex → label assignment between PEs.
+type labelPair struct {
+	V, L graph.VID
+}
+
+// contractComponents converts the pseudo-trees induced by the minimum edges
+// into rooted stars by distributed pointer doubling (§IV-B) and returns the
+// component root label of every non-shared local vertex, appending the
+// identified MST edges to mst. Shared vertices are declared roots, which
+// both breaks pseudo-tree 2-cycles touching them and eliminates the
+// contention the paper observes at high-degree vertices: a pointer to a
+// shared vertex is resolved locally from the replicated layout, with no
+// message to its (hot) home PE.
+func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins []minEdge,
+	opt Options, mst *[]graph.Edge) map[graph.VID]graph.VID {
+
+	p := c.P()
+	// Local parent table for this PE's non-shared vertices.
+	parent := make(map[graph.VID]*parentEntry, len(mins))
+	emit := make(map[graph.VID]int, len(mins)) // v -> candidate MST edge index
+	for _, me := range mins {
+		e := edges[me.idx]
+		parent[me.v] = &parentEntry{cur: e.V}
+		emit[me.v] = me.idx
+	}
+
+	// Round 0 handles 2-cycles: u and parent[u]=v point at each other when
+	// they picked the same logical lightest edge. The smaller label becomes
+	// the root (and does not emit its copy of the edge). Mutual pointers
+	// are only visible at v's home PE, so this is one query round asking
+	// "is parent[v] == u?" — folded into the general doubling query below.
+	type query struct {
+		Asker  graph.VID // vertex whose pointer is being chased
+		Target graph.VID // parent[Asker], owned by the queried PE
+	}
+	type reply struct {
+		Asker   graph.VID
+		Target  graph.VID
+		Cur     graph.VID // parent[Target] at its home
+		Done    bool
+		Unknown bool // Target has no parent entry (it is a root by absence)
+	}
+
+	round := 0
+	for {
+		// Resolve what can be resolved locally; build queries for the rest.
+		sendQ := make([][]query, p)
+		pending := 0
+		for u, pe := range parent {
+			if pe.done {
+				continue
+			}
+			v := pe.cur
+			switch {
+			case v == u:
+				pe.done = true
+			case l.IsShared(v):
+				// Shared vertices are roots by fiat — no communication.
+				pe.done = true
+			default:
+				if q, ok := parent[v]; ok {
+					// Target is on this PE: step locally.
+					if round == 0 && q.cur == u {
+						// Local 2-cycle.
+						if u < v {
+							pe.cur = u
+							pe.done = true
+							delete(emit, u)
+						} else {
+							pe.done = true // cur stays v, v is root
+						}
+						continue
+					}
+					if q.done || q.cur == v {
+						pe.cur = q.cur
+						if q.cur == v { // v is a root
+							pe.done = true
+						} else {
+							pe.done = q.done
+						}
+						if pe.cur == u { // collapsed 2-cycle remnant
+							pe.done = true
+						}
+						continue
+					}
+					pe.cur = q.cur
+					pending++
+					continue
+				}
+				// Remote target.
+				home := l.HomePE(v)
+				sendQ[home] = append(sendQ[home], query{Asker: u, Target: v})
+				pending++
+			}
+		}
+		totalPending := comm.Allreduce(c, pending, func(a, b int) int { return a + b })
+		if totalPending == 0 {
+			break
+		}
+
+		recvQ := alltoall.Exchange(c, opt.A2A, sendQ)
+		sendR := make([][]reply, p)
+		for from := range recvQ {
+			for _, q := range recvQ[from] {
+				r := reply{Asker: q.Asker, Target: q.Target}
+				if pe, ok := parent[q.Target]; ok {
+					r.Cur = pe.cur
+					r.Done = pe.done || pe.cur == q.Target
+				} else {
+					r.Unknown = true
+				}
+				sendR[from] = append(sendR[from], r)
+			}
+		}
+		recvR := alltoall.Exchange(c, opt.A2A, sendR)
+		for from := range recvR {
+			for _, r := range recvR[from] {
+				pe := parent[r.Asker]
+				if pe == nil || pe.done {
+					continue
+				}
+				switch {
+				case r.Unknown:
+					// Every non-shared vertex has a parent entry at its
+					// home (the edge sequence is symmetric), so a miss is a
+					// protocol bug, not a root.
+					panic(fmt.Sprintf("core: pointer doubling: no parent entry for vertex %d at its home", r.Target))
+				case round == 0 && r.Cur == r.Asker && !r.Done:
+					// Remote 2-cycle: u ↔ v. Smaller label is the root.
+					u, v := r.Asker, r.Target
+					if u < v {
+						pe.cur = u
+						pe.done = true
+						delete(emit, u)
+					} else {
+						pe.done = true // v stays our root; v's side resolves itself
+					}
+				default:
+					pe.cur = r.Cur
+					if r.Done || r.Cur == r.Target {
+						pe.done = true
+					}
+					if pe.cur == r.Asker {
+						// The chase walked back to ourselves: 2-cycle that
+						// was already re-rooted at us.
+						pe.done = true
+					}
+				}
+			}
+		}
+		round++
+		if round > 64 {
+			panic("core: pointer doubling failed to converge")
+		}
+	}
+
+	// Emit MST edges (every minimum edge except the root's copy in each
+	// 2-cycle) and collect labels.
+	labels := make(map[graph.VID]graph.VID, len(parent))
+	for u, pe := range parent {
+		labels[u] = pe.cur
+	}
+	emitIdx := make([]int, 0, len(emit))
+	for _, idx := range emit {
+		emitIdx = append(emitIdx, idx)
+	}
+	sort.Ints(emitIdx)
+	for _, idx := range emitIdx {
+		*mst = append(*mst, edges[idx])
+	}
+	c.ChargeCompute(len(parent))
+	return labels
+}
+
+// exchangeLabels implements EXCHANGELABELS (§IV-B): for every cut edge
+// (u, v) with contracted local source u, the new label of u is pushed to
+// the home PE of the reverse edge (v, u), deduplicated per (PE, u) pair.
+// Shared endpoints need no messages: both sides know they are roots.
+// The returned map resolves ghost vertices to their new labels.
+func exchangeLabels(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
+	labels map[graph.VID]graph.VID, opt Options) map[graph.VID]graph.VID {
+
+	p := c.P()
+	type dedupKey struct {
+		pe int
+		v  graph.VID
+	}
+	sent := make(map[dedupKey]struct{})
+	send := make([][]labelPair, p)
+	for _, e := range edges {
+		lbl, ok := labels[e.U]
+		if !ok {
+			continue // shared source: label unchanged, receiver knows
+		}
+		// Destination side: find the reverse edge's home. Probing with the
+		// full weight class pins the exact copy even among parallels.
+		owner := l.OwnerOfReverse(e)
+		if owner == c.Rank() {
+			continue // reverse edge is ours; relabel resolves locally
+		}
+		k := dedupKey{owner, e.U}
+		if _, dup := sent[k]; dup {
+			continue
+		}
+		sent[k] = struct{}{}
+		send[owner] = append(send[owner], labelPair{V: e.U, L: lbl})
+	}
+	recv := alltoall.Exchange(c, opt.A2A, send)
+	ghost := make(map[graph.VID]graph.VID)
+	for i := range recv {
+		for _, lp := range recv[i] {
+			ghost[lp.V] = lp.L
+		}
+	}
+	c.ChargeCompute(len(edges))
+	return ghost
+}
+
+// relabel implements RELABEL (§IV-C): rewrite endpoints to component roots
+// and drop self-loops. In strict mode (the distributed rounds, where every
+// non-shared vertex has a label) an unknown non-shared endpoint is a
+// protocol bug and panics loudly; lenient mode (preprocessing, where only
+// contracted vertices have labels) keeps unknown labels unchanged.
+func relabel(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
+	labels, ghost map[graph.VID]graph.VID, pool *par.Pool, strict bool) []graph.Edge {
+
+	resolve := func(v graph.VID) graph.VID {
+		if lbl, ok := labels[v]; ok {
+			return lbl
+		}
+		if lbl, ok := ghost[v]; ok {
+			return lbl
+		}
+		if strict && !l.IsShared(v) {
+			first, last := l.SharedSpan(v)
+			panic(fmt.Sprintf("core: relabel: rank %d: no label for non-shared vertex %d (span %d..%d, home %d, labels=%d ghost=%d, localEdges=%d)",
+				c.Rank(), v, first, last, l.HomePE(v), len(labels), len(ghost), len(edges)))
+		}
+		return v // shared vertices keep their label this round
+	}
+	out := par.Map(pool, edges, func(e graph.Edge) graph.Edge {
+		nu, nv := resolve(e.U), resolve(e.V)
+		if nu != e.U || nv != e.V {
+			e.U, e.V = nu, nv
+		}
+		return e
+	})
+	out = par.Filter(pool, out, func(e graph.Edge) bool { return e.U != e.V })
+	c.ChargeCompute(len(edges))
+	return out
+}
+
+// redistribute implements REDISTRIBUTE (§IV-C): sort the relabeled edges
+// lexicographically with the distributed sorter, optionally reduce parallel
+// edges to their lightest representative, rebalance, and rebuild the
+// replicated layout with an allgather.
+func redistribute(c *comm.Comm, edges []graph.Edge, opt Options) ([]graph.Edge, *graph.Layout) {
+	sorted := dsort.Sort(c, edges, graph.LessLex, opt.Sort)
+	if opt.DedupParallel {
+		sorted = dedupSorted(c, sorted)
+		sorted = dsort.Rebalance(c, sorted)
+	}
+	return sorted, graph.BuildLayout(c, sorted)
+}
+
+// dedupSorted removes directed duplicates (same U and V) from a globally
+// sorted distribution, keeping the lexicographically first — which is the
+// lightest, since the sort key continues with (W, TB). Runs crossing a PE
+// boundary are resolved with one allgather of boundary keys.
+func dedupSorted(c *comm.Comm, sorted []graph.Edge) []graph.Edge {
+	dedup := sorted[:0]
+	for i, e := range sorted {
+		if i > 0 && e.U == sorted[i-1].U && e.V == sorted[i-1].V {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	type key struct {
+		Has  bool
+		U, V graph.VID
+	}
+	mine := key{}
+	if len(dedup) > 0 {
+		mine = key{Has: true, U: dedup[len(dedup)-1].U, V: dedup[len(dedup)-1].V}
+	}
+	lasts := comm.Allgather(c, mine)
+	var prev key
+	for i := 0; i < c.Rank(); i++ {
+		if lasts[i].Has {
+			prev = lasts[i]
+		}
+	}
+	if prev.Has {
+		drop := 0
+		for drop < len(dedup) && dedup[drop].U == prev.U && dedup[drop].V == prev.V {
+			drop++
+		}
+		dedup = dedup[drop:]
+	}
+	c.ChargeCompute(len(sorted))
+	return dedup
+}
+
+// checkSorted panics with context if the local edges are not sorted; used
+// at phase boundaries in debug paths.
+func checkSorted(where string, edges []graph.Edge) {
+	if !graph.IsSorted(edges) {
+		panic(fmt.Sprintf("core: %s: local edges out of order", where))
+	}
+}
+
+// debugChecks enables expensive global invariant verification (tests only).
+var debugChecks = false
+
+// verifySymmetric gathers the whole distributed edge set and checks that
+// every directed edge has its reverse copy. Debug only — O(m) per PE.
+func verifySymmetric(c *comm.Comm, edges []graph.Edge, where string) {
+	if !debugChecks {
+		return
+	}
+	all := comm.AllgatherConcat(c, edges)
+	type dkey struct {
+		U, V graph.VID
+		W    graph.Weight
+		TB   uint64
+	}
+	set := make(map[dkey]int, len(all))
+	for _, e := range all {
+		set[dkey{e.U, e.V, e.W, e.TB}]++
+	}
+	for _, e := range all {
+		if set[dkey{e.V, e.U, e.W, e.TB}] == 0 {
+			panic(fmt.Sprintf("core: %s: edge %v has no reverse copy (rank %d)", where, e, c.Rank()))
+		}
+	}
+}

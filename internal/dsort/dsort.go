@@ -1,0 +1,337 @@
+// Package dsort provides the distributed sorting algorithms of §II-A and
+// §VI-C: hypercube quicksort for small inputs (below 512 elements per PE on
+// average, following the paper's rule) and a two-level sample sort in the
+// spirit of AMS-sort for large inputs. Both leave the data globally sorted
+// — PE i holds a contiguous chunk, chunks ordered by rank — and perfectly
+// balanced (sizes differing by at most one).
+//
+// Sample sort delivers its data through a configurable sparse all-to-all
+// strategy; with alltoall.Grid this is the "two-level" data delivery that
+// makes the sorter scale on large machines. Splitters are selected from a
+// gathered random sample (the paper sorts the samples with the hypercube
+// algorithm; gathering them gives identical splitters, a documented
+// simplification).
+package dsort
+
+import (
+	"sort"
+
+	"kamsta/internal/alltoall"
+	"kamsta/internal/comm"
+	"kamsta/internal/rng"
+)
+
+// Algorithm selects a sorter.
+type Algorithm int
+
+const (
+	// Auto follows the paper's rule: hypercube quicksort below
+	// SmallThreshold elements per PE on average (if the world is a power of
+	// two), sample sort otherwise.
+	Auto Algorithm = iota
+	// SampleSort forces the two-level sample sort.
+	SampleSort
+	// HypercubeQS forces hypercube quicksort (requires a power-of-two
+	// world; other sizes fall back to sample sort).
+	HypercubeQS
+)
+
+// Options configures Sort.
+type Options struct {
+	Alg Algorithm
+	// A2A is the all-to-all strategy for the sample-sort data exchange.
+	A2A alltoall.Strategy
+	// Oversample is the number of splitter samples per PE (default 16).
+	Oversample int
+	// SmallThreshold is the average per-PE element count below which Auto
+	// uses hypercube quicksort (default 512, the paper's value).
+	SmallThreshold int
+	// Seed drives sampling and pivot selection.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Oversample <= 0 {
+		o.Oversample = 16
+	}
+	if o.SmallThreshold <= 0 {
+		o.SmallThreshold = 512
+	}
+	if o.A2A == 0 {
+		o.A2A = alltoall.Auto
+	}
+	return o
+}
+
+// Sort globally sorts the union of all PEs' local data under less and
+// returns this PE's balanced, contiguous chunk. less must define a strict
+// weak order; for fully deterministic splits it should be a total order.
+func Sort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+	opt = opt.withDefaults()
+	p := c.P()
+	if p == 1 {
+		out := make([]T, len(data))
+		copy(out, data)
+		localSort(c, out, less)
+		return out
+	}
+	total := comm.Allreduce(c, len(data), func(a, b int) int { return a + b })
+	alg := opt.Alg
+	if alg == Auto {
+		if total/p < opt.SmallThreshold && p&(p-1) == 0 {
+			alg = HypercubeQS
+		} else {
+			alg = SampleSort
+		}
+	}
+	if alg == HypercubeQS && p&(p-1) != 0 {
+		alg = SampleSort
+	}
+	switch alg {
+	case HypercubeQS:
+		return hypercubeQuicksort(c, data, less, opt)
+	default:
+		return sampleSort(c, data, less, opt)
+	}
+}
+
+// localSort sorts in place and charges the modeled n·log n comparison cost.
+func localSort[T any](c *comm.Comm, data []T, less func(a, b T) bool) {
+	n := len(data)
+	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	if n > 1 {
+		c.ChargeCompute(n * log2ceil(n))
+	}
+}
+
+func log2ceil(n int) int {
+	k := 0
+	for v := 1; v < n; v <<= 1 {
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}
+
+// sampleSort: local sort → sample → gathered splitter selection → bucket
+// partition → all-to-all delivery → p-way merge → rebalance.
+func sampleSort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+	p, rank := c.P(), c.Rank()
+	local := make([]T, len(data))
+	copy(local, data)
+	localSort(c, local, less)
+
+	// Sample uniformly at random from the local data.
+	r := rng.New(opt.Seed).Split(uint64(rank))
+	ns := opt.Oversample
+	samples := make([]T, 0, ns)
+	for i := 0; i < ns && len(local) > 0; i++ {
+		samples = append(samples, local[r.Intn(len(local))])
+	}
+	all := comm.AllgatherConcat(c, samples)
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	c.ChargeCompute(len(all) * log2ceil(len(all)+1))
+
+	// p-1 splitters at the sample quantiles.
+	splitters := make([]T, 0, p-1)
+	for i := 1; i < p; i++ {
+		if len(all) == 0 {
+			break
+		}
+		idx := i * len(all) / p
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		splitters = append(splitters, all[idx])
+	}
+
+	// Partition the sorted local data at the splitters.
+	send := make([][]T, p)
+	lo := 0
+	for b := 0; b < p; b++ {
+		hi := len(local)
+		if b < len(splitters) {
+			s := splitters[b]
+			hi = lo + sort.Search(len(local)-lo, func(i int) bool { return !less(local[lo+i], s) })
+		}
+		send[b] = local[lo:hi]
+		lo = hi
+	}
+	c.ChargeCompute(len(local))
+
+	recv := alltoall.Exchange(c, opt.A2A, send)
+	merged := kwayMerge(recv, less)
+	c.ChargeCompute(len(merged) * log2ceil(p+1))
+	return Rebalance(c, merged)
+}
+
+// kwayMerge merges already-sorted runs; the runs are in splitter order so a
+// simple sequential merge over the run heads suffices (p is moderate).
+func kwayMerge[T any](runs [][]T, less func(a, b T) bool) []T {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]T, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || less(r[heads[i]], runs[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// hypercubeQuicksort recursively halves the hypercube: in every dimension
+// the group agrees on a pivot from gathered samples, partners exchange the
+// halves that belong on the other side, and the recursion descends into the
+// subcube. Terminates with a local sort and a global rebalance.
+func hypercubeQuicksort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+	p, rank := c.P(), c.Rank()
+	local := make([]T, len(data))
+	copy(local, data)
+	r := rng.New(opt.Seed ^ 0x9E37).Split(uint64(rank))
+
+	groupSize := p
+	base := 0 // first rank of my current subcube
+	for groupSize > 1 {
+		half := groupSize / 2
+		members := make([]int, groupSize)
+		for i := range members {
+			members[i] = base + i
+		}
+		// Pivot: median of a few samples per group member.
+		type sampleSet struct{ Items []T }
+		mySamples := sampleSet{}
+		for i := 0; i < 3 && len(local) > 0; i++ {
+			mySamples.Items = append(mySamples.Items, local[r.Intn(len(local))])
+		}
+		gathered := comm.GroupAllreduce(c, members, mySamples, func(a, b sampleSet) sampleSet {
+			merged := make([]T, 0, len(a.Items)+len(b.Items))
+			merged = append(merged, a.Items...)
+			merged = append(merged, b.Items...)
+			return sampleSet{Items: merged}
+		})
+		sort.Slice(gathered.Items, func(i, j int) bool { return less(gathered.Items[i], gathered.Items[j]) })
+
+		inLow := rank < base+half
+		partner := rank + half
+		if !inLow {
+			partner = rank - half
+		}
+		if len(gathered.Items) == 0 {
+			// Whole group is empty; exchange nothing but stay in lockstep.
+			comm.PairExchange(c, partner, []T(nil))
+		} else {
+			pivot := gathered.Items[len(gathered.Items)/2]
+			// local is unsorted between rounds: partition by scan.
+			lowPart := make([]T, 0, len(local)/2)
+			highPart := make([]T, 0, len(local)/2)
+			for _, x := range local {
+				if less(x, pivot) {
+					lowPart = append(lowPart, x)
+				} else {
+					highPart = append(highPart, x)
+				}
+			}
+			c.ChargeCompute(len(local))
+			var keep, give []T
+			if inLow {
+				keep, give = lowPart, highPart
+			} else {
+				keep, give = highPart, lowPart
+			}
+			got := comm.PairExchange(c, partner, give)
+			local = append(keep, got...)
+		}
+		if !inLow {
+			base += half
+		}
+		groupSize = half
+	}
+	localSort(c, local, less)
+	return Rebalance(c, local)
+}
+
+// Rebalance redistributes globally ordered data (PE i's chunk entirely
+// before PE i+1's) so every PE ends with ⌈total/p⌉ or ⌊total/p⌋ elements,
+// preserving the global order. It is also the final step of REDISTRIBUTE
+// (§IV-C).
+func Rebalance[T any](c *comm.Comm, data []T) []T {
+	p := c.P()
+	if p == 1 {
+		return data
+	}
+	myCount := len(data)
+	before := comm.ExScan(c, myCount, 0, func(a, b int) int { return a + b })
+	total := comm.Allreduce(c, myCount, func(a, b int) int { return a + b })
+	if total == 0 {
+		return nil
+	}
+	// Target boundaries: PE j owns global positions [j*total/p, (j+1)*total/p).
+	send := make([][]T, p)
+	for i := 0; i < myCount; {
+		g := before + i // global position of data[i]
+		j := min((g*p)/total, p-1)
+		// advance j until g falls in j's window (integer-division care)
+		for g >= (j+1)*total/p {
+			j++
+		}
+		hi := (j+1)*total/p - before
+		if hi > myCount {
+			hi = myCount
+		}
+		send[j] = data[i:hi]
+		i = hi
+	}
+	recv := comm.Alltoall(c, send)
+	out := make([]T, 0, total/p+1)
+	for i := 0; i < p; i++ {
+		out = append(out, recv[i]...)
+	}
+	return out
+}
+
+// IsGloballySorted reports (on every PE) whether the distributed data is
+// globally sorted under less. Intended for tests and verification runs.
+func IsGloballySorted[T any](c *comm.Comm, data []T, less func(a, b T) bool) bool {
+	okLocal := true
+	for i := 1; i < len(data); i++ {
+		if less(data[i], data[i-1]) {
+			okLocal = false
+			break
+		}
+	}
+	type boundary struct {
+		Has         bool
+		First, Last T
+	}
+	b := boundary{Has: len(data) > 0}
+	if b.Has {
+		b.First, b.Last = data[0], data[len(data)-1]
+	}
+	all := comm.Allgather(c, b)
+	okGlobal := okLocal
+	var prev *T
+	for i := range all {
+		if !all[i].Has {
+			continue
+		}
+		if prev != nil && less(all[i].First, *prev) {
+			okGlobal = false
+		}
+		last := all[i].Last
+		prev = &last
+	}
+	return comm.Allreduce(c, okGlobal, func(a, b bool) bool { return a && b })
+}

@@ -1,0 +1,316 @@
+package dsort
+
+import (
+	"sort"
+	"testing"
+
+	"kamsta/internal/alltoall"
+	"kamsta/internal/comm"
+	"kamsta/internal/rng"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+// makeLocal builds deterministic per-rank data with duplicates and skew.
+func makeLocal(p, rank, per int, seed uint64) []int {
+	r := rng.New(seed).Split(uint64(rank))
+	n := per
+	if rank%3 == 1 {
+		n = per / 4 // skewed sizes
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(per * p / 2) // deliberately includes duplicates
+	}
+	return out
+}
+
+// runSort executes Sort on a p-PE world and returns the per-rank outputs.
+func runSort(t *testing.T, p, per int, opt Options) ([][]int, []int) {
+	t.Helper()
+	w := comm.NewWorld(p)
+	outs := make([][]int, p)
+	var want []int
+	for r := 0; r < p; r++ {
+		want = append(want, makeLocal(p, r, per, 5)...)
+	}
+	sort.Ints(want)
+	w.Run(func(c *comm.Comm) {
+		local := makeLocal(p, c.Rank(), per, 5)
+		outs[c.Rank()] = Sort(c, local, intLess, opt)
+		if !IsGloballySorted(c, outs[c.Rank()], intLess) {
+			t.Errorf("p=%d: IsGloballySorted=false after Sort", p)
+		}
+	})
+	return outs, want
+}
+
+func checkSorted(t *testing.T, p int, outs [][]int, want []int) {
+	t.Helper()
+	var got []int
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("p=%d: element count changed: got %d want %d", p, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("p=%d: position %d: got %d want %d", p, i, got[i], want[i])
+		}
+	}
+	// Balance: sizes differ by at most one.
+	lo, hi := len(want)/p, (len(want)+p-1)/p
+	for r, o := range outs {
+		if len(o) < lo || len(o) > hi {
+			t.Fatalf("p=%d: rank %d holds %d elements, want %d..%d", p, r, len(o), lo, hi)
+		}
+	}
+}
+
+func TestSampleSort(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		outs, want := runSort(t, p, 300, Options{Alg: SampleSort})
+		checkSorted(t, p, outs, want)
+	}
+}
+
+func TestHypercubeQuicksort(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		outs, want := runSort(t, p, 100, Options{Alg: HypercubeQS})
+		checkSorted(t, p, outs, want)
+	}
+}
+
+func TestHypercubeFallsBackOnOddWorld(t *testing.T) {
+	outs, want := runSort(t, 6, 50, Options{Alg: HypercubeQS})
+	checkSorted(t, 6, outs, want)
+}
+
+func TestAutoSelection(t *testing.T) {
+	// Small input on a power-of-two world → hypercube path; large → sample.
+	for _, per := range []int{20, 2000} {
+		outs, want := runSort(t, 8, per, Options{})
+		checkSorted(t, 8, outs, want)
+	}
+}
+
+func TestSortWithGridAlltoall(t *testing.T) {
+	outs, want := runSort(t, 9, 400, Options{Alg: SampleSort, A2A: alltoall.Grid})
+	checkSorted(t, 9, outs, want)
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		out := Sort(c, nil, intLess, Options{})
+		if len(out) != 0 {
+			t.Errorf("rank %d: sorted empty input to %d elements", c.Rank(), len(out))
+		}
+	})
+}
+
+func TestSortSingleElementTotal(t *testing.T) {
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		var local []int
+		if c.Rank() == 2 {
+			local = []int{42}
+		}
+		out := Sort(c, local, intLess, Options{})
+		n := comm.Allreduce(c, len(out), func(a, b int) int { return a + b })
+		if n != 1 {
+			t.Errorf("total elements %d want 1", n)
+		}
+	})
+}
+
+func TestSortAllEqualKeys(t *testing.T) {
+	w := comm.NewWorld(8)
+	w.Run(func(c *comm.Comm) {
+		local := make([]int, 100)
+		for i := range local {
+			local[i] = 7
+		}
+		out := Sort(c, local, intLess, Options{Alg: SampleSort})
+		total := comm.Allreduce(c, len(out), func(a, b int) int { return a + b })
+		if total != 800 {
+			t.Errorf("lost elements: total %d want 800", total)
+		}
+		for _, v := range out {
+			if v != 7 {
+				t.Errorf("element corrupted: %d", v)
+			}
+		}
+	})
+}
+
+func TestSortAlreadySorted(t *testing.T) {
+	p := 4
+	w := comm.NewWorld(p)
+	outs := make([][]int, p)
+	w.Run(func(c *comm.Comm) {
+		local := make([]int, 100)
+		for i := range local {
+			local[i] = c.Rank()*100 + i
+		}
+		outs[c.Rank()] = Sort(c, local, intLess, Options{Alg: SampleSort})
+	})
+	k := 0
+	for _, o := range outs {
+		for _, v := range o {
+			if v != k {
+				t.Fatalf("position %d: got %d", k, v)
+			}
+			k++
+		}
+	}
+}
+
+func TestSortReverseSorted(t *testing.T) {
+	p := 4
+	w := comm.NewWorld(p)
+	outs := make([][]int, p)
+	w.Run(func(c *comm.Comm) {
+		local := make([]int, 100)
+		for i := range local {
+			local[i] = 10000 - (c.Rank()*100 + i)
+		}
+		outs[c.Rank()] = Sort(c, local, intLess, Options{Alg: SampleSort})
+	})
+	var got []int
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted at %d: %d < %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestSortStructsByCustomOrder(t *testing.T) {
+	type kv struct{ K, V int }
+	p := 4
+	w := comm.NewWorld(p)
+	outs := make([][]kv, p)
+	w.Run(func(c *comm.Comm) {
+		r := rng.New(9).Split(uint64(c.Rank()))
+		local := make([]kv, 50)
+		for i := range local {
+			local[i] = kv{K: r.Intn(100), V: c.Rank()}
+		}
+		outs[c.Rank()] = Sort(c, local, func(a, b kv) bool {
+			if a.K != b.K {
+				return a.K < b.K
+			}
+			return a.V < b.V
+		}, Options{Alg: SampleSort})
+	})
+	prev := kv{-1, -1}
+	for _, o := range outs {
+		for _, x := range o {
+			if x.K < prev.K || (x.K == prev.K && x.V < prev.V) {
+				t.Fatalf("order violated: %+v after %+v", x, prev)
+			}
+			prev = x
+		}
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		w := comm.NewWorld(p)
+		outs := make([][]int, p)
+		w.Run(func(c *comm.Comm) {
+			// Rank r holds r*10 consecutive values (globally ordered).
+			start := 0
+			for i := 0; i < c.Rank(); i++ {
+				start += i * 10
+			}
+			local := make([]int, c.Rank()*10)
+			for i := range local {
+				local[i] = start + i
+			}
+			outs[c.Rank()] = Rebalance(c, local)
+		})
+		total := 0
+		for i := 0; i < p; i++ {
+			total += i * 10
+		}
+		k := 0
+		for r, o := range outs {
+			if len(o) < total/p || len(o) > (total+p-1)/p {
+				t.Fatalf("p=%d rank %d: %d elements after rebalance, total %d", p, r, len(o), total)
+			}
+			for _, v := range o {
+				if v != k {
+					t.Fatalf("p=%d: order broken at %d: got %d", p, k, v)
+				}
+				k++
+			}
+		}
+		if k != total {
+			t.Fatalf("p=%d: lost elements: %d of %d", p, k, total)
+		}
+	}
+}
+
+func TestRebalanceEmpty(t *testing.T) {
+	w := comm.NewWorld(3)
+	w.Run(func(c *comm.Comm) {
+		out := Rebalance(c, []int(nil))
+		if len(out) != 0 {
+			t.Errorf("rebalancing nothing produced %d elements", len(out))
+		}
+	})
+}
+
+func TestIsGloballySortedDetectsViolation(t *testing.T) {
+	w := comm.NewWorld(3)
+	w.Run(func(c *comm.Comm) {
+		local := []int{c.Rank()} // 0,1,2 → sorted
+		if !IsGloballySorted(c, local, intLess) {
+			t.Error("sorted data reported unsorted")
+		}
+		bad := []int{10 - c.Rank()} // 10,9,8 → unsorted across ranks
+		if IsGloballySorted(c, bad, intLess) {
+			t.Error("unsorted data reported sorted")
+		}
+	})
+}
+
+func TestSortDeterministic(t *testing.T) {
+	a1, _ := runSort(t, 8, 200, Options{Seed: 3})
+	a2, _ := runSort(t, 8, 200, Options{Seed: 3})
+	for r := range a1 {
+		if len(a1[r]) != len(a2[r]) {
+			t.Fatalf("rank %d: nondeterministic chunk size", r)
+		}
+		for i := range a1[r] {
+			if a1[r][i] != a2[r][i] {
+				t.Fatalf("rank %d: nondeterministic content", r)
+			}
+		}
+	}
+}
+
+func BenchmarkSampleSort8x10k(b *testing.B) {
+	w := comm.NewWorld(8)
+	w.Run(func(c *comm.Comm) {
+		local := makeLocal(8, c.Rank(), 10000, 1)
+		for i := 0; i < b.N; i++ {
+			Sort(c, local, intLess, Options{Alg: SampleSort})
+		}
+	})
+}
+
+func BenchmarkHypercube8x500(b *testing.B) {
+	w := comm.NewWorld(8)
+	w.Run(func(c *comm.Comm) {
+		local := makeLocal(8, c.Rank(), 500, 1)
+		for i := 0; i < b.N; i++ {
+			Sort(c, local, intLess, Options{Alg: HypercubeQS})
+		}
+	})
+}

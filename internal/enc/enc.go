@@ -1,0 +1,127 @@
+// Package enc implements the compressed storage of the original edge list
+// described in §VI-C of the paper: to output the original endpoints of MST
+// edges without keeping a second full copy in scarce compute-node memory,
+// each PE stores its input chunk with 7-bit variable-length encoding of the
+// differences between consecutive vertices. A sparse block index grants
+// random access by edge ID without decoding the whole chunk.
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kamsta/internal/graph"
+)
+
+// blockSize is the number of edges between index checkpoints; random access
+// decodes at most blockSize-1 edges past a checkpoint.
+const blockSize = 256
+
+type checkpoint struct {
+	offset int // byte offset into data
+	prevU  graph.VID
+	prevV  graph.VID
+}
+
+// CompressedEdges is an immutable, compressed, randomly accessible edge
+// sequence. Edges must have been lexicographically sorted when encoded, so
+// source deltas are non-negative; destination deltas are zigzag-encoded.
+type CompressedEdges struct {
+	data    []byte
+	index   []checkpoint
+	n       int
+	firstID uint64
+}
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encode compresses a sorted edge slice. firstID is the global ID of
+// edges[0]; the i-th stored edge is reproduced with ID firstID+i, so IDs
+// must be consecutive (which holds for the input sequence by construction).
+func Encode(edges []graph.Edge, firstID uint64) *CompressedEdges {
+	c := &CompressedEdges{n: len(edges), firstID: firstID}
+	var buf [3 * binary.MaxVarintLen64]byte
+	var prevU, prevV graph.VID
+	for i, e := range edges {
+		if i > 0 && graph.LessLex(e, edges[i-1]) {
+			panic("enc: edges must be sorted lexicographically")
+		}
+		if e.ID != firstID+uint64(i) {
+			panic(fmt.Sprintf("enc: edge %d has ID %d, want consecutive %d", i, e.ID, firstID+uint64(i)))
+		}
+		if i%blockSize == 0 {
+			c.index = append(c.index, checkpoint{offset: len(c.data), prevU: prevU, prevV: prevV})
+		}
+		k := binary.PutUvarint(buf[:], e.U-prevU) // non-negative by sortedness
+		k += binary.PutUvarint(buf[k:], zigzag(int64(e.V)-int64(prevV)))
+		k += binary.PutUvarint(buf[k:], uint64(e.W))
+		c.data = append(c.data, buf[:k]...)
+		prevU, prevV = e.U, e.V
+	}
+	return c
+}
+
+// Len reports the number of stored edges.
+func (c *CompressedEdges) Len() int { return c.n }
+
+// FirstID reports the global ID of the first stored edge.
+func (c *CompressedEdges) FirstID() uint64 { return c.firstID }
+
+// SizeBytes reports the compressed payload size (excluding the index).
+func (c *CompressedEdges) SizeBytes() int { return len(c.data) }
+
+// At decodes the i-th stored edge (0-based position within this chunk).
+func (c *CompressedEdges) At(i int) graph.Edge {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("enc: index %d out of range [0,%d)", i, c.n))
+	}
+	cp := c.index[i/blockSize]
+	pos := cp.offset
+	prevU, prevV := cp.prevU, cp.prevV
+	var e graph.Edge
+	for j := (i / blockSize) * blockSize; j <= i; j++ {
+		du, k1 := binary.Uvarint(c.data[pos:])
+		pos += k1
+		dv, k2 := binary.Uvarint(c.data[pos:])
+		pos += k2
+		w, k3 := binary.Uvarint(c.data[pos:])
+		pos += k3
+		prevU += du
+		prevV = graph.VID(int64(prevV) + unzigzag(dv))
+		e = graph.Edge{U: prevU, V: prevV, W: graph.Weight(w), TB: graph.MakeTB(prevU, prevV), ID: c.firstID + uint64(j)}
+	}
+	return e
+}
+
+// ByID decodes the edge with the given global ID; it must lie in
+// [FirstID, FirstID+Len()).
+func (c *CompressedEdges) ByID(id uint64) graph.Edge {
+	if id < c.firstID || id >= c.firstID+uint64(c.n) {
+		panic(fmt.Sprintf("enc: ID %d outside chunk [%d,%d)", id, c.firstID, c.firstID+uint64(c.n)))
+	}
+	return c.At(int(id - c.firstID))
+}
+
+// DecodeAll reproduces the full edge slice, accounting the sequential
+// decode pass the paper charges before and after the MST computation.
+func (c *CompressedEdges) DecodeAll() []graph.Edge {
+	out := make([]graph.Edge, 0, c.n)
+	pos := 0
+	var prevU, prevV graph.VID
+	for i := 0; i < c.n; i++ {
+		du, k1 := binary.Uvarint(c.data[pos:])
+		pos += k1
+		dv, k2 := binary.Uvarint(c.data[pos:])
+		pos += k2
+		w, k3 := binary.Uvarint(c.data[pos:])
+		pos += k3
+		prevU += du
+		prevV = graph.VID(int64(prevV) + unzigzag(dv))
+		out = append(out, graph.Edge{U: prevU, V: prevV, W: graph.Weight(w), TB: graph.MakeTB(prevU, prevV), ID: c.firstID + uint64(i)})
+	}
+	return out
+}

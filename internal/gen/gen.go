@@ -1,0 +1,211 @@
+// Package gen generates the distributed input graphs of the paper's
+// evaluation (§VII): two-dimensional grids, 2D/3D random geometric graphs,
+// hyperbolic-like power-law graphs, Erdős–Renyi G(n,m) graphs, RMAT graphs
+// with Graph500 parameters, and synthetic stand-ins for the real-world
+// instances of Table I.
+//
+// Generation is deterministic and communication-free per PE (KaGen style):
+// point positions, degrees and weights are pure hash functions of the seed,
+// so two PEs independently derive identical values for shared objects. A
+// final Finish step sorts the edges globally, removes duplicates and
+// self-loops, assigns consecutive global IDs, and builds the replicated
+// layout — establishing exactly the input format of §II-B (KaGen also hands
+// the paper's implementation globally sorted edges).
+//
+// Edge weights are uniform in [1, 255) and symmetric per undirected edge,
+// following the experimental setup.
+package gen
+
+import (
+	"fmt"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/graph"
+)
+
+// Family enumerates the graph families.
+type Family int
+
+const (
+	// Grid2D is a two-dimensional mesh (4-neighborhood).
+	Grid2D Family = iota
+	// RGG2D is a random geometric graph in the unit square.
+	RGG2D
+	// RGG3D is a random geometric graph in the unit cube.
+	RGG3D
+	// RHG is the hyperbolic-like family: power-law degrees (Chung–Lu
+	// weights) combined with a geometric locality kernel over the vertex
+	// ordering. See DESIGN.md for the substitution rationale.
+	RHG
+	// GNM is the Erdős–Renyi G(n,m) family.
+	GNM
+	// RMAT is the recursive matrix family with Graph500 probabilities.
+	RMAT
+	// RoadLike is a grid with random edge deletions and sparse diagonals,
+	// the stand-in for road networks (US-road).
+	RoadLike
+)
+
+// String returns the family name as used in the paper's figures.
+func (f Family) String() string {
+	switch f {
+	case Grid2D:
+		return "2D-GRID"
+	case RGG2D:
+		return "2D-RGG"
+	case RGG3D:
+		return "3D-RGG"
+	case RHG:
+		return "RHG"
+	case GNM:
+		return "GNM"
+	case RMAT:
+		return "RMAT"
+	case RoadLike:
+		return "ROAD"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// Spec describes one input instance.
+type Spec struct {
+	Family Family
+	// N is the target number of vertices (families round to their natural
+	// shapes, e.g. a grid rounds to R×C).
+	N uint64
+	// M is the target number of undirected edges; the directed
+	// representation has about 2M entries. Ignored by Grid2D/RoadLike whose
+	// M follows from the mesh shape.
+	M uint64
+	// Seed makes the instance reproducible.
+	Seed uint64
+	// PLExp is the power-law exponent for RHG (default 3.0, the paper's
+	// setting).
+	PLExp float64
+	// LocalityMix is the fraction of RHG edges drawn from the geometric
+	// locality kernel (default 0.5).
+	LocalityMix float64
+	// RMATKeepLocality skips the Graph500 label scrambling; the web-graph
+	// stand-ins use this to retain crawl-order locality.
+	RMATKeepLocality bool
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.PLExp == 0 {
+		s.PLExp = 3.0
+	}
+	if s.LocalityMix == 0 {
+		s.LocalityMix = 0.5
+	}
+	return s
+}
+
+// Label renders the spec like the paper, e.g. "GNM(2^17,2^21)".
+func (s Spec) Label() string {
+	return fmt.Sprintf("%s(n=%d,m=%d)", s.Family, s.N, s.M)
+}
+
+// Generate produces this PE's share of raw directed edges (unsorted; both
+// directions of every undirected edge are emitted across the world).
+func Generate(c *comm.Comm, spec Spec) []graph.Edge {
+	spec = spec.withDefaults()
+	switch spec.Family {
+	case Grid2D:
+		return genGrid2D(c, spec, false)
+	case RoadLike:
+		return genGrid2D(c, spec, true)
+	case RGG2D:
+		return genRGG(c, spec, 2)
+	case RGG3D:
+		return genRGG(c, spec, 3)
+	case RHG:
+		return genRHG(c, spec)
+	case GNM:
+		return genGNM(c, spec)
+	case RMAT:
+		return genRMAT(c, spec)
+	}
+	panic("gen: unknown family " + spec.Family.String())
+}
+
+// Finish turns raw per-PE edges into the distributed graph input format:
+// globally lexicographically sorted, duplicate edges and self-loops
+// removed, consecutive global IDs assigned, balanced across PEs, and the
+// replicated layout built.
+func Finish(c *comm.Comm, raw []graph.Edge, sortOpt dsort.Options) ([]graph.Edge, *graph.Layout) {
+	// Drop self-loops locally first.
+	kept := raw[:0]
+	for _, e := range raw {
+		if e.U != e.V {
+			kept = append(kept, e)
+		}
+	}
+	sorted := dsort.Sort(c, kept, graph.LessLex, sortOpt)
+
+	// Remove duplicates: runs of equal (U,V) are consecutive after the
+	// lexicographic sort and the lightest copy leads each run.
+	dedup := sorted[:0]
+	for i, e := range sorted {
+		if i > 0 && e.U == sorted[i-1].U && e.V == sorted[i-1].V {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	c.ChargeCompute(len(sorted))
+
+	// Cross-boundary duplicates: drop our head run if the previous
+	// non-empty PE ends with the same (U, V).
+	type key struct {
+		Has  bool
+		U, V graph.VID
+	}
+	mine := key{}
+	if len(dedup) > 0 {
+		last := dedup[len(dedup)-1]
+		mine = key{Has: true, U: last.U, V: last.V}
+	}
+	lasts := comm.Allgather(c, mine)
+	var prev key
+	for i := 0; i < c.Rank(); i++ {
+		if lasts[i].Has {
+			prev = lasts[i]
+		}
+	}
+	if prev.Has {
+		drop := 0
+		for drop < len(dedup) && dedup[drop].U == prev.U && dedup[drop].V == prev.V {
+			drop++
+		}
+		dedup = dedup[drop:]
+	}
+
+	// Assign consecutive global IDs in sort order.
+	offset := comm.ExScan(c, len(dedup), 0, func(a, b int) int { return a + b })
+	for i := range dedup {
+		dedup[i].ID = uint64(offset + i)
+	}
+	balanced := dsort.Rebalance(c, dedup)
+	layout := graph.BuildLayout(c, balanced)
+	return balanced, layout
+}
+
+// Build generates and finishes an instance in one call.
+func Build(c *comm.Comm, spec Spec, sortOpt dsort.Options) ([]graph.Edge, *graph.Layout) {
+	return Finish(c, Generate(c, spec), sortOpt)
+}
+
+// ownedRange splits 0..total-1 contiguously among PEs; returns this PE's
+// half-open range.
+func ownedRange(rank, p int, total uint64) (uint64, uint64) {
+	lo := uint64(rank) * total / uint64(p)
+	hi := uint64(rank+1) * total / uint64(p)
+	return lo, hi
+}
+
+// emitBoth appends both directions of the undirected edge {u, v} with its
+// deterministic weight.
+func emitBoth(edges []graph.Edge, seed uint64, u, v graph.VID) []graph.Edge {
+	w := graph.RandomWeight(seed, u, v)
+	return append(edges, graph.NewEdge(u, v, w), graph.NewEdge(v, u, w))
+}

@@ -1,0 +1,390 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/graph"
+)
+
+// buildAll runs Build on a p-PE world and returns the concatenated global
+// edge list plus per-rank chunks.
+func buildAll(t *testing.T, p int, spec Spec) ([]graph.Edge, [][]graph.Edge) {
+	t.Helper()
+	w := comm.NewWorld(p)
+	chunks := make([][]graph.Edge, p)
+	w.Run(func(c *comm.Comm) {
+		edges, layout := Build(c, spec, dsort.Options{})
+		chunks[c.Rank()] = edges
+		if layout.TotalEdges() == 0 && spec.N > 1 {
+			t.Errorf("%s: empty graph generated", spec.Label())
+		}
+	})
+	var all []graph.Edge
+	for _, ch := range chunks {
+		all = append(all, ch...)
+	}
+	return all, chunks
+}
+
+// checkInputFormat verifies the §II-B input invariants: globally sorted,
+// symmetric, no self-loops, no duplicates, consecutive IDs, sane labels.
+func checkInputFormat(t *testing.T, spec Spec, all []graph.Edge, chunks [][]graph.Edge) {
+	t.Helper()
+	if !graph.IsSorted(all) {
+		t.Fatalf("%s: global edge sequence not sorted", spec.Label())
+	}
+	type pair struct{ U, V graph.VID }
+	seen := map[pair]graph.Weight{}
+	for i, e := range all {
+		if e.U == e.V {
+			t.Fatalf("%s: self-loop %v", spec.Label(), e)
+		}
+		if e.U == 0 || e.V == 0 {
+			t.Fatalf("%s: zero label in %v", spec.Label(), e)
+		}
+		if e.ID != uint64(i) {
+			t.Fatalf("%s: edge %d has ID %d", spec.Label(), i, e.ID)
+		}
+		if _, dup := seen[pair{e.U, e.V}]; dup {
+			t.Fatalf("%s: duplicate edge %v", spec.Label(), e)
+		}
+		seen[pair{e.U, e.V}] = e.W
+	}
+	for pr, w := range seen {
+		w2, ok := seen[pair{pr.V, pr.U}]
+		if !ok {
+			t.Fatalf("%s: back edge of (%d,%d) missing", spec.Label(), pr.U, pr.V)
+		}
+		if w != w2 {
+			t.Fatalf("%s: asymmetric weights on (%d,%d): %d vs %d", spec.Label(), pr.U, pr.V, w, w2)
+		}
+	}
+	// Balanced distribution (±1).
+	m := len(all)
+	p := len(chunks)
+	for r, ch := range chunks {
+		if len(ch) < m/p || len(ch) > (m+p-1)/p {
+			t.Fatalf("%s: rank %d holds %d of %d edges on %d PEs", spec.Label(), r, len(ch), m, p)
+		}
+	}
+}
+
+func smallSpecs() []Spec {
+	return []Spec{
+		{Family: Grid2D, N: 100, Seed: 1},
+		{Family: RGG2D, N: 150, M: 600, Seed: 2},
+		{Family: RGG3D, N: 150, M: 700, Seed: 3},
+		{Family: RHG, N: 200, M: 800, Seed: 4},
+		{Family: GNM, N: 120, M: 500, Seed: 5},
+		{Family: RMAT, N: 128, M: 500, Seed: 6},
+		{Family: RoadLike, N: 100, Seed: 7},
+	}
+}
+
+func TestAllFamiliesInputFormat(t *testing.T) {
+	for _, spec := range smallSpecs() {
+		for _, p := range []int{1, 3, 4, 8} {
+			all, chunks := buildAll(t, p, spec)
+			checkInputFormat(t, spec, all, chunks)
+		}
+	}
+}
+
+func TestInstanceIndependentOfWorldSize(t *testing.T) {
+	// The logical graph (set of undirected edges) must not depend on p.
+	for _, spec := range smallSpecs() {
+		ref, _ := buildAll(t, 1, spec)
+		for _, p := range []int{2, 5} {
+			got, _ := buildAll(t, p, spec)
+			if len(got) != len(ref) {
+				t.Fatalf("%s: edge count differs between p=1 (%d) and p=%d (%d)",
+					spec.Label(), len(ref), p, len(got))
+			}
+			for i := range ref {
+				if got[i].U != ref[i].U || got[i].V != ref[i].V || got[i].W != ref[i].W {
+					t.Fatalf("%s: edge %d differs between p=1 and p=%d", spec.Label(), i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	spec := Spec{Family: GNM, N: 100, M: 400, Seed: 11}
+	a, _ := buildAll(t, 4, spec)
+	b, _ := buildAll(t, 4, spec)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic edge %d", i)
+		}
+	}
+}
+
+func TestSeedChangesInstance(t *testing.T) {
+	a, _ := buildAll(t, 2, Spec{Family: GNM, N: 100, M: 400, Seed: 1})
+	b, _ := buildAll(t, 2, Spec{Family: GNM, N: 100, M: 400, Seed: 2})
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for _, n := range []uint64{1, 2, 4, 9, 10, 100, 101, 1 << 10} {
+		r, c := gridShape(n)
+		if r*c < n {
+			t.Fatalf("gridShape(%d) = %dx%d too small", n, r, c)
+		}
+		if r > 0 && (r-1)*c >= n {
+			t.Fatalf("gridShape(%d) = %dx%d wastes a full row", n, r, c)
+		}
+	}
+}
+
+func TestGridDegreesBounded(t *testing.T) {
+	all, _ := buildAll(t, 2, Spec{Family: Grid2D, N: 100, Seed: 1})
+	deg := map[graph.VID]int{}
+	for _, e := range all {
+		deg[e.U]++
+	}
+	for v, d := range deg {
+		if d > 4 {
+			t.Fatalf("grid vertex %d has degree %d > 4", v, d)
+		}
+	}
+}
+
+func TestGridEdgeCount(t *testing.T) {
+	// R×C grid has R(C-1) + C(R-1) undirected edges.
+	all, _ := buildAll(t, 1, Spec{Family: Grid2D, N: 100, Seed: 1})
+	r, c := gridShape(100)
+	want := int(2 * (r*(c-1) + c*(r-1))) // directed
+	if len(all) != want {
+		t.Fatalf("grid has %d directed edges, want %d", len(all), want)
+	}
+}
+
+func TestGridLocality(t *testing.T) {
+	// With row striping, most edges must connect nearby labels.
+	all, _ := buildAll(t, 1, Spec{Family: Grid2D, N: 400, Seed: 1})
+	_, cols := gridShape(400)
+	for _, e := range all {
+		d := int64(e.U) - int64(e.V)
+		if d < 0 {
+			d = -d
+		}
+		if d != 1 && d != int64(cols) {
+			t.Fatalf("grid edge %v connects labels at distance %d (cols=%d)", e, d, cols)
+		}
+	}
+}
+
+func TestRGGEdgesRespectRadius(t *testing.T) {
+	spec := Spec{Family: RGG2D, N: 200, M: 800, Seed: 9}
+	all, _ := buildAll(t, 3, spec)
+	// Regenerate the geometry to obtain point positions.
+	deg := float64(2*spec.M) / float64(spec.N)
+	radius := math.Sqrt(deg / (math.Pi * float64(spec.N)))
+	g := newRGGGeom(spec.N, radius, 2)
+	pos := map[graph.VID][3]float64{}
+	for cell := uint64(0); cell < g.totalCells; cell++ {
+		for _, pt := range g.cellPoints(spec.Seed, cell) {
+			pos[pt.id] = pt.pos
+		}
+	}
+	if len(pos) != int(spec.N) {
+		t.Fatalf("geometry generated %d points, want %d", len(pos), spec.N)
+	}
+	for _, e := range all {
+		a, b := pos[e.U], pos[e.V]
+		d := math.Hypot(a[0]-b[0], a[1]-b[1])
+		if d > radius*1.0000001 {
+			t.Fatalf("edge %v spans distance %.4f > radius %.4f", e, d, radius)
+		}
+	}
+}
+
+func TestRGGAverageDegreeNearTarget(t *testing.T) {
+	spec := Spec{Family: RGG2D, N: 2000, M: 16000, Seed: 13}
+	all, _ := buildAll(t, 4, spec)
+	gotDeg := float64(len(all)) / float64(spec.N)
+	wantDeg := float64(2*spec.M) / float64(spec.N)
+	if gotDeg < wantDeg*0.5 || gotDeg > wantDeg*1.6 {
+		t.Fatalf("RGG2D average degree %.1f far from target %.1f", gotDeg, wantDeg)
+	}
+}
+
+func TestRHGPowerLawTail(t *testing.T) {
+	spec := Spec{Family: RHG, N: 3000, M: 15000, Seed: 21}
+	all, _ := buildAll(t, 4, spec)
+	deg := map[graph.VID]int{}
+	for _, e := range all {
+		deg[e.U]++
+	}
+	var ds []int
+	for _, d := range deg {
+		ds = append(ds, d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	avg := float64(len(all)) / float64(len(ds))
+	// A power-law family must have hubs far above the mean...
+	if float64(ds[0]) < 5*avg {
+		t.Fatalf("RHG max degree %d not hub-like (avg %.1f)", ds[0], avg)
+	}
+	// ...and a majority of vertices below the mean.
+	below := 0
+	for _, d := range ds {
+		if float64(d) < avg {
+			below++
+		}
+	}
+	if below < len(ds)/2 {
+		t.Fatalf("RHG degree distribution not skewed: %d of %d below mean", below, len(ds))
+	}
+}
+
+func TestGNMEdgeCountNearTarget(t *testing.T) {
+	spec := Spec{Family: GNM, N: 1000, M: 5000, Seed: 31}
+	all, _ := buildAll(t, 4, spec)
+	got := len(all) / 2
+	if got < int(spec.M)*90/100 || got > int(spec.M) {
+		t.Fatalf("GNM has %d undirected edges, target %d", got, spec.M)
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	spec := Spec{Family: RMAT, N: 1 << 11, M: 16000, Seed: 41}
+	all, _ := buildAll(t, 4, spec)
+	deg := map[graph.VID]int{}
+	for _, e := range all {
+		deg[e.U]++
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("RMAT max degree %d not skewed (avg %.1f)", maxDeg, avg)
+	}
+}
+
+func TestScrambleIsBijection(t *testing.T) {
+	for _, n := range []uint64{10, 64, 100, 1000} {
+		bits := 0
+		for v := uint64(1); v < n; v <<= 1 {
+			bits++
+		}
+		seen := make(map[uint64]bool, n)
+		for x := uint64(0); x < n; x++ {
+			y := scramble(x, 7, bits, n)
+			if y >= n {
+				t.Fatalf("scramble(%d) = %d out of range n=%d", x, y, n)
+			}
+			if seen[y] {
+				t.Fatalf("scramble collision at %d (n=%d)", y, n)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestLocalityContrast(t *testing.T) {
+	// The fraction of "local" edges (|u-v| small) must be ordered
+	// grid > rhg > gnm — the central premise of the locality discussion.
+	frac := func(spec Spec) float64 {
+		all, _ := buildAll(t, 4, spec)
+		if len(all) == 0 {
+			return 0
+		}
+		local := 0
+		for _, e := range all {
+			d := int64(e.U) - int64(e.V)
+			if d < 0 {
+				d = -d
+			}
+			if d <= int64(spec.N)/16 {
+				local++
+			}
+		}
+		return float64(local) / float64(len(all))
+	}
+	grid := frac(Spec{Family: Grid2D, N: 1024, Seed: 3})
+	rhg := frac(Spec{Family: RHG, N: 1024, M: 8192, Seed: 3})
+	gnm := frac(Spec{Family: GNM, N: 1024, M: 8192, Seed: 3})
+	if !(grid > rhg && rhg > gnm) {
+		t.Fatalf("locality ordering violated: grid=%.2f rhg=%.2f gnm=%.2f", grid, rhg, gnm)
+	}
+}
+
+func TestRealWorldSpecs(t *testing.T) {
+	for _, name := range RealWorldNames() {
+		spec, err := RealWorldSpec(name, 1<<14, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		all, chunks := buildAll(t, 4, spec)
+		checkInputFormat(t, spec, all, chunks)
+	}
+}
+
+func TestRealWorldUnknownName(t *testing.T) {
+	if _, err := RealWorldSpec("nope", 1, 1); err == nil {
+		t.Fatal("expected error for unknown instance")
+	}
+}
+
+func TestRealWorldInfoMetadata(t *testing.T) {
+	rw, err := RealWorldInfo("US-road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Type != "road" || rw.PaperN == 0 || rw.PaperM == 0 {
+		t.Fatalf("bad metadata: %+v", rw)
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	want := map[Family]string{
+		Grid2D: "2D-GRID", RGG2D: "2D-RGG", RGG3D: "3D-RGG",
+		RHG: "RHG", GNM: "GNM", RMAT: "RMAT", RoadLike: "ROAD",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Fatalf("Family(%d).String() = %q want %q", int(f), f.String(), s)
+		}
+	}
+}
+
+func BenchmarkBuildGNM(b *testing.B) {
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		for i := 0; i < b.N; i++ {
+			Build(c, Spec{Family: GNM, N: 1 << 12, M: 1 << 15, Seed: 1}, dsort.Options{})
+		}
+	})
+}
+
+func BenchmarkBuildRGG2D(b *testing.B) {
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		for i := 0; i < b.N; i++ {
+			Build(c, Spec{Family: RGG2D, N: 1 << 12, M: 1 << 15, Seed: 1}, dsort.Options{})
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package graph defines the edge representation and the distributed graph
+// data structure of the paper (§II-B): an undirected weighted graph stored
+// as a lexicographically sorted sequence of directed edges (both directions
+// present), 1D-partitioned over the PEs, together with a replicated array
+// of each PE's lexicographically smallest edge. The replicated array allows
+// any PE to locate the home PE of a vertex or edge by binary search and to
+// classify vertices as local, shared, or ghost (Fig. 1) without
+// communication.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"kamsta/internal/rng"
+)
+
+// VID is a vertex identifier. Vertex labels are 1-based as in the paper;
+// label 0 is reserved for probes and sentinels.
+type VID = uint64
+
+// Weight is an edge weight. Experiments draw weights uniformly from
+// [1, 255) as in the paper's setup.
+type Weight = uint32
+
+// Edge is a directed working edge. U and V are the current endpoints and
+// are rewritten as components contract; TB and ID never change:
+//
+//   - TB packs the original endpoints (min<<32 | max) and acts as a
+//     symmetric tie-break key, making all edge weights globally distinct
+//     (§II-C) — an edge and its back edge share the same TB.
+//   - ID is the edge's global index in the input sequence, used to route
+//     the MST edge back to its home PE at the end (RedistributeMST) and to
+//     look it up in the compressed original edge list (§VI-C).
+//
+// TB packing assumes original vertex labels below 2^32, which holds for
+// every instance in this repository and in the paper.
+type Edge struct {
+	U, V VID
+	W    Weight
+	TB   uint64
+	ID   uint64
+}
+
+// MakeTB builds the symmetric tie-break key for original endpoints u and v.
+func MakeTB(u, v VID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	if u >= 1<<32 || v >= 1<<32 {
+		panic(fmt.Sprintf("graph: vertex label %d exceeds 2^32; TB packing invalid", v))
+	}
+	return u<<32 | v
+}
+
+// NewEdge builds a working edge for original endpoints u, v with weight w.
+// The ID is assigned later, when the global input sequence is fixed.
+func NewEdge(u, v VID, w Weight) Edge {
+	return Edge{U: u, V: v, W: w, TB: MakeTB(u, v)}
+}
+
+// OrigPair returns the original (canonical min, max) endpoints encoded in
+// the tie-break key.
+func (e Edge) OrigPair() (VID, VID) {
+	return e.TB >> 32, e.TB & 0xFFFFFFFF
+}
+
+// WeightedEdge returns a human-readable rendering.
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d,%d,w=%d)", e.U, e.V, e.W)
+}
+
+// LessLex orders edges lexicographically by (U, V, W, TB, ID) — the global
+// sort order of the distributed edge sequence.
+func LessLex(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.TB != b.TB {
+		return a.TB < b.TB
+	}
+	return a.ID < b.ID
+}
+
+// LessWeight orders edges by the unique global weight order (W, TB, V, ID).
+// Distinct logical edges never compare equal, which is what makes the MST
+// unique and keeps the pseudo-trees of a Borůvka round free of cycles
+// longer than two.
+func LessWeight(a, b Edge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	if a.TB != b.TB {
+		return a.TB < b.TB
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	return a.ID < b.ID
+}
+
+// SameWeightClass reports whether two edges are copies of the same logical
+// undirected edge (equal weight and original endpoints).
+func SameWeightClass(a, b Edge) bool {
+	return a.W == b.W && a.TB == b.TB
+}
+
+// maxEdge is a sentinel greater than every real edge.
+var maxEdge = Edge{U: math.MaxUint64, V: math.MaxUint64, W: math.MaxUint32, TB: math.MaxUint64, ID: math.MaxUint64}
+
+// MaxEdge returns the sentinel edge that compares greater than all real
+// edges under LessLex.
+func MaxEdge() Edge { return maxEdge }
+
+// RandomWeight returns the deterministic experiment weight for the
+// undirected pair {u, v} under seed (uniform in [1,255), §VII).
+func RandomWeight(seed uint64, u, v VID) Weight {
+	return rng.EdgeWeight(seed, u, v)
+}
+
+// VertexRange is a run of consecutive local edges sharing the source vertex
+// V: edges[Lo:Hi].
+type VertexRange struct {
+	V      VID
+	Lo, Hi int
+}
+
+// LocalRanges returns the per-source-vertex runs of a lexicographically
+// sorted local edge slice.
+func LocalRanges(edges []Edge) []VertexRange {
+	var out []VertexRange
+	for lo := 0; lo < len(edges); {
+		hi := lo + 1
+		for hi < len(edges) && edges[hi].U == edges[lo].U {
+			hi++
+		}
+		out = append(out, VertexRange{V: edges[lo].U, Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// IsSorted reports whether edges are in lexicographic order.
+func IsSorted(edges []Edge) bool {
+	for i := 1; i < len(edges); i++ {
+		if LessLex(edges[i], edges[i-1]) {
+			return false
+		}
+	}
+	return true
+}

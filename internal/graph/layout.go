@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"sort"
+
+	"kamsta/internal/comm"
+)
+
+// Layout is the replicated part of the distributed graph data structure
+// (§II-B): for every PE its lexicographically smallest edge, its last
+// source vertex and its local edge count. It supports, by local binary
+// search only:
+//
+//   - HomePE(v): the first PE holding edges with source v,
+//   - IsShared(v): whether v's edge range crosses a PE boundary (shared
+//     vertices are the component roots of the distributed Borůvka rounds),
+//   - OwnerOfEdge(u, v): the PE holding the directed edge (u, v),
+//   - SharedSpan(v): the full contiguous range of PEs sharing v.
+//
+// Empty PEs are handled by back-filling their First entry with the next
+// non-empty PE's first edge, keeping the array monotone.
+type Layout struct {
+	P      int
+	First  []Edge // First[i] = minlex(E_i), back-filled for empty PEs
+	Last   []Edge // Last[i] = lexicographically largest edge on PE i
+	Counts []int  // local edge counts
+
+	next []int // next[i] = index of the first non-empty PE >= i, len P+1
+}
+
+// entry is the per-PE contribution to the layout.
+type entry struct {
+	First, Last Edge
+	Count       int
+}
+
+// BuildLayout constructs the replicated layout from each PE's sorted local
+// edges using one allgather, as in §II-B / §IV-C.
+func BuildLayout(c *comm.Comm, local []Edge) *Layout {
+	e := entry{Count: len(local)}
+	if len(local) > 0 {
+		e.First = local[0]
+		e.Last = local[len(local)-1]
+	}
+	all := comm.Allgather(c, e)
+	return assembleLayout(all)
+}
+
+func assembleLayout(all []entry) *Layout {
+	p := len(all)
+	l := &Layout{
+		P:      p,
+		First:  make([]Edge, p),
+		Last:   make([]Edge, p),
+		Counts: make([]int, p),
+		next:   make([]int, p+1),
+	}
+	for i, e := range all {
+		l.First[i] = e.First
+		l.Last[i] = e.Last
+		l.Counts[i] = e.Count
+	}
+	// Back-fill empties from the right; trailing empties get the sentinel.
+	fill := MaxEdge()
+	l.next[p] = p
+	for i := p - 1; i >= 0; i-- {
+		if l.Counts[i] == 0 {
+			l.First[i] = fill
+			l.next[i] = l.next[i+1]
+		} else {
+			fill = l.First[i]
+			l.next[i] = i
+		}
+	}
+	return l
+}
+
+// TotalEdges reports the global number of edges.
+func (l *Layout) TotalEdges() int {
+	s := 0
+	for _, c := range l.Counts {
+		s += c
+	}
+	return s
+}
+
+// locate returns the first non-empty PE containing an edge >= probe, or P
+// if none.
+func (l *Layout) locate(probe Edge) int {
+	// Find the smallest i with First[next[i+1]] > probe, i.e. the PE whose
+	// range [First[i], First[i+1]) can contain probe; then skip empties.
+	i := sort.Search(l.P, func(i int) bool {
+		n := l.next[i+1]
+		if n >= l.P {
+			return true // everything from i+1 on is empty
+		}
+		return LessLex(probe, l.First[n])
+	})
+	if i >= l.P {
+		return l.P
+	}
+	i = l.next[i]
+	if i >= l.P {
+		return l.P
+	}
+	// The probe may fall in the value gap between PE i's last edge and the
+	// next non-empty PE's first edge; the first edge >= probe then lives on
+	// that next PE.
+	if LessLex(l.Last[i], probe) {
+		i = l.next[i+1]
+		if i >= l.P {
+			return l.P
+		}
+	}
+	return i
+}
+
+// probeFor returns the smallest possible edge with source v. Real vertices
+// are labeled from 1, so V=0, W=0 sorts before every real edge of v.
+func probeFor(v VID) Edge { return Edge{U: v} }
+
+// HomePE returns the first PE holding edges with source v. If v does not
+// occur as a source anywhere, the result is the PE where such edges would
+// start; callers only query existing vertices.
+func (l *Layout) HomePE(v VID) int {
+	i := l.locate(probeFor(v))
+	if i >= l.P {
+		return l.P - 1
+	}
+	return i
+}
+
+// OwnerOfEdge returns the PE holding the directed edge (u, v). Callers only
+// query existing edges.
+func (l *Layout) OwnerOfEdge(u, v VID) int {
+	i := l.locate(Edge{U: u, V: v})
+	if i >= l.P {
+		return l.P - 1
+	}
+	return i
+}
+
+// OwnerOfReverse returns the PE holding the reverse copy of e — the edge
+// (e.V, e.U) with the same weight class. Probing with the full (W, TB) key
+// pins the exact copy even when parallel edges between the same endpoints
+// exist.
+func (l *Layout) OwnerOfReverse(e Edge) int {
+	i := l.locate(Edge{U: e.V, V: e.U, W: e.W, TB: e.TB})
+	if i >= l.P {
+		return l.P - 1
+	}
+	return i
+}
+
+// IsShared reports whether v's edge range crosses a PE boundary: some later
+// non-empty PE starts with source v while v's range starts earlier, or v
+// starts a PE and also ends the previous non-empty one.
+func (l *Layout) IsShared(v VID) bool {
+	first, last := l.SharedSpan(v)
+	return last > first
+}
+
+// SharedSpan returns the range [first, last] of non-empty PEs whose local
+// edge sets contain source v, assuming v exists. For a non-shared vertex
+// first == last == HomePE(v).
+func (l *Layout) SharedSpan(v VID) (int, int) {
+	first := l.HomePE(v)
+	last := first
+	for {
+		n := l.next[last+1]
+		if n >= l.P || l.First[n].U != v {
+			break
+		}
+		last = n
+	}
+	return first, last
+}
+
+// IsSharedOn reports whether v is shared from the point of view of PE rank:
+// v's span includes rank and at least one other PE.
+func (l *Layout) IsSharedOn(v VID, rank int) bool {
+	first, last := l.SharedSpan(v)
+	return last > first && first <= rank && rank <= last
+}
+
+// GlobalVertexCount counts the distinct source vertices of the whole
+// distributed edge sequence, counting shared vertices once. localEdges must
+// be this PE's sorted local edges (consistent with the layout).
+func GlobalVertexCount(c *comm.Comm, l *Layout, localEdges []Edge) int {
+	distinct := 0
+	for lo := 0; lo < len(localEdges); {
+		hi := lo + 1
+		for hi < len(localEdges) && localEdges[hi].U == localEdges[lo].U {
+			hi++
+		}
+		distinct++
+		lo = hi
+	}
+	// Subtract one if our first vertex is already counted by the previous
+	// non-empty PE.
+	if len(localEdges) > 0 {
+		r := c.Rank()
+		for i := r - 1; i >= 0; i-- {
+			if l.Counts[i] > 0 {
+				if l.Last[i].U == localEdges[0].U {
+					distinct--
+				}
+				break
+			}
+		}
+	}
+	return comm.Allreduce(c, distinct, func(a, b int) int { return a + b })
+}

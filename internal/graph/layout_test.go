@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"testing"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/rng"
+)
+
+// makeGlobalEdges builds a sorted symmetric edge sequence for a small
+// random graph on n vertices (labels 1..n).
+func makeGlobalEdges(n, m int, seed uint64) []Edge {
+	r := rng.New(seed)
+	seen := map[uint64]bool{}
+	var edges []Edge
+	for len(seen) < m {
+		u := VID(r.Intn(n) + 1)
+		v := VID(r.Intn(n) + 1)
+		if u == v {
+			continue
+		}
+		tb := MakeTB(u, v)
+		if seen[tb] {
+			continue
+		}
+		seen[tb] = true
+		w := RandomWeight(seed, u, v)
+		edges = append(edges, NewEdge(u, v, w), NewEdge(v, u, w))
+	}
+	sortEdges(edges)
+	for i := range edges {
+		edges[i].ID = uint64(i)
+	}
+	return edges
+}
+
+func sortEdges(edges []Edge) {
+	// insertion of sort.Slice here keeps the test independent of dsort
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && LessLex(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+// partitions splits the edges into p chunks according to a cut pattern:
+// 0 = balanced, 1 = skewed to front, 2 = with empty PEs in the middle.
+func partition(edges []Edge, p, pattern int) [][]Edge {
+	out := make([][]Edge, p)
+	m := len(edges)
+	switch pattern {
+	case 0:
+		chunk := (m + p - 1) / p
+		for i := 0; i < p; i++ {
+			lo, hi := i*chunk, (i+1)*chunk
+			if lo > m {
+				lo = m
+			}
+			if hi > m {
+				hi = m
+			}
+			out[i] = edges[lo:hi]
+		}
+	case 1: // first PE gets half, rest share
+		if p == 1 {
+			out[0] = edges
+			break
+		}
+		half := m / 2
+		out[0] = edges[:half]
+		rest := edges[half:]
+		chunk := (len(rest) + p - 2) / maxi(p-1, 1)
+		for i := 1; i < p; i++ {
+			lo, hi := (i-1)*chunk, i*chunk
+			if lo > len(rest) {
+				lo = len(rest)
+			}
+			if hi > len(rest) {
+				hi = len(rest)
+			}
+			out[i] = rest[lo:hi]
+		}
+	case 2: // even PEs empty
+		nonEmpty := (p + 1) / 2
+		chunk := (m + nonEmpty - 1) / nonEmpty
+		k := 0
+		for i := 0; i < p; i++ {
+			if i%2 == 0 && i != 0 {
+				continue
+			}
+			lo, hi := k*chunk, (k+1)*chunk
+			if lo > m {
+				lo = m
+			}
+			if hi > m {
+				hi = m
+			}
+			out[i] = edges[lo:hi]
+			k++
+		}
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bruteHome returns the index of the chunk where v's source range starts.
+func bruteHome(chunks [][]Edge, v VID) int {
+	for i, ch := range chunks {
+		for _, e := range ch {
+			if e.U == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func bruteShared(chunks [][]Edge, v VID) bool {
+	n := 0
+	for _, ch := range chunks {
+		for _, e := range ch {
+			if e.U == v {
+				n++
+				break
+			}
+		}
+	}
+	return n > 1
+}
+
+func bruteOwner(chunks [][]Edge, u, v VID) int {
+	for i, ch := range chunks {
+		for _, e := range ch {
+			if e.U == u && e.V == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func TestLayoutAgainstBruteForce(t *testing.T) {
+	edges := makeGlobalEdges(30, 60, 17)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for pattern := 0; pattern <= 2; pattern++ {
+			chunks := partition(edges, p, pattern)
+			w := comm.NewWorld(p)
+			w.Run(func(c *comm.Comm) {
+				l := BuildLayout(c, chunks[c.Rank()])
+				if l.TotalEdges() != len(edges) {
+					t.Errorf("p=%d pat=%d: TotalEdges=%d want %d", p, pattern, l.TotalEdges(), len(edges))
+					return
+				}
+				if c.Rank() != 0 {
+					return // checks below are deterministic and replicated
+				}
+				for v := VID(1); v <= 30; v++ {
+					wantHome := bruteHome(chunks, v)
+					if wantHome < 0 {
+						continue // vertex has no edges
+					}
+					if got := l.HomePE(v); got != wantHome {
+						t.Errorf("p=%d pat=%d: HomePE(%d)=%d want %d", p, pattern, v, got, wantHome)
+					}
+					if got := l.IsShared(v); got != bruteShared(chunks, v) {
+						t.Errorf("p=%d pat=%d: IsShared(%d)=%v want %v", p, pattern, v, got, !got)
+					}
+				}
+				for _, e := range edges {
+					want := bruteOwner(chunks, e.U, e.V)
+					if got := l.OwnerOfEdge(e.U, e.V); got != want {
+						t.Errorf("p=%d pat=%d: OwnerOfEdge(%d,%d)=%d want %d", p, pattern, e.U, e.V, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSharedSpanCoversAllHolders(t *testing.T) {
+	edges := makeGlobalEdges(10, 25, 3)
+	p := 6
+	chunks := partition(edges, p, 0)
+	w := comm.NewWorld(p)
+	w.Run(func(c *comm.Comm) {
+		l := BuildLayout(c, chunks[c.Rank()])
+		if c.Rank() != 0 {
+			return
+		}
+		for v := VID(1); v <= 10; v++ {
+			if bruteHome(chunks, v) < 0 {
+				continue
+			}
+			first, last := l.SharedSpan(v)
+			for i := 0; i < p; i++ {
+				holds := false
+				for _, e := range chunks[i] {
+					if e.U == v {
+						holds = true
+						break
+					}
+				}
+				inSpan := i >= first && i <= last && l.Counts[i] > 0
+				if holds != inSpan {
+					t.Errorf("v=%d PE=%d: holds=%v but span=[%d,%d]", v, i, holds, first, last)
+				}
+			}
+		}
+	})
+}
+
+func TestIsSharedOn(t *testing.T) {
+	// Construct a vertex spanning PEs 1..2 explicitly.
+	all := []Edge{
+		{U: 1, V: 2, W: 1, TB: MakeTB(1, 2)},
+		{U: 2, V: 1, W: 1, TB: MakeTB(1, 2)},
+		{U: 2, V: 3, W: 2, TB: MakeTB(2, 3)},
+		{U: 3, V: 2, W: 2, TB: MakeTB(2, 3)},
+	}
+	chunks := [][]Edge{all[:1], all[1:2], all[2:]}
+	w := comm.NewWorld(3)
+	w.Run(func(c *comm.Comm) {
+		l := BuildLayout(c, chunks[c.Rank()])
+		if c.Rank() == 0 {
+			if !l.IsShared(2) {
+				t.Error("vertex 2 spans PEs 1 and 2, should be shared")
+			}
+			if l.IsShared(1) || l.IsShared(3) {
+				t.Error("vertices 1 and 3 are not shared")
+			}
+			if !l.IsSharedOn(2, 1) || !l.IsSharedOn(2, 2) {
+				t.Error("IsSharedOn should be true on both holders")
+			}
+			if l.IsSharedOn(2, 0) {
+				t.Error("IsSharedOn must be false on a PE outside the span")
+			}
+		}
+	})
+}
+
+func TestGlobalVertexCount(t *testing.T) {
+	edges := makeGlobalEdges(25, 50, 9)
+	distinct := map[VID]bool{}
+	for _, e := range edges {
+		distinct[e.U] = true
+	}
+	for _, p := range []int{1, 2, 4, 7} {
+		for pattern := 0; pattern <= 2; pattern++ {
+			chunks := partition(edges, p, pattern)
+			w := comm.NewWorld(p)
+			w.Run(func(c *comm.Comm) {
+				l := BuildLayout(c, chunks[c.Rank()])
+				got := GlobalVertexCount(c, l, chunks[c.Rank()])
+				if got != len(distinct) {
+					t.Errorf("p=%d pat=%d rank=%d: GlobalVertexCount=%d want %d", p, pattern, c.Rank(), got, len(distinct))
+				}
+			})
+		}
+	}
+}
+
+func TestLayoutAllEmpty(t *testing.T) {
+	w := comm.NewWorld(3)
+	w.Run(func(c *comm.Comm) {
+		l := BuildLayout(c, nil)
+		if l.TotalEdges() != 0 {
+			t.Errorf("empty layout has %d edges", l.TotalEdges())
+		}
+	})
+}

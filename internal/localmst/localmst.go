@@ -1,0 +1,452 @@
+// Package localmst implements the intra-PE shared-memory MST machinery of
+// the paper: Borůvka rounds with min-priority-write minimum-edge selection
+// (the building block taken from the GBBS algorithm of Dhulipala et al.
+// [15]), specialized for two uses:
+//
+//   - Local preprocessing (§IV-A): contract local edges that are provably
+//     MST edges using only locally available information. A vertex is only
+//     contracted when its lightest incident edge overall is a local edge —
+//     when the lightest edge is a cut edge, the vertex freezes and stays
+//     for the distributed rounds.
+//   - Shared-memory MSF: with every vertex local and no freezing, the same
+//     rounds compute the full MSF of a graph on one node with t threads
+//     (the single-node baseline of §VII-C).
+//
+// It also provides the engineering refinements of §VI-B: the hash-table
+// based removal of parallel edges, and a one-level variant of the recursive
+// edge filtering applied before contraction.
+package localmst
+
+import (
+	"sort"
+
+	"kamsta/internal/graph"
+	"kamsta/internal/par"
+)
+
+// Config controls a local contraction run.
+type Config struct {
+	// Pool provides intra-PE threads (nil = sequential).
+	Pool *par.Pool
+	// Filter enables the §VI-B edge-filtering enhancement: the edge set is
+	// partitioned at a pivot weight, the light part is contracted first,
+	// and heavy intra-component edges are dropped before a second pass.
+	Filter bool
+	// FilterThreshold is the edge count above which filtering activates
+	// (default 4096).
+	FilterThreshold int
+	// HashDedup selects the hash-table parallel-edge removal (§VI-B)
+	// instead of pure sorting.
+	HashDedup bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool == nil {
+		c.Pool = par.NewPool(1)
+	}
+	if c.FilterThreshold <= 0 {
+		c.FilterThreshold = 4096
+	}
+	return c
+}
+
+// Result of a local contraction.
+type Result struct {
+	// MSTEdges are the identified MST edges. Their U/V fields are working
+	// labels; TB and ID still identify the original edge.
+	MSTEdges []graph.Edge
+	// Labels maps every eligible (isLocal) vertex to its component root
+	// (identity for frozen roots).
+	Labels map[graph.VID]graph.VID
+	// Remaining holds the surviving edges, endpoints relabeled to component
+	// roots, self-loops removed, parallel edges reduced to the lightest,
+	// sorted lexicographically.
+	Remaining []graph.Edge
+	// Rounds is the number of Borůvka rounds executed.
+	Rounds int
+	// Work is the total number of edge touches across all rounds (the
+	// rounds compact the edge set, so Work is far below m·Rounds on
+	// contractible graphs). Callers use it for modeled-cost accounting.
+	Work int
+}
+
+// Run contracts the graph induced by edges as far as the locality rule
+// allows. isLocal says whether a vertex may be contracted on this PE (for
+// preprocessing: local and not shared; for a single-node MSF: always true).
+// Non-local endpoints keep their labels; edges to them freeze their source
+// component when they are its lightest incident edge.
+func Run(edges []graph.Edge, isLocal func(graph.VID) bool, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	work := make([]graph.Edge, len(edges))
+	copy(work, edges)
+
+	st := newState(work, isLocal)
+	res := Result{}
+	if cfg.Filter && len(work) > cfg.FilterThreshold {
+		light, heavy := splitAtMedianWeight(work)
+		work = st.contract(light, cfg, &res)
+		// Filter heavy edges through the labels achieved so far, then
+		// finish on the union.
+		heavy = st.relabelAndDrop(heavy, cfg.Pool)
+		work = append(work, heavy...)
+	}
+	work = st.contract(work, cfg, &res)
+
+	res.Remaining = removeParallel(work, cfg)
+	res.Labels = st.labels()
+	return res
+}
+
+// state tracks the dense component structure over the eligible vertices.
+type state struct {
+	verts   []graph.VID // sorted distinct eligible vertices
+	parent  []int32     // dense parent pointers (roots: parent[i] == i)
+	frozen  []bool      // component may no longer contract
+	isLocal func(graph.VID) bool
+}
+
+func newState(edges []graph.Edge, isLocal func(graph.VID) bool) *state {
+	seen := make(map[graph.VID]struct{})
+	for _, e := range edges {
+		if isLocal(e.U) {
+			seen[e.U] = struct{}{}
+		}
+		if isLocal(e.V) {
+			seen[e.V] = struct{}{}
+		}
+	}
+	verts := make([]graph.VID, 0, len(seen))
+	for v := range seen {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	st := &state{
+		verts:   verts,
+		parent:  make([]int32, len(verts)),
+		frozen:  make([]bool, len(verts)),
+		isLocal: isLocal,
+	}
+	for i := range st.parent {
+		st.parent[i] = int32(i)
+	}
+	return st
+}
+
+// idx returns the dense index of v, or -1 if v is not eligible.
+func (st *state) idx(v graph.VID) int32 {
+	lo, hi := 0, len(st.verts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if st.verts[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.verts) && st.verts[lo] == v {
+		return int32(lo)
+	}
+	return -1
+}
+
+// root resolves i to its component root with path compression.
+func (st *state) root(i int32) int32 {
+	r := i
+	for st.parent[r] != r {
+		r = st.parent[r]
+	}
+	for st.parent[i] != r {
+		st.parent[i], i = r, st.parent[i]
+	}
+	return r
+}
+
+// rootLabel maps a vertex label to its current component root label.
+func (st *state) rootLabel(v graph.VID) graph.VID {
+	i := st.idx(v)
+	if i < 0 {
+		return v
+	}
+	return st.verts[st.root(i)]
+}
+
+// labels materializes the final vertex → root mapping.
+func (st *state) labels() map[graph.VID]graph.VID {
+	out := make(map[graph.VID]graph.VID, len(st.verts))
+	for i, v := range st.verts {
+		out[v] = st.verts[st.root(int32(i))]
+	}
+	return out
+}
+
+// contract runs Borůvka rounds on work until no component can contract,
+// appending found MST edges to res and counting rounds. It returns the
+// surviving relabeled edges (self-loops removed, possibly with parallels).
+func (st *state) contract(work []graph.Edge, cfg Config, res *Result) []graph.Edge {
+	pool := cfg.Pool
+	// Frozen flags are a per-call memo: a component frozen for lack of
+	// edges in the filtered light phase must get another chance when the
+	// heavy edges arrive. Re-freezing on cut edges happens naturally, as a
+	// cut edge lighter than every heavy edge stays the component minimum.
+	for i := range st.frozen {
+		st.frozen[i] = false
+	}
+	// Edges arrive with original labels; normalize to current roots first
+	// (no-op on the first call).
+	work = st.relabelKeepCut(work, pool)
+	// retired holds edges that can never participate again within this
+	// call: both endpoints frozen or non-local. Freezing is permanent for
+	// the duration of a contract call, so setting such edges aside keeps
+	// the per-round scan proportional to the still-active part of the
+	// graph — essential on graphs with many cut edges, where the paper's
+	// preprocessing would otherwise rescan frozen boundaries every round.
+	var retired []graph.Edge
+	for {
+		res.Work += len(work)
+		slots := par.NewMinIndex(len(st.verts))
+		lessByWeight := func(a, b uint32) bool { return graph.LessWeight(work[a], work[b]) }
+		// Min-priority-write: every edge offers itself to the slots of BOTH
+		// endpoints (endpoints are component roots already). Writing both
+		// sides makes the selection correct for undirected edges regardless
+		// of which directed copies this PE holds, and is exactly the
+		// min-priority-write of [15].
+		pool.For(len(work), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if i := st.idx(work[k].U); i >= 0 && !st.frozen[i] {
+					slots.Write(int(i), uint32(k), lessByWeight)
+				}
+				if i := st.idx(work[k].V); i >= 0 && !st.frozen[i] {
+					slots.Write(int(i), uint32(k), lessByWeight)
+				}
+			}
+		})
+
+		// Choose parents; freeze components whose lightest edge leaves the
+		// local vertex set.
+		type pick struct {
+			target int32 // dense root of the chosen local neighbor, -1 = freeze
+			edge   uint32
+		}
+		picks := make([]pick, len(st.verts))
+		merged := false
+		for i := range st.verts {
+			picks[i] = pick{target: -1, edge: par.None}
+			if st.frozen[i] || st.parent[i] != int32(i) {
+				continue
+			}
+			k := slots.Get(i)
+			if k == par.None {
+				st.frozen[i] = true // isolated component
+				continue
+			}
+			e := work[k]
+			// The chosen edge may have been written from either side; the
+			// contraction target is the endpoint that is not this root.
+			other := e.V
+			if other == st.verts[i] {
+				other = e.U
+			}
+			j := st.idx(other)
+			if j < 0 {
+				st.frozen[i] = true // lightest edge is a cut edge
+				continue
+			}
+			picks[i] = pick{target: j, edge: k}
+		}
+
+		// Resolve picks; mutual pairs (2-cycles) keep the smaller label as
+		// root and contribute exactly one MST edge.
+		for i := range st.verts {
+			p := picks[i]
+			if p.target < 0 {
+				continue
+			}
+			j := p.target
+			if picks[j].target == int32(i) && st.verts[j] > st.verts[i] {
+				// Mutual pair and we are the smaller label: we stay root;
+				// drop our pick (j will hang under us and contribute the
+				// single MST edge of the 2-cycle).
+				continue
+			}
+			st.parent[i] = j
+			res.MSTEdges = append(res.MSTEdges, work[p.edge])
+			merged = true
+		}
+		res.Rounds++
+		if !merged {
+			break
+		}
+		// Flatten the forest and relabel the edges.
+		for i := range st.parent {
+			st.root(int32(i))
+		}
+		work = st.relabelKeepCut(work, pool)
+		// Contracting a dense graph leaves many parallel edges; reducing
+		// them per round keeps the total work a geometric sum instead of
+		// m·rounds (the final removeParallel still canonicalizes the
+		// survivors). Cheap hash reduction, lightest copy per directed
+		// pair — both directions of a local edge reduce consistently.
+		if len(work) > 256 {
+			work = reduceParallelPairs(work)
+		}
+		// Retire edges between permanently settled components.
+		settled := func(v graph.VID) bool {
+			i := st.idx(v)
+			return i < 0 || st.frozen[st.root(i)]
+		}
+		active := work[:0]
+		for _, e := range work {
+			if settled(e.U) && settled(e.V) {
+				retired = append(retired, e)
+			} else {
+				active = append(active, e)
+			}
+		}
+		work = active
+	}
+	return append(work, retired...)
+}
+
+// reduceParallelPairs keeps the lightest copy per directed endpoint pair.
+// Order is not preserved; the caller re-sorts at the end of the run.
+func reduceParallelPairs(edges []graph.Edge) []graph.Edge {
+	type pair struct{ U, V graph.VID }
+	best := make(map[pair]int, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := pair{e.U, e.V}
+		if i, ok := best[k]; ok {
+			if graph.LessWeight(e, out[i]) {
+				out[i] = e
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// relabelKeepCut rewrites endpoints to current root labels and drops
+// self-loops.
+func (st *state) relabelKeepCut(edges []graph.Edge, pool *par.Pool) []graph.Edge {
+	out := par.Map(pool, edges, func(e graph.Edge) graph.Edge {
+		e.U = st.rootLabel(e.U)
+		e.V = st.rootLabel(e.V)
+		return e
+	})
+	return par.Filter(pool, out, func(e graph.Edge) bool { return e.U != e.V })
+}
+
+// relabelAndDrop is the filtering step: relabel and drop intra-component
+// (self-loop) edges from a held-back heavy set.
+func (st *state) relabelAndDrop(edges []graph.Edge, pool *par.Pool) []graph.Edge {
+	return st.relabelKeepCut(edges, pool)
+}
+
+// splitAtMedianWeight partitions edges at the median weight of a small
+// sample, light part inclusive.
+func splitAtMedianWeight(edges []graph.Edge) (light, heavy []graph.Edge) {
+	const sampleN = 63
+	sample := make([]graph.Edge, 0, sampleN)
+	step := len(edges)/sampleN + 1
+	for i := 0; i < len(edges); i += step {
+		sample = append(sample, edges[i])
+	}
+	sort.Slice(sample, func(i, j int) bool { return graph.LessWeight(sample[i], sample[j]) })
+	pivot := sample[len(sample)/2]
+	light = make([]graph.Edge, 0, len(edges)/2)
+	heavy = make([]graph.Edge, 0, len(edges)/2)
+	for _, e := range edges {
+		if graph.LessWeight(pivot, e) {
+			heavy = append(heavy, e)
+		} else {
+			light = append(light, e)
+		}
+	}
+	return light, heavy
+}
+
+// removeParallel reduces runs of equal (U,V) to the lightest copy and
+// returns the edges sorted lexicographically. With cfg.HashDedup it uses
+// the §VI-B hybrid: edges lighter than a sampled pivot enter a hash table
+// that both dedups them and filters heavier duplicates, so only the heavy
+// remainder needs sorting.
+func removeParallel(edges []graph.Edge, cfg Config) []graph.Edge {
+	if len(edges) == 0 {
+		return nil
+	}
+	if !cfg.HashDedup {
+		sort.Slice(edges, func(i, j int) bool { return graph.LessLex(edges[i], edges[j]) })
+		out := edges[:0]
+		for i, e := range edges {
+			if i > 0 && e.U == edges[i-1].U && e.V == edges[i-1].V {
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+
+	// Pivot such that the light set is small (about a quarter).
+	const sampleN = 31
+	sample := make([]graph.Edge, 0, sampleN)
+	step := len(edges)/sampleN + 1
+	for i := 0; i < len(edges); i += step {
+		sample = append(sample, edges[i])
+	}
+	sort.Slice(sample, func(i, j int) bool { return graph.LessWeight(sample[i], sample[j]) })
+	pivot := sample[len(sample)/4]
+
+	type key struct{ U, V graph.VID }
+	light := make(map[key]graph.Edge)
+	heavy := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		if !graph.LessWeight(pivot, e) {
+			k := key{e.U, e.V}
+			if cur, ok := light[k]; !ok || graph.LessWeight(e, cur) {
+				light[k] = e
+			}
+		} else {
+			heavy = append(heavy, e)
+		}
+	}
+	// Heavy edges whose pair already has a lighter copy die here.
+	kept := heavy[:0]
+	for _, e := range heavy {
+		if _, ok := light[key{e.U, e.V}]; !ok {
+			kept = append(kept, e)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return graph.LessLex(kept[i], kept[j]) })
+	out := make([]graph.Edge, 0, len(light)+len(kept))
+	for _, e := range light {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return graph.LessLex(out[i], out[j]) })
+	// Merge the two sorted parts, dropping heavy duplicates.
+	merged := make([]graph.Edge, 0, len(out)+len(kept))
+	i, j := 0, 0
+	for i < len(out) || j < len(kept) {
+		var e graph.Edge
+		if j >= len(kept) || (i < len(out) && graph.LessLex(out[i], kept[j])) {
+			e = out[i]
+			i++
+		} else {
+			e = kept[j]
+			j++
+		}
+		if n := len(merged); n > 0 && merged[n-1].U == e.U && merged[n-1].V == e.V {
+			continue
+		}
+		merged = append(merged, e)
+	}
+	return merged
+}
+
+// MSF computes the full minimum spanning forest of an in-memory graph with
+// t threads — the shared-memory baseline (§VII-C). All vertices count as
+// local.
+func MSF(edges []graph.Edge, pool *par.Pool) Result {
+	return Run(edges, func(graph.VID) bool { return true }, Config{Pool: pool, HashDedup: true})
+}

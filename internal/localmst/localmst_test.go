@@ -1,0 +1,303 @@
+package localmst
+
+import (
+	"testing"
+
+	"kamsta/internal/graph"
+	"kamsta/internal/par"
+	"kamsta/internal/rng"
+	"kamsta/internal/seqmst"
+	"kamsta/internal/unionfind"
+)
+
+func allLocal(graph.VID) bool { return true }
+
+// randomEdges builds a random undirected edge list (single copies) on
+// vertices 1..n with distinct weights via tie-breaking.
+func randomEdges(n, m int, seed uint64) []graph.Edge {
+	r := rng.New(seed)
+	seen := map[uint64]bool{}
+	var edges []graph.Edge
+	for i := 2; i <= n; i++ { // spanning-ish backbone
+		u := graph.VID(r.Intn(i-1) + 1)
+		v := graph.VID(i)
+		tb := graph.MakeTB(u, v)
+		if !seen[tb] {
+			seen[tb] = true
+			edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+		}
+	}
+	for len(edges) < m {
+		u := graph.VID(r.Intn(n) + 1)
+		v := graph.VID(r.Intn(n) + 1)
+		if u == v || seen[graph.MakeTB(u, v)] {
+			continue
+		}
+		seen[graph.MakeTB(u, v)] = true
+		edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+	}
+	for i := range edges {
+		edges[i].ID = uint64(i)
+	}
+	return edges
+}
+
+func totalWeight(edges []graph.Edge) uint64 {
+	t := uint64(0)
+	for _, e := range edges {
+		t += uint64(e.W)
+	}
+	return t
+}
+
+func TestMSFMatchesKruskalAllLocal(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		n := 60 + int(seed)*10
+		edges := randomEdges(n, n*4, seed)
+		want := seqmst.Kruskal(n, edges)
+		for _, threads := range []int{1, 4} {
+			for _, filter := range []bool{false, true} {
+				for _, hash := range []bool{false, true} {
+					got := Run(edges, allLocal, Config{
+						Pool: par.NewPool(threads), Filter: filter, FilterThreshold: 64, HashDedup: hash,
+					})
+					if w := totalWeight(got.MSTEdges); w != want.TotalWeight {
+						t.Fatalf("seed=%d threads=%d filter=%v hash=%v: weight %d want %d",
+							seed, threads, filter, hash, w, want.TotalWeight)
+					}
+					if len(got.MSTEdges) != len(want.Edges) {
+						t.Fatalf("seed=%d: %d MST edges want %d", seed, len(got.MSTEdges), len(want.Edges))
+					}
+					if len(got.Remaining) != 0 {
+						t.Fatalf("seed=%d: %d edges remain after full MSF", seed, len(got.Remaining))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMSFEdgeSetMatchesKruskal(t *testing.T) {
+	n := 100
+	edges := randomEdges(n, 400, 5)
+	want := seqmst.Kruskal(n, edges)
+	got := MSF(edges, par.NewPool(2))
+	wantTB := map[uint64]bool{}
+	for _, e := range want.Edges {
+		wantTB[e.TB] = true
+	}
+	for _, e := range got.MSTEdges {
+		if !wantTB[e.TB] {
+			t.Fatalf("MSF picked non-MST edge %v", e)
+		}
+	}
+	if len(got.MSTEdges) != len(want.Edges) {
+		t.Fatalf("%d edges want %d", len(got.MSTEdges), len(want.Edges))
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 3),
+		graph.NewEdge(3, 4, 5),
+	}
+	got := MSF(edges, nil)
+	if len(got.MSTEdges) != 2 || totalWeight(got.MSTEdges) != 8 {
+		t.Fatalf("disconnected MSF wrong: %+v", got.MSTEdges)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	got := Run(nil, allLocal, Config{})
+	if len(got.MSTEdges) != 0 || len(got.Remaining) != 0 || len(got.Labels) != 0 {
+		t.Fatalf("empty input gave %+v", got)
+	}
+}
+
+func TestLabelsFormComponents(t *testing.T) {
+	n := 80
+	edges := randomEdges(n, 200, 9)
+	got := MSF(edges, nil)
+	// Labels must assign every vertex of a connected component the same
+	// root, matching union-find over the MST edges.
+	uf := unionfind.New(n + 1)
+	for _, e := range edges {
+		uf.Union(int(e.U), int(e.V))
+	}
+	rootOf := map[int]graph.VID{}
+	for v := 1; v <= n; v++ {
+		lbl, ok := got.Labels[graph.VID(v)]
+		if !ok {
+			continue
+		}
+		r := uf.Find(v)
+		if prev, seen := rootOf[r]; seen && prev != lbl {
+			t.Fatalf("component of %d has two labels: %d and %d", v, prev, lbl)
+		}
+		rootOf[r] = lbl
+	}
+}
+
+// cutScenario builds a graph where vertex sets {1,2} are local and 3 is
+// not; the lightest edge of 2 is the cut edge (2,3,w=1), so 2 must freeze
+// even though the local edge (1,2,5) exists.
+func TestFreezeOnLighterCutEdge(t *testing.T) {
+	isLocal := func(v graph.VID) bool { return v <= 2 }
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 5),
+		graph.NewEdge(2, 3, 1), // cut edge, lighter
+		graph.NewEdge(1, 3, 9), // cut edge
+	}
+	got := Run(edges, isLocal, Config{})
+	// Vertex 2's lightest edge is a cut edge → freeze. Vertex 1's lightest
+	// edge is the local (1,2,5)... which IS its lightest (5 < 9), so 1
+	// contracts into 2's component. The local edge (1,2,5) is a real MST
+	// edge here (1's lightest incident edge overall).
+	if len(got.MSTEdges) != 1 || got.MSTEdges[0].TB != graph.MakeTB(1, 2) {
+		t.Fatalf("expected exactly the local edge (1,2) as MST edge, got %+v", got.MSTEdges)
+	}
+	// After contraction the two cut edges become parallel (both connect
+	// component {1,2} to vertex 3); only the lighter survives. Dropping the
+	// heavier is sound by the cycle property.
+	if len(got.Remaining) != 1 || got.Remaining[0].W != 1 {
+		t.Fatalf("expected the light cut edge to survive alone, got %+v", got.Remaining)
+	}
+}
+
+func TestFreezeWhenCutIsLightest(t *testing.T) {
+	// 1's lightest is the cut edge → nothing contracts at all.
+	isLocal := func(v graph.VID) bool { return v <= 2 }
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 5),
+		graph.NewEdge(1, 3, 1),
+		graph.NewEdge(2, 4, 2),
+	}
+	got := Run(edges, isLocal, Config{})
+	if len(got.MSTEdges) != 0 {
+		t.Fatalf("no local contraction expected, got %+v", got.MSTEdges)
+	}
+	if len(got.Remaining) != 3 {
+		t.Fatalf("all edges must survive, got %d", len(got.Remaining))
+	}
+}
+
+func TestPreprocessingEdgesAreGlobalMSTEdges(t *testing.T) {
+	// Property (§IV-A): every edge contracted by preprocessing must be in
+	// the unique global MST, no matter which vertex subset is local.
+	for seed := uint64(0); seed < 10; seed++ {
+		n := 60
+		edges := randomEdges(n, 250, seed)
+		want := seqmst.Kruskal(n, edges)
+		wantTB := map[uint64]bool{}
+		for _, e := range want.Edges {
+			wantTB[e.TB] = true
+		}
+		// Vertices 1..n/2 are "local".
+		isLocal := func(v graph.VID) bool { return int(v) <= n/2 }
+		got := Run(edges, isLocal, Config{Pool: par.NewPool(2)})
+		for _, e := range got.MSTEdges {
+			if !wantTB[e.TB] {
+				t.Fatalf("seed=%d: preprocessing contracted non-MST edge %v", seed, e)
+			}
+		}
+		// Completing the remaining graph must yield the rest of the MST.
+		rest := seqmst.Kruskal(n, got.Remaining)
+		if rest.TotalWeight+totalWeight(got.MSTEdges) != want.TotalWeight {
+			t.Fatalf("seed=%d: preprocessing + completion %d != MST %d",
+				seed, rest.TotalWeight+totalWeight(got.MSTEdges), want.TotalWeight)
+		}
+	}
+}
+
+func TestRemainingIsSortedAndDeduped(t *testing.T) {
+	edges := randomEdges(50, 300, 3)
+	isLocal := func(v graph.VID) bool { return v%3 != 0 }
+	for _, hash := range []bool{false, true} {
+		got := Run(edges, isLocal, Config{HashDedup: hash})
+		if !graph.IsSorted(got.Remaining) {
+			t.Fatalf("hash=%v: remaining edges not sorted", hash)
+		}
+		for i := 1; i < len(got.Remaining); i++ {
+			a, b := got.Remaining[i-1], got.Remaining[i]
+			if a.U == b.U && a.V == b.V {
+				t.Fatalf("hash=%v: parallel edge survived: %v %v", hash, a, b)
+			}
+		}
+	}
+}
+
+func TestHashAndSortDedupAgree(t *testing.T) {
+	edges := randomEdges(70, 400, 8)
+	isLocal := func(v graph.VID) bool { return v%2 == 0 }
+	a := Run(edges, isLocal, Config{HashDedup: false})
+	b := Run(edges, isLocal, Config{HashDedup: true})
+	if len(a.Remaining) != len(b.Remaining) {
+		t.Fatalf("dedup variants disagree: %d vs %d edges", len(a.Remaining), len(b.Remaining))
+	}
+	for i := range a.Remaining {
+		if a.Remaining[i] != b.Remaining[i] {
+			t.Fatalf("dedup variants disagree at %d: %v vs %v", i, a.Remaining[i], b.Remaining[i])
+		}
+	}
+}
+
+func TestParallelEdgesKeepLightest(t *testing.T) {
+	// Local contraction proceeds through multiple rounds: {1,2} and {3,4}
+	// contract, then merge via (1,3,8) — all three are global MST edges.
+	// The two cut edges to the non-local vertex 5 become parallel and only
+	// the lighter survives (cycle property).
+	isLocal := func(v graph.VID) bool { return v <= 4 }
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 1),
+		graph.NewEdge(3, 4, 2),
+		graph.NewEdge(1, 3, 8),
+		graph.NewEdge(2, 4, 9),
+		graph.NewEdge(2, 5, 20),
+		graph.NewEdge(4, 5, 21),
+	}
+	for _, hash := range []bool{false, true} {
+		got := Run(edges, isLocal, Config{HashDedup: hash})
+		if w := totalWeight(got.MSTEdges); w != 1+2+8 {
+			t.Fatalf("hash=%v: contracted weight %d want 11 (edges %+v)", hash, w, got.MSTEdges)
+		}
+		if len(got.Remaining) != 1 || got.Remaining[0].W != 20 {
+			t.Fatalf("hash=%v: surviving cut edge wrong: %+v", hash, got.Remaining)
+		}
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	// A path of 1024 vertices halves components per round: ≤ ~12 rounds.
+	var edges []graph.Edge
+	for i := 1; i < 1024; i++ {
+		edges = append(edges, graph.NewEdge(graph.VID(i), graph.VID(i+1), graph.RandomWeight(7, graph.VID(i), graph.VID(i+1))))
+	}
+	got := MSF(edges, par.NewPool(4))
+	if len(got.MSTEdges) != 1023 {
+		t.Fatalf("path MSF has %d edges", len(got.MSTEdges))
+	}
+	if got.Rounds > 14 {
+		t.Fatalf("path contraction took %d rounds; expected logarithmic", got.Rounds)
+	}
+}
+
+func TestThreadCountsAgree(t *testing.T) {
+	edges := randomEdges(120, 600, 12)
+	w1 := Run(edges, allLocal, Config{Pool: par.NewPool(1)})
+	w8 := Run(edges, allLocal, Config{Pool: par.NewPool(8)})
+	if totalWeight(w1.MSTEdges) != totalWeight(w8.MSTEdges) {
+		t.Fatalf("thread counts disagree: %d vs %d", totalWeight(w1.MSTEdges), totalWeight(w8.MSTEdges))
+	}
+}
+
+func BenchmarkMSF1Thread(b *testing.B) { benchMSF(b, 1) }
+func BenchmarkMSF8Thread(b *testing.B) { benchMSF(b, 8) }
+
+func benchMSF(b *testing.B, threads int) {
+	edges := randomEdges(20000, 100000, 1)
+	pool := par.NewPool(threads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MSF(edges, pool)
+	}
+}

@@ -1,0 +1,322 @@
+// Package par provides the intra-PE shared-memory parallel primitives the
+// paper takes from the parlay library: parallel for over index ranges,
+// blocked reductions, parallel prefix sums, parallel filtering, and the
+// min-priority-write used by the shared-memory Borůvka variant of
+// Dhulipala et al. that the local preprocessing step builds on.
+//
+// A Pool models the paper's "OpenMP threads per MPI process": every PE of
+// the simulated machine owns a Pool with t workers. With t == 1 all
+// primitives degenerate to their sequential forms with no goroutine or
+// synchronization overhead, which keeps the 1-thread configurations honest.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes data-parallel loops on up to Threads concurrent workers.
+// The zero value behaves like a single-threaded pool.
+type Pool struct {
+	threads int
+}
+
+// NewPool returns a pool with the given number of worker threads.
+// Values below 1 are treated as 1.
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Pool{threads: threads}
+}
+
+// Threads reports the pool's degree of parallelism.
+func (p *Pool) Threads() int {
+	if p == nil || p.threads < 1 {
+		return 1
+	}
+	return p.threads
+}
+
+// grainSize is the minimum number of loop iterations per worker below which
+// spawning goroutines is not worth it.
+const grainSize = 512
+
+// For runs f over the index range [0, n) split into contiguous blocks, one
+// block per worker. f must be safe to call concurrently on disjoint ranges.
+func (p *Pool) For(n int, f func(lo, hi int)) {
+	t := p.Threads()
+	if n <= 0 {
+		return
+	}
+	if t == 1 || n < 2*grainSize {
+		f(0, n)
+		return
+	}
+	if t > n/grainSize {
+		t = n / grainSize
+		if t < 1 {
+			t = 1
+		}
+	}
+	var wg sync.WaitGroup
+	chunk := (n + t - 1) / t
+	for w := 0; w < t; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Reduce folds the blocks of [0, n) with a per-block function and combines
+// the per-block results with combine. combine must be associative.
+func Reduce[T any](p *Pool, n int, identity T, block func(lo, hi int) T, combine func(a, b T) T) T {
+	t := p.Threads()
+	if n <= 0 {
+		return identity
+	}
+	if t == 1 || n < 2*grainSize {
+		return combine(identity, block(0, n))
+	}
+	if t > n/grainSize {
+		t = n / grainSize
+	}
+	partial := make([]T, t)
+	var wg sync.WaitGroup
+	chunk := (n + t - 1) / t
+	for w := 0; w < t; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partial[w] = identity
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = block(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, v := range partial {
+		acc = combine(acc, v)
+	}
+	return acc
+}
+
+// PrefixSum computes the exclusive prefix sum of xs in parallel and returns
+// the total. After the call, out[i] holds the sum of xs[0..i), and out must
+// have len(xs). xs and out may alias.
+func PrefixSum(p *Pool, xs, out []int) int {
+	n := len(xs)
+	if len(out) != n {
+		panic("par: PrefixSum output length mismatch")
+	}
+	t := p.Threads()
+	if t == 1 || n < 2*grainSize {
+		sum := 0
+		for i, v := range xs {
+			out[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	if t > n/grainSize {
+		t = n / grainSize
+	}
+	chunk := (n + t - 1) / t
+	blockSum := make([]int, t)
+	var wg sync.WaitGroup
+	for w := 0; w < t; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			blockSum[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := range blockSum {
+		blockSum[w], total = total, total+blockSum[w]
+	}
+	for w := 0; w < t; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := blockSum[w]
+			for i := lo; i < hi; i++ {
+				v := xs[i]
+				out[i] = s
+				s += v
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// Filter writes the elements of xs satisfying keep into a fresh slice,
+// preserving order. It runs in two parallel passes (count, then pack).
+func Filter[T any](p *Pool, xs []T, keep func(T) bool) []T {
+	n := len(xs)
+	t := p.Threads()
+	if t == 1 || n < 2*grainSize {
+		out := make([]T, 0, n/2+1)
+		for _, v := range xs {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	if t > n/grainSize {
+		t = n / grainSize
+	}
+	chunk := (n + t - 1) / t
+	counts := make([]int, t)
+	var wg sync.WaitGroup
+	for w := 0; w < t; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := 0
+			for i := lo; i < hi; i++ {
+				if keep(xs[i]) {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	offsets := make([]int, t)
+	for w := range counts {
+		offsets[w] = total
+		total += counts[w]
+	}
+	out := make([]T, total)
+	for w := 0; w < t; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			o := offsets[w]
+			for i := lo; i < hi; i++ {
+				if keep(xs[i]) {
+					out[o] = xs[i]
+					o++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Map applies f to every element of xs in parallel, returning a new slice.
+func Map[T, U any](p *Pool, xs []T, f func(T) U) []U {
+	out := make([]U, len(xs))
+	p.For(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(xs[i])
+		}
+	})
+	return out
+}
+
+// None marks an empty MinIndex slot.
+const None = ^uint32(0)
+
+// MinIndex is a concurrent min-priority-write table: slot s holds the index
+// of the best candidate written so far under a caller-supplied total order.
+// It is the core primitive of the min-priority-write Borůvka variant: each
+// edge is written to the slots of both endpoints, and each slot retains the
+// index of the lightest edge. Writers may race freely; the CAS loop
+// guarantees the winner is the minimum under less.
+type MinIndex struct {
+	slots []atomic.Uint32
+}
+
+// NewMinIndex returns a table with n empty slots.
+func NewMinIndex(n int) *MinIndex {
+	m := &MinIndex{slots: make([]atomic.Uint32, n)}
+	m.Reset()
+	return m
+}
+
+// Len reports the number of slots.
+func (m *MinIndex) Len() int { return len(m.slots) }
+
+// Reset empties all slots.
+func (m *MinIndex) Reset() {
+	for i := range m.slots {
+		m.slots[i].Store(None)
+	}
+}
+
+// Write offers candidate index idx to slot s; the slot keeps whichever of
+// the current holder and idx is smaller under less. less(a, b) must define a
+// strict total order on candidate indices and must be pure.
+func (m *MinIndex) Write(s int, idx uint32, less func(a, b uint32) bool) {
+	for {
+		cur := m.slots[s].Load()
+		if cur != None && !less(idx, cur) {
+			return
+		}
+		if m.slots[s].CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
+// Get returns the current holder of slot s, or None.
+func (m *MinIndex) Get(s int) uint32 {
+	return m.slots[s].Load()
+}

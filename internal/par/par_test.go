@@ -1,0 +1,288 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func pools() []*Pool {
+	return []*Pool{nil, NewPool(1), NewPool(2), NewPool(4), NewPool(8), NewPool(0)}
+}
+
+func TestThreadsClamp(t *testing.T) {
+	if NewPool(0).Threads() != 1 {
+		t.Fatal("NewPool(0) should clamp to 1 thread")
+	}
+	if NewPool(-3).Threads() != 1 {
+		t.Fatal("negative thread count should clamp to 1")
+	}
+	if (*Pool)(nil).Threads() != 1 {
+		t.Fatal("nil pool should report 1 thread")
+	}
+	if NewPool(7).Threads() != 7 {
+		t.Fatal("Threads should report the configured value")
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 7, grainSize, 4*grainSize + 3} {
+			hits := make([]int32, n)
+			p.For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", p.Threads(), n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 100, 3 * grainSize} {
+			got := Reduce(p, n, 0,
+				func(lo, hi int) int {
+					s := 0
+					for i := lo; i < hi; i++ {
+						s += i
+					}
+					return s
+				},
+				func(a, b int) int { return a + b })
+			want := n * (n - 1) / 2
+			if got != want {
+				t.Fatalf("threads=%d n=%d: Reduce=%d want %d", p.Threads(), n, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixSumMatchesSequential(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 5, grainSize, 5*grainSize + 1} {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i%7 - 3
+			}
+			out := make([]int, n)
+			total := PrefixSum(p, xs, out)
+			sum := 0
+			for i, v := range xs {
+				if out[i] != sum {
+					t.Fatalf("threads=%d n=%d: out[%d]=%d want %d", p.Threads(), n, i, out[i], sum)
+				}
+				sum += v
+			}
+			if total != sum {
+				t.Fatalf("threads=%d n=%d: total=%d want %d", p.Threads(), n, total, sum)
+			}
+		}
+	}
+}
+
+func TestPrefixSumInPlace(t *testing.T) {
+	p := NewPool(4)
+	n := 3 * grainSize
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = 1
+	}
+	total := PrefixSum(p, xs, xs)
+	if total != n {
+		t.Fatalf("total=%d want %d", total, n)
+	}
+	for i := range xs {
+		if xs[i] != i {
+			t.Fatalf("in-place prefix sum wrong at %d: %d", i, xs[i])
+		}
+	}
+}
+
+func TestPrefixSumLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	PrefixSum(NewPool(2), make([]int, 3), make([]int, 2))
+}
+
+func TestFilterPreservesOrder(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 10, 4 * grainSize} {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i
+			}
+			got := Filter(p, xs, func(v int) bool { return v%3 == 0 })
+			want := 0
+			for _, v := range got {
+				if v != want {
+					t.Fatalf("threads=%d: got %d want %d", p.Threads(), v, want)
+				}
+				want += 3
+			}
+			if cnt := (n + 2) / 3; len(got) != cnt {
+				t.Fatalf("threads=%d n=%d: filtered %d elements, want %d", p.Threads(), n, len(got), cnt)
+			}
+		}
+	}
+}
+
+func TestFilterProperty(t *testing.T) {
+	p := NewPool(4)
+	f := func(xs []int16) bool {
+		ys := make([]int, len(xs))
+		for i, v := range xs {
+			ys[i] = int(v)
+		}
+		got := Filter(p, ys, func(v int) bool { return v > 0 })
+		var want []int
+		for _, v := range ys {
+			if v > 0 {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapParallel(t *testing.T) {
+	p := NewPool(8)
+	n := 3 * grainSize
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	got := Map(p, xs, func(v int) int { return v * v })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map wrong at %d: %d", i, v)
+		}
+	}
+}
+
+func TestMinIndexSequential(t *testing.T) {
+	weights := []int{5, 3, 8, 3, 1}
+	less := func(a, b uint32) bool {
+		if weights[a] != weights[b] {
+			return weights[a] < weights[b]
+		}
+		return a < b
+	}
+	m := NewMinIndex(2)
+	for i := range weights {
+		m.Write(0, uint32(i), less)
+	}
+	if got := m.Get(0); got != 4 {
+		t.Fatalf("slot 0 holds %d, want 4 (weight 1)", got)
+	}
+	if m.Get(1) != None {
+		t.Fatal("untouched slot should be None")
+	}
+}
+
+func TestMinIndexTieBreak(t *testing.T) {
+	weights := []int{3, 3, 3}
+	less := func(a, b uint32) bool {
+		if weights[a] != weights[b] {
+			return weights[a] < weights[b]
+		}
+		return a < b
+	}
+	m := NewMinIndex(1)
+	m.Write(0, 2, less)
+	m.Write(0, 0, less)
+	m.Write(0, 1, less)
+	if got := m.Get(0); got != 0 {
+		t.Fatalf("tie should resolve to smallest index, got %d", got)
+	}
+}
+
+func TestMinIndexConcurrent(t *testing.T) {
+	const n = 1 << 14
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = (i * 2654435761) % 9973
+	}
+	less := func(a, b uint32) bool {
+		if weights[a] != weights[b] {
+			return weights[a] < weights[b]
+		}
+		return a < b
+	}
+	m := NewMinIndex(16)
+	p := NewPool(8)
+	p.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Write(i%16, uint32(i), less)
+		}
+	})
+	// Verify each slot holds the true minimum of its residue class.
+	for s := 0; s < 16; s++ {
+		best := uint32(None)
+		for i := s; i < n; i += 16 {
+			if best == None || less(uint32(i), best) {
+				best = uint32(i)
+			}
+		}
+		if got := m.Get(s); got != best {
+			t.Fatalf("slot %d holds %d (w=%d), want %d (w=%d)", s, got, weights[got], best, weights[best])
+		}
+	}
+}
+
+func TestMinIndexReset(t *testing.T) {
+	m := NewMinIndex(4)
+	less := func(a, b uint32) bool { return a < b }
+	m.Write(2, 7, less)
+	m.Reset()
+	for s := 0; s < 4; s++ {
+		if m.Get(s) != None {
+			t.Fatalf("slot %d not empty after Reset", s)
+		}
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	p := NewPool(8)
+	xs := make([]int, 1<<20)
+	for i := range xs {
+		xs[i] = 1
+	}
+	out := make([]int, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixSum(p, xs, out)
+	}
+}
+
+func BenchmarkMinIndexWrite(b *testing.B) {
+	weights := make([]int, 1<<16)
+	for i := range weights {
+		weights[i] = i * 31 % 1009
+	}
+	less := func(x, y uint32) bool { return weights[x] < weights[y] || (weights[x] == weights[y] && x < y) }
+	m := NewMinIndex(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Write(i%1024, uint32(i%(1<<16)), less)
+	}
+}

@@ -1,0 +1,197 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincide in %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Next()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produces a degenerate stream: %d distinct of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a, b := root.Split(1), root.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children coincide in %d of 100 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split(3)
+	b := New(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("equal splits diverged")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 16 buckets.
+	r := New(99)
+	const buckets, draws = 16, 160000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[r.Uint64n(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	for i, c := range count {
+		if math.Abs(float64(c)-expect) > 0.08*expect {
+			t.Fatalf("bucket %d has %d draws, expected about %.0f", i, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) is not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 is not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(1, 2, 4) {
+		t.Fatal("Hash64 collision on trivially different input")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Fatal("Hash64 should be order sensitive")
+	}
+}
+
+func TestEdgeWeightSymmetric(t *testing.T) {
+	f := func(seed, u, v uint64) bool {
+		return EdgeWeight(seed, u, v) == EdgeWeight(seed, v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeWeightRange(t *testing.T) {
+	f := func(seed, u, v uint64) bool {
+		w := EdgeWeight(seed, u, v)
+		return w >= 1 && w < 255
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeWeightDistribution(t *testing.T) {
+	var count [256]int
+	for i := uint64(0); i < 100000; i++ {
+		count[EdgeWeight(1, i, i+1)]++
+	}
+	if count[0] != 0 || count[255] != 0 {
+		t.Fatal("weights outside [1,255)")
+	}
+	expect := 100000.0 / 254
+	for w := 1; w < 255; w++ {
+		if math.Abs(float64(count[w])-expect) > 0.25*expect+20 {
+			t.Fatalf("weight %d occurs %d times, expected about %.0f", w, count[w], expect)
+		}
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkEdgeWeight(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += EdgeWeight(1, uint64(i), uint64(i+1))
+	}
+	_ = sink
+}

@@ -1,0 +1,317 @@
+package seqmst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kamsta/internal/graph"
+	"kamsta/internal/rng"
+	"kamsta/internal/unionfind"
+)
+
+func newUFForTest(n int) *unionfind.UF { return unionfind.New(n + 1) }
+
+// path 1-2-3-4 with increasing weights plus a heavy chord.
+func pathWithChord() (int, []graph.Edge) {
+	return 4, []graph.Edge{
+		graph.NewEdge(1, 2, 1),
+		graph.NewEdge(2, 3, 2),
+		graph.NewEdge(3, 4, 3),
+		graph.NewEdge(1, 4, 10),
+	}
+}
+
+func triangle() (int, []graph.Edge) {
+	return 3, []graph.Edge{
+		graph.NewEdge(1, 2, 1),
+		graph.NewEdge(2, 3, 2),
+		graph.NewEdge(1, 3, 3),
+	}
+}
+
+func allAlgorithms() map[string]func(int, []graph.Edge) Result {
+	return map[string]func(int, []graph.Edge) Result{
+		"kruskal":       Kruskal,
+		"filterKruskal": FilterKruskal,
+		"prim":          Prim,
+		"boruvka":       Boruvka,
+	}
+}
+
+func TestKnownSmallGraphs(t *testing.T) {
+	type fixture struct {
+		name  string
+		n     int
+		edges []graph.Edge
+		want  uint64
+		count int
+	}
+	n1, e1 := pathWithChord()
+	n2, e2 := triangle()
+	fixtures := []fixture{
+		{"pathWithChord", n1, e1, 6, 3},
+		{"triangle", n2, e2, 3, 2},
+	}
+	for _, fx := range fixtures {
+		for name, alg := range allAlgorithms() {
+			r := alg(fx.n, fx.edges)
+			if r.TotalWeight != fx.want {
+				t.Errorf("%s on %s: weight %d want %d", name, fx.name, r.TotalWeight, fx.want)
+			}
+			if len(r.Edges) != fx.count {
+				t.Errorf("%s on %s: %d edges want %d", name, fx.name, len(r.Edges), fx.count)
+			}
+			if msg := VerifySpanningForest(fx.n, fx.edges, r); msg != "" {
+				t.Errorf("%s on %s: %s", name, fx.name, msg)
+			}
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	edges := []graph.Edge{graph.NewEdge(1, 2, 5)}
+	for name, alg := range allAlgorithms() {
+		r := alg(2, edges)
+		if r.TotalWeight != 5 || len(r.Edges) != 1 || r.Components != 1 {
+			t.Errorf("%s: %+v", name, r)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	for name, alg := range allAlgorithms() {
+		r := alg(5, nil)
+		if r.TotalWeight != 0 || len(r.Edges) != 0 || r.Components != 0 {
+			t.Errorf("%s on empty graph: %+v", name, r)
+		}
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	edges := []graph.Edge{
+		{U: 1, V: 1, W: 1, TB: graph.MakeTB(1, 1)},
+		graph.NewEdge(1, 2, 7),
+	}
+	for name, alg := range allAlgorithms() {
+		r := alg(2, edges)
+		if r.TotalWeight != 7 || len(r.Edges) != 1 {
+			t.Errorf("%s with self-loop: %+v", name, r)
+		}
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 1),
+		graph.NewEdge(3, 4, 2),
+		graph.NewEdge(5, 6, 3),
+		graph.NewEdge(5, 7, 4),
+	}
+	for name, alg := range allAlgorithms() {
+		r := alg(7, edges)
+		if r.Components != 3 {
+			t.Errorf("%s: %d components want 3", name, r.Components)
+		}
+		if r.TotalWeight != 10 || len(r.Edges) != 4 {
+			t.Errorf("%s: %+v", name, r)
+		}
+	}
+}
+
+func TestParallelEdgesKeepLightest(t *testing.T) {
+	// Two logical edges between 1-2 (a true multigraph needs distinct TB
+	// which MakeTB can't give for the same pair, so emulate by weight only).
+	edges := []graph.Edge{
+		graph.NewEdge(1, 2, 9),
+		graph.NewEdge(1, 2, 2),
+	}
+	for name, alg := range allAlgorithms() {
+		r := alg(2, edges)
+		if r.TotalWeight != 2 {
+			t.Errorf("%s: picked weight %d want 2", name, r.TotalWeight)
+		}
+	}
+}
+
+// randomGraph builds a connected-ish random graph with distinct tie-break
+// keys; returns n and the undirected edge list.
+func randomGraph(n, extra int, seed uint64) []graph.Edge {
+	r := rng.New(seed)
+	var edges []graph.Edge
+	seen := map[uint64]bool{}
+	// random spanning path first so most vertices are connected
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		u, v := graph.VID(perm[i-1]+1), graph.VID(perm[i]+1)
+		tb := graph.MakeTB(u, v)
+		if !seen[tb] {
+			seen[tb] = true
+			edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+		}
+	}
+	for k := 0; k < extra; k++ {
+		u := graph.VID(r.Intn(n) + 1)
+		v := graph.VID(r.Intn(n) + 1)
+		if u == v {
+			continue
+		}
+		tb := graph.MakeTB(u, v)
+		if seen[tb] {
+			continue
+		}
+		seen[tb] = true
+		edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+	}
+	for i := range edges {
+		edges[i].ID = uint64(i)
+	}
+	return edges
+}
+
+func TestAllAlgorithmsAgreeOnRandomGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		n := 50 + int(seed)*13
+		edges := randomGraph(n, n*3, seed)
+		want := Kruskal(n, edges)
+		for name, alg := range allAlgorithms() {
+			got := alg(n, edges)
+			if got.TotalWeight != want.TotalWeight {
+				t.Fatalf("seed %d: %s weight %d != kruskal %d", seed, name, got.TotalWeight, want.TotalWeight)
+			}
+			if len(got.Edges) != len(want.Edges) {
+				t.Fatalf("seed %d: %s has %d edges, kruskal %d", seed, name, len(got.Edges), len(want.Edges))
+			}
+			// Unique weights → unique MSF → identical edge sets.
+			for i := range got.Edges {
+				if got.Edges[i].TB != want.Edges[i].TB {
+					t.Fatalf("seed %d: %s edge set differs from kruskal at %d", seed, name, i)
+				}
+			}
+			if msg := VerifySpanningForest(n, edges, got); msg != "" {
+				t.Fatalf("seed %d: %s: %s", seed, name, msg)
+			}
+		}
+	}
+}
+
+func TestFilterKruskalLargeInput(t *testing.T) {
+	// Exceed the recursion threshold to exercise partition + filter.
+	n := 2000
+	edges := randomGraph(n, 20000, 99)
+	want := Kruskal(n, edges)
+	got := FilterKruskal(n, edges)
+	if got.TotalWeight != want.TotalWeight || len(got.Edges) != len(want.Edges) {
+		t.Fatalf("filterKruskal %d/%d vs kruskal %d/%d",
+			got.TotalWeight, len(got.Edges), want.TotalWeight, len(want.Edges))
+	}
+}
+
+func TestTreeInputKeepsAllEdges(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := uint64(seedRaw)
+		n := 30
+		r := rng.New(seed)
+		var edges []graph.Edge
+		// random tree: connect i to a random earlier vertex
+		for i := 2; i <= n; i++ {
+			u := graph.VID(r.Intn(i-1) + 1)
+			edges = append(edges, graph.NewEdge(u, graph.VID(i), graph.RandomWeight(seed, u, graph.VID(i))))
+		}
+		for name, alg := range allAlgorithms() {
+			res := alg(n, edges)
+			if len(res.Edges) != n-1 {
+				t.Logf("%s dropped tree edges: %d of %d", name, len(res.Edges), n-1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSTWeightLowerBoundProperty(t *testing.T) {
+	// Property: replacing any MST edge by any non-MST edge crossing the cut
+	// cannot reduce the weight — here tested as: MST weight <= weight of
+	// every spanning structure found by a greedy heuristic on shuffled edges.
+	edges := randomGraph(40, 100, 5)
+	n := 40
+	mst := Kruskal(n, edges)
+	r := rng.New(123)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]graph.Edge, len(edges))
+		for i, j := range r.Perm(len(edges)) {
+			shuffled[i] = edges[j]
+		}
+		uf := newUFForTest(n)
+		var total uint64
+		cnt := 0
+		for _, e := range shuffled {
+			if uf.Union(int(e.U), int(e.V)) {
+				total += uint64(e.W)
+				cnt++
+			}
+		}
+		if cnt != len(mst.Edges) {
+			t.Fatalf("greedy forest has %d edges, MST %d", cnt, len(mst.Edges))
+		}
+		if total < mst.TotalWeight {
+			t.Fatalf("greedy forest lighter (%d) than MST (%d)", total, mst.TotalWeight)
+		}
+	}
+}
+
+func TestUndirectedFromDirected(t *testing.T) {
+	dir := []graph.Edge{
+		graph.NewEdge(1, 2, 5), graph.NewEdge(2, 1, 5),
+		graph.NewEdge(3, 2, 6), graph.NewEdge(2, 3, 6),
+	}
+	und := UndirectedFromDirected(dir)
+	if len(und) != 2 {
+		t.Fatalf("got %d undirected edges want 2", len(und))
+	}
+	for _, e := range und {
+		if e.U >= e.V {
+			t.Fatalf("non-canonical edge %v", e)
+		}
+	}
+}
+
+func TestVerifyDetectsCycle(t *testing.T) {
+	n, edges := triangle()
+	bad := Result{Edges: edges} // all three edges form a cycle
+	if VerifySpanningForest(n, edges, bad) == "" {
+		t.Fatal("verifier accepted a cyclic result")
+	}
+}
+
+func TestVerifyDetectsForeignEdge(t *testing.T) {
+	n, edges := pathWithChord()
+	bad := Result{Edges: []graph.Edge{graph.NewEdge(1, 3, 1)}}
+	if VerifySpanningForest(n, edges, bad) == "" {
+		t.Fatal("verifier accepted a foreign edge")
+	}
+}
+
+func TestVerifyDetectsNonSpanning(t *testing.T) {
+	n, edges := pathWithChord()
+	bad := Result{Edges: edges[:1]}
+	if VerifySpanningForest(n, edges, bad) == "" {
+		t.Fatal("verifier accepted a non-spanning result")
+	}
+}
+
+func BenchmarkKruskal(b *testing.B)       { benchAlg(b, Kruskal) }
+func BenchmarkFilterKruskal(b *testing.B) { benchAlg(b, FilterKruskal) }
+func BenchmarkPrim(b *testing.B)          { benchAlg(b, Prim) }
+func BenchmarkBoruvka(b *testing.B)       { benchAlg(b, Boruvka) }
+
+func benchAlg(b *testing.B, alg func(int, []graph.Edge) Result) {
+	n := 5000
+	edges := randomGraph(n, 50000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg(n, edges)
+	}
+}

@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kamsta/internal/graph"
+	"kamsta/internal/rng"
+	"kamsta/internal/seqmst"
+)
+
+func randomInput(n, m int, seed uint64) []graph.Edge {
+	r := rng.New(seed)
+	seen := map[uint64]bool{}
+	var edges []graph.Edge
+	for i := 2; i <= n; i++ {
+		u := graph.VID(r.Intn(i-1) + 1)
+		v := graph.VID(i)
+		if !seen[graph.MakeTB(u, v)] {
+			seen[graph.MakeTB(u, v)] = true
+			edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+		}
+	}
+	for len(edges) < m {
+		u := graph.VID(r.Intn(n) + 1)
+		v := graph.VID(r.Intn(n) + 1)
+		if u == v || seen[graph.MakeTB(u, v)] {
+			continue
+		}
+		seen[graph.MakeTB(u, v)] = true
+		edges = append(edges, graph.NewEdge(u, v, graph.RandomWeight(seed, u, v)))
+	}
+	return edges
+}
+
+func TestAcceptsTrueMSF(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		input := randomInput(60, 250, seed)
+		msf := seqmst.Kruskal(70, input)
+		if msg := MSF(input, msf.Edges); msg != "" {
+			t.Fatalf("seed %d: rejected the true MSF: %s", seed, msg)
+		}
+	}
+}
+
+func TestRejectsForeignEdge(t *testing.T) {
+	input := randomInput(30, 80, 1)
+	msf := seqmst.Kruskal(30, input)
+	bad := append([]graph.Edge{}, msf.Edges...)
+	bad[0] = graph.NewEdge(1000, 1001, 5) // never in the input
+	if MSF(input, bad) == "" {
+		t.Fatal("accepted a foreign edge")
+	}
+}
+
+func TestRejectsCycle(t *testing.T) {
+	input := []graph.Edge{
+		graph.NewEdge(1, 2, 1), graph.NewEdge(2, 3, 2), graph.NewEdge(1, 3, 3),
+	}
+	if MSF(input, input) == "" {
+		t.Fatal("accepted a cyclic claim")
+	}
+}
+
+func TestRejectsNonSpanning(t *testing.T) {
+	input := randomInput(30, 80, 2)
+	msf := seqmst.Kruskal(30, input)
+	if MSF(input, msf.Edges[:len(msf.Edges)-1]) == "" {
+		t.Fatal("accepted a non-spanning claim")
+	}
+}
+
+func TestRejectsNonMinimalSpanningTree(t *testing.T) {
+	// A spanning tree that is not minimal: triangle where the claim uses
+	// the two heavy edges.
+	input := []graph.Edge{
+		graph.NewEdge(1, 2, 1), graph.NewEdge(2, 3, 5), graph.NewEdge(1, 3, 9),
+	}
+	claim := []graph.Edge{input[1], input[2]} // weight 14, MST is 6
+	if msg := MSF(input, claim); msg == "" {
+		t.Fatal("accepted a non-minimal spanning tree")
+	}
+}
+
+func TestRejectsSwappedEdgeDeepInTree(t *testing.T) {
+	// Build a path graph plus one chord; swapping the chord for a path
+	// edge it dominates must be caught by the path-max query.
+	var input []graph.Edge
+	for i := 1; i < 40; i++ {
+		input = append(input, graph.NewEdge(graph.VID(i), graph.VID(i+1), 10))
+	}
+	chord := graph.NewEdge(5, 25, 200) // heavier than every path edge
+	input = append(input, chord)
+	msf := seqmst.Kruskal(40, input)
+	if msg := MSF(input, msf.Edges); msg != "" {
+		t.Fatalf("true MSF rejected: %s", msg)
+	}
+	// Replace path edge (10,11) with the chord: still spanning, not minimal.
+	var bad []graph.Edge
+	for _, e := range msf.Edges {
+		if e.TB == graph.MakeTB(10, 11) {
+			bad = append(bad, chord)
+		} else {
+			bad = append(bad, e)
+		}
+	}
+	if MSF(input, bad) == "" {
+		t.Fatal("accepted a tree with a dominated chord swap")
+	}
+}
+
+func TestDisconnectedForest(t *testing.T) {
+	input := []graph.Edge{
+		graph.NewEdge(1, 2, 3), graph.NewEdge(3, 4, 4), graph.NewEdge(4, 5, 5),
+		graph.NewEdge(3, 5, 9),
+	}
+	msf := seqmst.Kruskal(5, input)
+	if msg := MSF(input, msf.Edges); msg != "" {
+		t.Fatalf("forest rejected: %s", msg)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if msg := MSF(nil, nil); msg != "" {
+		t.Fatalf("empty claim on empty input rejected: %s", msg)
+	}
+}
+
+func TestPropertyOnlyTrueMSFAccepted(t *testing.T) {
+	// Property: a random single-edge swap in the MSF either recreates the
+	// MSF (impossible — unique weights) or gets rejected.
+	f := func(seedRaw uint16, pick uint8) bool {
+		seed := uint64(seedRaw)
+		input := randomInput(25, 70, seed)
+		msf := seqmst.Kruskal(25, input)
+		if MSF(input, msf.Edges) != "" {
+			return false
+		}
+		// Pick a non-tree edge and a tree edge; swap if distinct.
+		treeTB := map[uint64]bool{}
+		for _, e := range msf.Edges {
+			treeTB[e.TB] = true
+		}
+		var nonTree []graph.Edge
+		for _, e := range input {
+			if !treeTB[e.TB] {
+				nonTree = append(nonTree, e)
+			}
+		}
+		if len(nonTree) == 0 || len(msf.Edges) == 0 {
+			return true
+		}
+		repl := nonTree[int(pick)%len(nonTree)]
+		victim := int(pick) % len(msf.Edges)
+		var claim []graph.Edge
+		for i, e := range msf.Edges {
+			if i == victim {
+				claim = append(claim, repl)
+			} else {
+				claim = append(claim, e)
+			}
+		}
+		// The modified claim must never verify (it differs from the unique
+		// MSF; it may be cyclic, non-spanning, or non-minimal).
+		return MSF(input, claim) != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargePathMaxStress(t *testing.T) {
+	// Deep tree (path of 3000) + many chords stresses the lifting tables.
+	var input []graph.Edge
+	for i := 1; i < 3000; i++ {
+		input = append(input, graph.NewEdge(graph.VID(i), graph.VID(i+1), graph.RandomWeight(3, graph.VID(i), graph.VID(i+1))))
+	}
+	r := rng.New(9)
+	for k := 0; k < 2000; k++ {
+		u := graph.VID(r.Intn(3000) + 1)
+		v := graph.VID(r.Intn(3000) + 1)
+		if u != v && graph.MakeTB(u, v) != 0 {
+			input = append(input, graph.NewEdge(u, v, 250+graph.RandomWeight(3, u, v)%5))
+		}
+	}
+	msf := seqmst.Kruskal(3000, input)
+	if msg := MSF(input, msf.Edges); msg != "" {
+		t.Fatalf("stress MSF rejected: %s", msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	input := randomInput(5000, 40000, 1)
+	msf := seqmst.Kruskal(5000, input)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if MSF(input, msf.Edges) != "" {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package kamsta is a Go reproduction of "Engineering Massively Parallel
+// MST Algorithms" (Sanders & Schimek, IPDPS 2023): scalable distributed
+// minimum-spanning-tree/forest computation with Borůvka and Filter-Borůvka
+// over a simulated distributed-memory machine.
+//
+// The machine is simulated: every processing element (PE) is a goroutine
+// with private state, communicating only through MPI-like collectives, and
+// an α-β cost model tracks the modeled time the paper's figures plot (see
+// internal/comm). Algorithms, graph generators and the published
+// competitors are faithful re-implementations; DESIGN.md documents every
+// substitution.
+//
+// Quick start:
+//
+//	edges := []kamsta.InputEdge{{U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 1}, {U: 1, V: 3, W: 7}}
+//	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{PEs: 4})
+//	// rep.TotalWeight == 5, rep.MSTEdges lists the forest
+//
+// or generate one of the paper's graph families in-simulation:
+//
+//	rep, err := kamsta.ComputeMSFSpec(kamsta.GraphSpec{
+//		Family: kamsta.GNM, N: 1 << 14, M: 1 << 17, Seed: 42,
+//	}, kamsta.Config{PEs: 16, Threads: 8, Algorithm: kamsta.AlgFilterBoruvka})
+package kamsta
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kamsta/internal/baselines"
+	"kamsta/internal/comm"
+	"kamsta/internal/core"
+	"kamsta/internal/gen"
+	"kamsta/internal/graph"
+	"kamsta/internal/seqmst"
+)
+
+// Algorithm selects the MST algorithm.
+type Algorithm string
+
+// The available algorithms: the paper's two contributions, the two
+// published competitors, and a sequential reference.
+const (
+	// AlgBoruvka is the distributed Borůvka algorithm (Algorithm 1).
+	AlgBoruvka Algorithm = "boruvka"
+	// AlgFilterBoruvka is the Filter-Borůvka algorithm (Algorithm 2).
+	AlgFilterBoruvka Algorithm = "filterBoruvka"
+	// AlgMNDMST is the MND-MST competitor baseline.
+	AlgMNDMST Algorithm = "mndmst"
+	// AlgSparseMatrix is the Awerbuch–Shiloach sparse-matrix competitor
+	// baseline.
+	AlgSparseMatrix Algorithm = "sparseMatrix"
+	// AlgKruskal computes the MSF sequentially (ground truth; ignores PEs).
+	AlgKruskal Algorithm = "kruskal"
+)
+
+// Algorithms lists all supported algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgBoruvka, AlgFilterBoruvka, AlgMNDMST, AlgSparseMatrix, AlgKruskal}
+}
+
+// GraphSpec describes a generated input instance (re-exported from the
+// generator package; see gen.Spec).
+type GraphSpec = gen.Spec
+
+// Graph families for GraphSpec.
+const (
+	Grid2D   = gen.Grid2D
+	RGG2D    = gen.RGG2D
+	RGG3D    = gen.RGG3D
+	RHG      = gen.RHG
+	GNM      = gen.GNM
+	RMAT     = gen.RMAT
+	RoadLike = gen.RoadLike
+)
+
+// InputEdge is one undirected weighted edge of a user-supplied graph.
+// Vertex labels must be in [1, 2^32).
+type InputEdge struct {
+	U, V uint64
+	W    uint32
+}
+
+// Config controls a computation.
+type Config struct {
+	// PEs is the number of simulated processing elements (default 4).
+	PEs int
+	// Threads is the number of intra-PE threads, the paper's OpenMP
+	// threads per MPI process (default 1).
+	Threads int
+	// Algorithm selects the MST algorithm (default AlgBoruvka).
+	Algorithm Algorithm
+	// Core tunes the paper's algorithms; zero values give the defaults.
+	Core core.Options
+	// Baseline tunes the competitor baselines.
+	Baseline baselines.Options
+	// Cost overrides the α-β machine model (zero value: defaults).
+	Cost comm.CostModel
+	// Seed drives generation and sampling when not set in a GraphSpec.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.PEs <= 0 {
+		cfg.PEs = 4
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgBoruvka
+	}
+	if cfg.Cost == (comm.CostModel{}) {
+		cfg.Cost = comm.DefaultCostModel()
+	}
+	if cfg.Core.Seed == 0 {
+		cfg.Core.Seed = cfg.Seed
+	}
+	cfg.Baseline.Threads = cfg.Threads
+	return cfg
+}
+
+// Report is the outcome of a computation.
+type Report struct {
+	// TotalWeight is the MSF weight; NumEdges its edge count.
+	TotalWeight uint64
+	NumEdges    int
+	// MSTEdges lists the forest edges with original endpoints in canonical
+	// (U < V) orientation, sorted.
+	MSTEdges []InputEdge
+	// InputVertices/InputEdges describe the instance (directed edge count).
+	InputVertices int
+	InputEdges    int
+	// WallSeconds is real elapsed time of the simulation; ModeledSeconds
+	// is the α-β machine model's makespan — the quantity corresponding to
+	// the paper's measured running times.
+	WallSeconds    float64
+	ModeledSeconds float64
+	// EdgesPerSecond is the modeled throughput (directed input edges per
+	// modeled second), the unit of the paper's weak-scaling figures.
+	EdgesPerSecond float64
+	// Phases holds per-phase modeled/wall times (Fig. 6 breakdown).
+	Phases map[string]comm.PhaseTime
+	// Stats aggregates communication traffic over all PEs.
+	Stats comm.Stats
+	// Rounds and BaseCalls report algorithm structure when available.
+	Rounds    int
+	BaseCalls int
+}
+
+// ComputeMSF computes the minimum spanning forest of a user-supplied
+// undirected edge list on a simulated machine.
+func ComputeMSF(edges []InputEdge, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	for _, e := range edges {
+		if e.U == 0 || e.V == 0 || e.U >= 1<<32 || e.V >= 1<<32 {
+			return nil, fmt.Errorf("kamsta: vertex labels must be in [1, 2^32): edge (%d,%d)", e.U, e.V)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("kamsta: self-loop on vertex %d", e.U)
+		}
+	}
+	if cfg.Algorithm == AlgKruskal {
+		return sequentialReport(edges)
+	}
+	return run(cfg, func(c *comm.Comm) ([]graph.Edge, *graph.Layout) {
+		// PE 0 feeds the edges in; Finish distributes and sorts them.
+		var raw []graph.Edge
+		if c.Rank() == 0 {
+			raw = make([]graph.Edge, 0, 2*len(edges))
+			for _, e := range edges {
+				raw = append(raw, graph.NewEdge(e.U, e.V, e.W), graph.NewEdge(e.V, e.U, e.W))
+			}
+		}
+		return gen.Finish(c, raw, cfg.Core.Sort)
+	})
+}
+
+// ComputeMSFSpec generates one of the paper's graph families inside the
+// simulation and computes its MSF.
+func ComputeMSFSpec(spec GraphSpec, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if spec.Seed == 0 {
+		spec.Seed = cfg.Seed + 1
+	}
+	if cfg.Algorithm == AlgKruskal {
+		var collected []InputEdge
+		w := comm.NewWorld(cfg.PEs)
+		w.Run(func(c *comm.Comm) {
+			edges, _ := gen.Build(c, spec, cfg.Core.Sort)
+			all := comm.AllgatherConcat(c, edges)
+			if c.Rank() == 0 {
+				for _, e := range all {
+					if e.U < e.V {
+						collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
+					}
+				}
+			}
+		})
+		return sequentialReport(collected)
+	}
+	return run(cfg, func(c *comm.Comm) ([]graph.Edge, *graph.Layout) {
+		return gen.Build(c, spec, cfg.Core.Sort)
+	})
+}
+
+// run executes the selected distributed algorithm on a fresh world.
+func run(cfg Config, input func(*comm.Comm) ([]graph.Edge, *graph.Layout)) (*Report, error) {
+	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
+	rep := &Report{}
+	var shares [][]graph.Edge
+	var algErr error
+	shares = make([][]graph.Edge, cfg.PEs)
+	start := time.Now()
+	w.Run(func(c *comm.Comm) {
+		edges, layout := input(c)
+		nv := graph.GlobalVertexCount(c, layout, edges)
+		ne := comm.Allreduce(c, len(edges), func(a, b int) int { return a + b })
+		// Measure the algorithm, not the generation.
+		comm.Barrier(c)
+		c.ResetLocalMetrics()
+		if c.Rank() == 0 {
+			w.ResetMetrics()
+		}
+		comm.Barrier(c)
+		switch cfg.Algorithm {
+		case AlgBoruvka:
+			r := core.Boruvka(c, edges, layout, cfg.Core)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
+			}
+		case AlgFilterBoruvka:
+			r := core.FilterBoruvka(c, edges, layout, cfg.Core)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
+			}
+		case AlgMNDMST:
+			r := baselines.MNDMST(c, edges, layout, cfg.Baseline)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds = r.Rounds
+			}
+		case AlgSparseMatrix:
+			r := baselines.SparseMatrix(c, edges, layout, cfg.Baseline)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds = r.Rounds
+			}
+		default:
+			if c.Rank() == 0 {
+				algErr = fmt.Errorf("kamsta: unknown algorithm %q", cfg.Algorithm)
+			}
+		}
+		if c.Rank() == 0 {
+			rep.InputVertices, rep.InputEdges = nv, ne
+		}
+	})
+	if algErr != nil {
+		return nil, algErr
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.ModeledSeconds = w.MaxClock()
+	if rep.ModeledSeconds > 0 {
+		rep.EdgesPerSecond = float64(rep.InputEdges) / rep.ModeledSeconds
+	}
+	rep.Phases = w.Phases()
+	rep.Stats = w.TotalStats()
+	for _, sh := range shares {
+		for _, e := range sh {
+			u, v := e.OrigPair()
+			rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
+		}
+	}
+	sort.Slice(rep.MSTEdges, func(i, j int) bool {
+		a, b := rep.MSTEdges[i], rep.MSTEdges[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.W < b.W
+	})
+	return rep, nil
+}
+
+// sequentialReport runs the Kruskal reference.
+func sequentialReport(edges []InputEdge) (*Report, error) {
+	work := make([]graph.Edge, 0, len(edges))
+	maxV := graph.VID(0)
+	verts := map[uint64]struct{}{}
+	for _, e := range edges {
+		work = append(work, graph.NewEdge(e.U, e.V, e.W))
+		if e.U > maxV {
+			maxV = e.U
+		}
+		if e.V > maxV {
+			maxV = e.V
+		}
+		verts[e.U] = struct{}{}
+		verts[e.V] = struct{}{}
+	}
+	start := time.Now()
+	res := seqmst.Kruskal(int(maxV), work)
+	rep := &Report{
+		TotalWeight:   res.TotalWeight,
+		NumEdges:      len(res.Edges),
+		InputVertices: len(verts),
+		InputEdges:    2 * len(edges),
+		WallSeconds:   time.Since(start).Seconds(),
+	}
+	for _, e := range res.Edges {
+		u, v := e.OrigPair()
+		rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
+	}
+	sort.Slice(rep.MSTEdges, func(i, j int) bool {
+		a, b := rep.MSTEdges[i], rep.MSTEdges[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	return rep, nil
+}

@@ -1,0 +1,171 @@
+package kamsta
+
+import (
+	"testing"
+
+	"kamsta/internal/comm"
+)
+
+func TestComputeMSFTinyGraph(t *testing.T) {
+	edges := []InputEdge{
+		{U: 1, V: 2, W: 4},
+		{U: 2, V: 3, W: 1},
+		{U: 1, V: 3, W: 7},
+	}
+	for _, alg := range Algorithms() {
+		rep, err := ComputeMSF(edges, Config{PEs: 3, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rep.TotalWeight != 5 || rep.NumEdges != 2 {
+			t.Fatalf("%s: weight=%d edges=%d want 5/2", alg, rep.TotalWeight, rep.NumEdges)
+		}
+		if len(rep.MSTEdges) != 2 {
+			t.Fatalf("%s: MSTEdges=%v", alg, rep.MSTEdges)
+		}
+		for _, e := range rep.MSTEdges {
+			if e.U >= e.V {
+				t.Fatalf("%s: non-canonical output edge %+v", alg, e)
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsAgreeOnSpec(t *testing.T) {
+	spec := GraphSpec{Family: GNM, N: 300, M: 1200, Seed: 7}
+	var weights []uint64
+	for _, alg := range Algorithms() {
+		rep, err := ComputeMSFSpec(spec, Config{PEs: 4, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		weights = append(weights, rep.TotalWeight)
+	}
+	for i := 1; i < len(weights); i++ {
+		if weights[i] != weights[0] {
+			t.Fatalf("algorithms disagree: %v (order %v)", weights, Algorithms())
+		}
+	}
+}
+
+func TestComputeMSFValidation(t *testing.T) {
+	if _, err := ComputeMSF([]InputEdge{{U: 0, V: 1, W: 1}}, Config{}); err == nil {
+		t.Fatal("label 0 should be rejected")
+	}
+	if _, err := ComputeMSF([]InputEdge{{U: 2, V: 2, W: 1}}, Config{}); err == nil {
+		t.Fatal("self-loop should be rejected")
+	}
+	if _, err := ComputeMSF([]InputEdge{{U: 1 << 33, V: 1, W: 1}}, Config{}); err == nil {
+		t.Fatal("huge label should be rejected")
+	}
+	if _, err := ComputeMSF(nil, Config{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm should be rejected")
+	}
+}
+
+func TestReportMetricsPopulated(t *testing.T) {
+	spec := GraphSpec{Family: RGG2D, N: 400, M: 1600, Seed: 9}
+	rep, err := ComputeMSFSpec(spec, Config{PEs: 4, Threads: 2, Algorithm: AlgBoruvka})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModeledSeconds <= 0 || rep.WallSeconds <= 0 {
+		t.Fatalf("times not measured: %+v", rep)
+	}
+	if rep.EdgesPerSecond <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if rep.InputVertices == 0 || rep.InputEdges == 0 {
+		t.Fatal("input size not recorded")
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("phase breakdown missing")
+	}
+	if rep.Stats.Collectives == 0 {
+		t.Fatal("traffic stats missing")
+	}
+}
+
+func TestModeledTimeExcludesGeneration(t *testing.T) {
+	// The same tiny algorithm workload on a huge vs small generation cost
+	// should report similar modeled seconds. Compare a run against itself
+	// with a second-generation spec: here we simply assert the modeled
+	// time is far below the time a full re-sort of the input would cost,
+	// which would dominate if generation leaked into the measurement.
+	spec := GraphSpec{Family: Grid2D, N: 900, Seed: 3}
+	rep, err := ComputeMSFSpec(spec, Config{PEs: 4, Algorithm: AlgBoruvka})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModeledSeconds <= 0 {
+		t.Fatal("no modeled time")
+	}
+	// Phase times must roughly add up to the makespan (they cover the
+	// whole algorithm; misc slack allowed).
+	sum := 0.0
+	for _, pt := range rep.Phases {
+		sum += pt.Modeled
+	}
+	if sum > rep.ModeledSeconds*1.5+1e-6 {
+		t.Fatalf("phases (%.3e) exceed makespan (%.3e)", sum, rep.ModeledSeconds)
+	}
+}
+
+func TestSequentialMatchesDistributedOnUserEdges(t *testing.T) {
+	// A small deterministic graph through both paths.
+	var edges []InputEdge
+	for i := uint64(1); i < 60; i++ {
+		edges = append(edges, InputEdge{U: i, V: i + 1, W: uint32(i*7%13 + 1)})
+		if i%3 == 0 {
+			edges = append(edges, InputEdge{U: i, V: i + 2, W: uint32(i*5%17 + 1)})
+		}
+	}
+	seq, err := ComputeMSF(edges, Config{Algorithm: AlgKruskal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ComputeMSF(edges, Config{PEs: 5, Algorithm: AlgFilterBoruvka})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.TotalWeight != dist.TotalWeight || seq.NumEdges != dist.NumEdges {
+		t.Fatalf("sequential (%d,%d) vs distributed (%d,%d)",
+			seq.TotalWeight, seq.NumEdges, dist.TotalWeight, dist.NumEdges)
+	}
+}
+
+func TestThreadsSpeedUpModeledTime(t *testing.T) {
+	spec := GraphSpec{Family: RGG2D, N: 2000, M: 10000, Seed: 5}
+	one, err := ComputeMSFSpec(spec, Config{PEs: 2, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := ComputeMSFSpec(spec, Config{PEs: 2, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.ModeledSeconds >= one.ModeledSeconds {
+		t.Fatalf("8 threads (%.3e) not faster than 1 (%.3e) on a local graph",
+			eight.ModeledSeconds, one.ModeledSeconds)
+	}
+}
+
+func TestCustomCostModel(t *testing.T) {
+	spec := GraphSpec{Family: GNM, N: 200, M: 800, Seed: 11}
+	slow := comm.CostModel{Alpha: 1e-3, Beta: 1e-7, Compute: 1e-7}
+	a, err := ComputeMSFSpec(spec, Config{PEs: 4, Cost: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeMSFSpec(spec, Config{PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ModeledSeconds <= b.ModeledSeconds {
+		t.Fatalf("slower machine model (%.3e) should cost more than default (%.3e)",
+			a.ModeledSeconds, b.ModeledSeconds)
+	}
+	if a.TotalWeight != b.TotalWeight {
+		t.Fatal("cost model must not change the result")
+	}
+}
