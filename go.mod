@@ -1,0 +1,3 @@
+module kamsta
+
+go 1.22

@@ -13,9 +13,9 @@ package alltoall
 import (
 	"fmt"
 	"math"
-	"reflect"
 
 	"kamsta/internal/comm"
+	"kamsta/internal/sizeof"
 )
 
 // Strategy selects a routing scheme for Exchange.
@@ -264,6 +264,8 @@ func hypercubeExchange[T any](c *comm.Comm, send [][]T) [][]T {
 	return result
 }
 
+// elemSize is the shared compile-time element-size helper; kept as a local
+// alias so call sites in this package stay terse.
 func elemSize[T any]() int {
-	return int(reflect.TypeFor[T]().Size())
+	return sizeof.Of[T]()
 }

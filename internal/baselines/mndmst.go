@@ -55,6 +55,8 @@ func MNDMST(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Options)
 
 	// Vertex ownership after the reassignment: the first source vertex per
 	// PE, replicated; owner0(v) = last PE whose range starts at or below v.
+	// (Allgather of a plain value struct — copied into the board by
+	// boxing, so no ownership caveats apply.)
 	type bound struct {
 		Has   bool
 		First graph.VID

@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"math"
+
+	"kamsta/internal/sizeof"
 )
 
 // Collectives. Because Go methods cannot take type parameters, the
@@ -19,12 +21,30 @@ import (
 //
 // Indirect all-to-all strategies (grid, hypercube) live in
 // internal/alltoall and self-account via RawAlltoall + ChargeComm.
+//
+// Reducing collectives (Allreduce, ExScan, Allgather, AllgatherConcat) fold
+// their deposits ONCE, in the barrier's pre-release combine step, instead of
+// once per PE; op and the deposited values must therefore be deterministic
+// and rank-independent (the same requirement MPI places on reduction
+// operators).
+//
+// Ownership: every collective that reads ARRAY CONTENTS from another PE
+// after the barrier's release either stages a copy at deposit time or hands
+// the reader a buffer the depositor never touches again, so callers may
+// freely mutate their inputs (and received outputs) the moment the
+// collective returns. Deposits of plain values are copied into the board by
+// interface boxing, and deposits read only by the pre-release combine step
+// are safe as-is because their owners are still blocked in the barrier when
+// the combine runs. The one remaining sharing contract: a deposited VALUE
+// type containing references (e.g. a struct with a slice field, as in
+// GroupAllreduce of a sample set) exposes the referenced memory to other
+// PEs until the depositor's next collective; such referenced data must not
+// be mutated in between. All in-tree callers deposit freshly built values
+// and comply.
 
 // Barrier synchronizes all PEs (and their modeled clocks).
 func Barrier(c *Comm) {
-	c.exchange("Barrier", nil, func(boards []deposit) {
-		c.syncClocks(boards, nil)
-	})
+	c.exchange(mkTag(opBarrier, 0), nil, nil, nil)
 	c.ChargeComm(log2Ceil(c.P()), 0)
 	c.stats.Collectives++
 }
@@ -34,42 +54,49 @@ func Barrier(c *Comm) {
 // BcastSlice for an owned copy.
 func Bcast[T any](c *Comm, root int, x T) T {
 	var out T
-	c.exchange("Bcast", x, func(boards []deposit) {
-		c.syncClocks(boards, nil)
+	c.exchange(mkTag(opBcast, 0), x, nil, func(_ any, boards []deposit) {
 		out = boards[root].val.(T)
 	})
-	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }
 
 // BcastSlice distributes root's slice to all PEs; every PE receives its own
-// copy.
+// copy. The root's xs is staged at deposit time, so the root may mutate xs
+// immediately after the call.
 func BcastSlice[T any](c *Comm, root int, xs []T) []T {
+	var dep any
+	if c.rank == root {
+		cp := make([]T, len(xs))
+		copy(cp, xs)
+		dep = cp
+	}
 	var out []T
-	c.exchange("BcastSlice", xs, func(boards []deposit) {
-		c.syncClocks(boards, nil)
+	c.exchange(mkTag(opBcastSlice, 0), dep, nil, func(_ any, boards []deposit) {
 		src := boards[root].val.([]T)
 		out = make([]T, len(src))
 		copy(out, src)
 	})
-	c.ChargeComm(log2Ceil(c.P()), len(out)*sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), len(out)*sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }
 
 // Allreduce combines every PE's value with the associative op and returns
-// the result on all PEs.
+// the result on all PEs. op must be deterministic and rank-independent.
 func Allreduce[T any](c *Comm, x T, op func(a, b T) T) T {
 	var out T
-	c.exchange("Allreduce", x, func(boards []deposit) {
-		c.syncClocks(boards, nil)
-		out = boards[0].val.(T)
+	c.exchange(mkTag(opAllreduce, 0), x, func(boards []deposit) any {
+		acc := boards[0].val.(T)
 		for i := 1; i < len(boards); i++ {
-			out = op(out, boards[i].val.(T))
+			acc = op(acc, boards[i].val.(T))
 		}
+		return acc
+	}, func(res any, _ []deposit) {
+		out = res.(T)
 	})
-	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }
@@ -79,86 +106,108 @@ func Allreduce[T any](c *Comm, x T, op func(a, b T) T) T {
 // base case (§IV-D): an allreduce with vector length n′. The reduction runs
 // as a hypercube butterfly so local work is O(ℓ·log p), while the modeled
 // charge is the pipelined-tree bound α·log p + β·ℓ from §II-A.
+//
+// The butterfly is allocation-free per round: each PE ping-pongs between an
+// accumulator and one scratch vector. Depositing acc for round r is safe
+// because the owner only writes the OTHER buffer until it has passed the
+// barrier of round r+1 — by which point every reader of round r is done
+// (the same double-buffering argument the boards rely on). The buffer
+// returned to the caller was last deposited in the final butterfly round,
+// and the unfold superstep after it is the "one more barrier" that makes
+// handing it to the caller safe.
 func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 	p, rank := c.P(), c.Rank()
-	acc := make([]T, len(xs))
+	n := len(xs)
+	acc := make([]T, n)
 	copy(acc, xs)
 	if p > 1 {
+		scratch := make([]T, n)
 		// Fold ranks beyond the largest power of two into the cube first.
 		k := 1
 		for k*2 <= p {
 			k *= 2
 		}
-		merge := func(tag string, partner int, send bool) {
-			// Both cube and extra ranks pass through the same exchanges to
-			// stay SPMD; ranks without a partner deposit nil. The deposit is
-			// a snapshot: the depositor merges into acc during the same read
-			// window in which its partner reads the board, so the board copy
-			// must stay immutable.
-			var dep any
-			if send {
-				cp := make([]T, len(acc))
-				copy(cp, acc)
-				dep = cp
-			}
-			c.exchange(tag, dep, func(boards []deposit) {
-				c.syncClocks(boards, nil)
-				if partner >= 0 && boards[partner].val != nil {
-					other := boards[partner].val.([]T)
-					if len(other) != len(acc) {
-						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", len(acc), len(other)))
+		// All ranks pass through the same exchanges to stay SPMD; ranks
+		// without a contribution (or partner) deposit nil.
+		foldTag := mkTag(opARVFold, 0)
+		if rank >= k {
+			// Extra rank contributes its vector; it will not touch acc
+			// again until the unfold read, long after the fold window.
+			c.exchange(foldTag, acc, nil, nil)
+		} else {
+			c.exchange(foldTag, nil, nil, func(_ any, boards []deposit) {
+				if rank+k < p {
+					other := boards[rank+k].val.([]T)
+					if len(other) != n {
+						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", n, len(other)))
 					}
+					// In-place is fine: this PE's fold deposit was nil.
 					for j := range acc {
 						acc[j] = op(acc[j], other[j])
 					}
 				}
 			})
 		}
-		if rank >= k {
-			merge("ARVfold", -1, true) // extra rank contributes
-		} else if rank+k < p {
-			merge("ARVfold", rank+k, false) // cube rank absorbs extra
-		} else {
-			merge("ARVfold", -1, false)
-		}
+		bit := 0
 		for d := 1; d < k; d <<= 1 {
-			partner := -1
-			send := false
+			tag := mkTag(opARVBfly, bit)
+			bit++
 			if rank < k {
-				partner = rank ^ d
-				send = true
+				partner := rank ^ d
+				c.exchange(tag, acc, nil, func(_ any, boards []deposit) {
+					other := boards[partner].val.([]T)
+					if len(other) != n {
+						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", n, len(other)))
+					}
+					for j := range scratch {
+						scratch[j] = op(acc[j], other[j])
+					}
+				})
+				acc, scratch = scratch, acc
+			} else {
+				c.exchange(tag, nil, nil, nil)
 			}
-			merge(fmt.Sprintf("ARVbfly%d", d), partner, send)
 		}
 		// Send the final vector back to the extra ranks.
-		finalTag := "ARVunfold"
+		unfoldTag := mkTag(opARVUnfold, 0)
 		if rank < k {
-			var dep any = acc
-			c.exchange(finalTag, dep, func(boards []deposit) { c.syncClocks(boards, nil) })
+			var dep any
+			if rank+k < p {
+				// This deposit is read by the extra rank after the caller
+				// regains acc, so it must be a staged copy.
+				cp := make([]T, n)
+				copy(cp, acc)
+				dep = cp
+			}
+			c.exchange(unfoldTag, dep, nil, nil)
 		} else {
-			c.exchange(finalTag, nil, func(boards []deposit) {
-				c.syncClocks(boards, nil)
+			c.exchange(unfoldTag, nil, nil, func(_ any, boards []deposit) {
 				src := boards[rank-k].val.([]T)
 				copy(acc, src)
 			})
 		}
 	}
-	c.ChargeComm(log2Ceil(p), len(xs)*sizeOf[T]())
+	c.ChargeComm(log2Ceil(p), n*sizeof.Of[T]())
 	c.stats.Collectives++
 	return acc
 }
 
 // ExScan returns the exclusive prefix combination of x over ranks: rank r
-// receives op(x₀, …, x_{r−1}), and rank 0 receives zero.
+// receives op(x₀, …, x_{r−1}), and rank 0 receives zero. op must be
+// deterministic and rank-independent.
 func ExScan[T any](c *Comm, x T, zero T, op func(a, b T) T) T {
-	out := zero
-	c.exchange("ExScan", x, func(boards []deposit) {
-		c.syncClocks(boards, nil)
-		for i := 0; i < c.rank; i++ {
-			out = op(out, boards[i].val.(T))
+	var out T
+	c.exchange(mkTag(opExScan, 0), x, func(boards []deposit) any {
+		prefix := make([]T, len(boards))
+		prefix[0] = zero
+		for i := 1; i < len(boards); i++ {
+			prefix[i] = op(prefix[i-1], boards[i-1].val.(T))
 		}
+		return prefix
+	}, func(res any, _ []deposit) {
+		out = res.([]T)[c.rank]
 	})
-	c.ChargeComm(log2Ceil(c.P()), sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }
@@ -166,45 +215,72 @@ func ExScan[T any](c *Comm, x T, zero T, op func(a, b T) T) T {
 // Allgather collects one value from every PE into a rank-indexed slice on
 // all PEs.
 func Allgather[T any](c *Comm, x T) []T {
-	out := make([]T, c.P())
-	c.exchange("Allgather", x, func(boards []deposit) {
-		c.syncClocks(boards, nil)
+	var out []T
+	c.exchange(mkTag(opAllgather, 0), x, func(boards []deposit) any {
+		vals := make([]T, len(boards))
 		for i := range boards {
-			out[i] = boards[i].val.(T)
+			vals[i] = boards[i].val.(T)
 		}
+		return vals
+	}, func(res any, _ []deposit) {
+		src := res.([]T)
+		out = make([]T, len(src))
+		copy(out, src)
 	})
-	c.ChargeComm(log2Ceil(c.P()), c.P()*sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), c.P()*sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }
 
 // AllgatherConcat concatenates every PE's slice in rank order on all PEs.
+// The deposited slices are only read by the pre-release combine (while all
+// depositors are still inside the barrier), so callers may mutate xs as
+// soon as the call returns.
 func AllgatherConcat[T any](c *Comm, xs []T) []T {
 	var out []T
-	total := 0
-	c.exchange("AllgatherConcat", xs, func(boards []deposit) {
-		c.syncClocks(boards, nil)
+	c.exchange(mkTag(opAllgatherConcat, 0), xs, func(boards []deposit) any {
+		total := 0
 		for i := range boards {
 			total += len(boards[i].val.([]T))
 		}
-		out = make([]T, 0, total)
+		cat := make([]T, 0, total)
 		for i := range boards {
-			out = append(out, boards[i].val.([]T)...)
+			cat = append(cat, boards[i].val.([]T)...)
 		}
+		return cat
+	}, func(res any, _ []deposit) {
+		src := res.([]T)
+		out = make([]T, len(src))
+		copy(out, src)
 	})
-	c.ChargeComm(log2Ceil(c.P()), total*sizeOf[T]())
+	c.ChargeComm(log2Ceil(c.P()), len(out)*sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
+}
+
+// a2aFrame is one PE's personalized all-to-all deposit: all p outgoing
+// buckets staged back to back in one flat buffer, with off[j]..off[j+1]
+// delimiting the per-pair slot for PE j. The frame struct and its offset
+// array are reusable per-parity staging (deposited as a pointer, so
+// publishing never boxes); the flat data buffer is fresh per call because
+// the receivers ADOPT their slots — the sender never touches it after the
+// barrier, so ownership transfers, and the one allocation serves as both
+// wire and result. Each reader slices out exactly its own range instead of
+// unboxing and scanning a full [][]T board deposit.
+type a2aFrame[T any] struct {
+	data []T
+	off  []int32
 }
 
 // Alltoall performs a direct (one-level) personalized all-to-all exchange:
 // sendTo[i] is delivered to PE i, and the result's slot j holds what PE j
 // sent here. Each PE is charged the §II-A direct cost α·(p−1) + β·ℓ with ℓ
 // its bottleneck volume (max of bytes sent and received, self excluded).
-// Received slices are owned by the caller.
+// Received slices are owned by the caller, and the send buckets may be
+// mutated as soon as the call returns.
 func Alltoall[T any](c *Comm, sendTo [][]T) [][]T {
 	recv := RawAlltoall(c, sendTo)
-	elem := sizeOf[T]()
+	elem := sizeof.Of[T]()
 	sent, got := 0, 0
 	for i := range sendTo {
 		if i != c.rank {
@@ -230,14 +306,32 @@ func RawAlltoall[T any](c *Comm, sendTo [][]T) [][]T {
 	if len(sendTo) != p {
 		panic(fmt.Sprintf("comm: Alltoall with %d buckets on a %d-PE world", len(sendTo), p))
 	}
+	fr, _ := c.a2aStage[c.epoch&1].(*a2aFrame[T])
+	if fr == nil || len(fr.off) != p+1 {
+		fr = &a2aFrame[T]{off: make([]int32, p+1)}
+		c.a2aStage[c.epoch&1] = fr
+	}
+	total := 0
+	for i := range sendTo {
+		total += len(sendTo[i])
+	}
+	data := make([]T, 0, total)
+	for i, b := range sendTo {
+		fr.off[i] = int32(len(data))
+		data = append(data, b...)
+	}
+	fr.off[p] = int32(len(data))
+	fr.data = data
 	recv := make([][]T, p)
-	c.exchange("Alltoall", sendTo, func(boards []deposit) {
-		c.syncClocks(boards, nil)
+	c.exchange(mkTag(opAlltoall, 0), fr, nil, func(_ any, boards []deposit) {
+		r := c.rank
 		for i := range boards {
-			bucket := boards[i].val.([][]T)[c.rank]
-			if len(bucket) > 0 {
-				recv[i] = make([]T, len(bucket))
-				copy(recv[i], bucket)
+			f := boards[i].val.(*a2aFrame[T])
+			lo, hi := f.off[r], f.off[r+1]
+			if lo < hi {
+				// Three-index slice: an append on the received bucket must
+				// reallocate, never spill into the next PE's bucket.
+				recv[i] = f.data[lo:hi:hi]
 			}
 		}
 	})
@@ -251,23 +345,31 @@ func RawAlltoall[T any](c *Comm, sendTo [][]T) [][]T {
 func PairExchange[T any](c *Comm, partner int, xs []T) []T {
 	out := RawPairExchange(c, partner, xs)
 	if partner >= 0 && partner != c.rank {
-		c.ChargeComm(1, sizeOf[T]()*maxInt(len(xs), len(out)))
+		c.ChargeComm(1, sizeof.Of[T]()*maxInt(len(xs), len(out)))
 	}
 	return out
 }
 
 // RawPairExchange is PairExchange without the modeled cost charge, for
 // routing strategies that self-account actual payload bytes (element types
-// containing slices would otherwise be charged header sizes only).
+// containing slices would otherwise be charged header sizes only). The
+// payload is staged at deposit time and the staged buffer is adopted by the
+// partner, so xs may be mutated after the call and the result is owned.
+// Only the two partners' modeled clocks synchronize.
 func RawPairExchange[T any](c *Comm, partner int, xs []T) []T {
+	active := partner >= 0 && partner != c.rank
+	var dep any
+	if active {
+		cp := make([]T, len(xs))
+		copy(cp, xs)
+		dep = cp
+	}
 	var out []T
-	c.exchange("PairExchange", xs, func(boards []deposit) {
-		if partner >= 0 && partner != c.rank {
+	c.exchangeSubset(mkTag(opPairExchange, 0), dep, func(boards []deposit) {
+		if active {
 			m := math.Max(boards[c.rank].clock, boards[partner].clock)
 			c.clock = math.Max(c.clock, m)
-			src := boards[partner].val.([]T)
-			out = make([]T, len(src))
-			copy(out, src)
+			out = boards[partner].val.([]T)
 		}
 	})
 	c.stats.Collectives++
@@ -277,10 +379,12 @@ func RawPairExchange[T any](c *Comm, partner int, xs []T) []T {
 // GroupAllreduce combines values over the listed member ranks only (a
 // sub-communicator). All PEs of the world must call it in the same
 // superstep; non-members pass members == nil and receive the zero value.
-// Groups active in the same superstep must be disjoint.
+// Groups active in the same superstep must be disjoint. If T contains
+// references (e.g. a slice field), the referenced data must stay unmutated
+// until the caller's next collective.
 func GroupAllreduce[T any](c *Comm, members []int, x T, op func(a, b T) T) T {
 	var out T
-	c.exchange("GroupAllreduce", x, func(boards []deposit) {
+	c.exchangeSubset(mkTag(opGroupAllreduce, 0), x, func(boards []deposit) {
 		if len(members) == 0 {
 			return
 		}
@@ -291,7 +395,7 @@ func GroupAllreduce[T any](c *Comm, members []int, x T, op func(a, b T) T) T {
 		}
 	})
 	if len(members) > 0 {
-		c.ChargeComm(log2Ceil(len(members)), sizeOf[T]())
+		c.ChargeComm(log2Ceil(len(members)), sizeof.Of[T]())
 	}
 	c.stats.Collectives++
 	return out

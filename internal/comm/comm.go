@@ -20,12 +20,24 @@
 // propagate exactly as they would on a real machine. Phase timers attribute
 // modeled and wall time to named phases; the World aggregates the maximum
 // over PEs, which is the quantity all the paper's figures plot.
+//
+// # Exchange protocol
+//
+// Every collective is one superstep over an epoch-stamped, double-buffered
+// blackboard (see DESIGN.md): each PE publishes its deposit into
+// board[epoch%2], all PEs meet at a single tree-barrier arrival, and then
+// each PE reads the deposits it needs. No departure barrier is required:
+// epoch e+2 is the earliest moment board[e%2] is written again, and no PE
+// can reach epoch e+2 before every PE has passed the barrier of epoch e+1 —
+// which it can only do after finishing its epoch-e reads. Collectives whose
+// deposits reference caller-owned arrays stage a copy (or hand ownership to
+// the reader) so a caller mutating its buffers right after a collective
+// returns can never race a slower PE's read of epoch e.
 package comm
 
 import (
 	"fmt"
 	"math"
-	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -59,8 +71,18 @@ type World struct {
 	threads int
 	cost    CostModel
 
-	bar    *barrier
-	boards []deposit
+	bar *barrier
+	// boards is the double-buffered blackboard: collective number e (each
+	// PE counts its own, and SPMD keeps them in lockstep) deposits into
+	// boards[e%2], so epoch e+1's writes can never touch the slots epoch e's
+	// stragglers are still reading.
+	boards [2][]deposit
+	// combined holds the per-epoch result of the pre-release combine step:
+	// the global clock maximum and, for reducing collectives, the folded
+	// value. Written by the barrier's root-completing PE while everyone else
+	// is still blocked, read by all after release; double-buffered under the
+	// same epoch-parity argument as the boards.
+	combined [2]combineSlot
 
 	mu     sync.Mutex
 	phases map[string]*PhaseTime // max-aggregated over PEs
@@ -68,10 +90,21 @@ type World struct {
 	clocks []float64 // final modeled clock per PE, for the last Run
 }
 
+// deposit is one PE's contribution to a collective, padded so adjacent
+// ranks' slots never share a cache line.
 type deposit struct {
-	tag   string
+	tag   opTag
 	val   any
 	clock float64
+	_     [32]byte
+}
+
+// combineSlot is one epoch's combined exchange result, padded so the two
+// parities never share a cache line.
+type combineSlot struct {
+	clockMax float64
+	val      any
+	_        [40]byte
 }
 
 // Option configures a World.
@@ -103,7 +136,7 @@ func NewWorld(p int, opts ...Option) *World {
 		threads: 1,
 		cost:    DefaultCostModel(),
 		bar:     newBarrier(p),
-		boards:  make([]deposit, p),
+		boards:  [2][]deposit{make([]deposit, p), make([]deposit, p)},
 		phases:  make(map[string]*PhaseTime),
 		clocks:  make([]float64, p),
 	}
@@ -134,11 +167,20 @@ func (w *World) Run(f func(c *Comm)) {
 				threads: w.threads,
 				phases:  make(map[string]*PhaseTime),
 			}
+			c.preFn = c.preRelease
 			f(c)
 			c.flush()
 		}(r)
 	}
 	wg.Wait()
+	// Drop deposit references so the last collective's payloads don't stay
+	// reachable through the world between (or after) runs.
+	for b := range w.boards {
+		for i := range w.boards[b] {
+			w.boards[b][i].val = nil
+		}
+		w.combined[b].val = nil
+	}
 }
 
 // PhaseTime is the accumulated cost of one named phase.
@@ -222,12 +264,26 @@ type Comm struct {
 	rank    int
 	w       *World
 	threads int
+	epoch   uint64 // collective supersteps completed; selects the board buffer
 
 	clock  float64 // modeled seconds since Run start
 	stats  Stats
 	phases map[string]*PhaseTime
 
 	phaseStack []phaseFrame
+
+	// preFn is the preRelease method value, bound once so passing it to the
+	// barrier on every collective does not allocate. pending is the
+	// collective-specific combine step preFn runs if this PE ends up
+	// completing the barrier's root.
+	preFn   func()
+	pending func(boards []deposit) any
+
+	// a2aStage is reusable per-parity staging for the all-to-all frame and
+	// its slot array (see RawAlltoall; holds a *a2aFrame[T]). Reuse at
+	// epoch e+2 is safe for the same reason the boards are: every reader
+	// of epoch e finished before anyone passed the barrier of epoch e+1.
+	a2aStage [2]any
 }
 
 type phaseFrame struct {
@@ -362,44 +418,154 @@ func log2Ceil(n int) int {
 	return k
 }
 
-// sizeOf returns the in-memory size of T in bytes for cost accounting.
-func sizeOf[T any]() int {
-	return int(reflect.TypeFor[T]().Size())
+// opTag identifies which collective (and, where needed, which internal
+// round of it) a deposit belongs to: the low byte is the opcode, the rest an
+// opcode-specific argument. Tags used to be strings; a word-sized tag keeps
+// the SPMD divergence check off the allocator (the butterfly rounds of
+// AllreduceVec previously fmt.Sprintf'd a fresh tag per round per PE).
+type opTag uint32
+
+const (
+	opNone uint8 = iota
+	opBarrier
+	opBcast
+	opBcastSlice
+	opAllreduce
+	opARVFold
+	opARVBfly
+	opARVUnfold
+	opExScan
+	opAllgather
+	opAllgatherConcat
+	opAlltoall
+	opPairExchange
+	opGroupAllreduce
+)
+
+var opNames = [...]string{
+	opNone:            "(none)",
+	opBarrier:         "Barrier",
+	opBcast:           "Bcast",
+	opBcastSlice:      "BcastSlice",
+	opAllreduce:       "Allreduce",
+	opARVFold:         "AllreduceVec/fold",
+	opARVBfly:         "AllreduceVec/butterfly",
+	opARVUnfold:       "AllreduceVec/unfold",
+	opExScan:          "ExScan",
+	opAllgather:       "Allgather",
+	opAllgatherConcat: "AllgatherConcat",
+	opAlltoall:        "Alltoall",
+	opPairExchange:    "PairExchange",
+	opGroupAllreduce:  "GroupAllreduce",
 }
 
-// exchange deposits (tag, val, clock) on this PE's board slot, waits for
-// everyone, invokes read with the full board (valid only during the call),
-// and waits again so slots can be reused. It is the single synchronization
-// primitive all collectives are built from. The tag check catches SPMD
-// divergence bugs (different PEs calling different collectives) immediately
-// instead of deadlocking.
-func (c *Comm) exchange(tag string, val any, read func(boards []deposit)) {
+func mkTag(op uint8, arg int) opTag { return opTag(op) | opTag(arg)<<8 }
+
+func (t opTag) String() string {
+	op := uint8(t)
+	name := "(invalid)"
+	if int(op) < len(opNames) {
+		name = opNames[op]
+	}
+	if arg := t >> 8; arg != 0 {
+		return fmt.Sprintf("%s[%d]", name, arg)
+	}
+	return name
+}
+
+// preRelease is the pre-release combine step, run by whichever PE completes
+// the barrier's root while every other PE is still blocked inside Wait. It
+// folds the p deposited clocks into one global maximum — turning the BSP
+// clock synchronization every full-world collective performs from O(p) work
+// per PE into O(p) work total — and runs the collective's pending combine
+// closure (if any) to reduce the deposited values once on behalf of
+// everyone. All PEs deposit equivalent closures (SPMD), so it does not
+// matter whose runs.
+func (c *Comm) preRelease() {
 	w := c.w
-	w.boards[c.rank] = deposit{tag: tag, val: val, clock: c.clock}
-	w.bar.Wait()
+	par := c.epoch & 1
+	boards := w.boards[par]
+	m := boards[0].clock
+	for i := 1; i < len(boards); i++ {
+		if boards[i].clock > m {
+			m = boards[i].clock
+		}
+	}
+	res := &w.combined[par]
+	res.clockMax = m
+	if c.pending != nil {
+		res.val = c.pending(boards)
+	} else {
+		res.val = nil
+	}
+}
+
+// exchange runs one collective superstep: it deposits (tag, val, clock) on
+// this PE's slot of the current epoch's board, waits for everyone at the
+// single arrival barrier (whose root-completer runs the pre-release combine
+// — see preRelease), synchronizes this PE's modeled clock to the combined
+// global maximum, and invokes read with the combined value and the full
+// board. The board is valid only during the call; exchange advances the
+// epoch so the next collective writes the other buffer, which is what makes
+// the missing departure barrier safe (no slot of this board is rewritten
+// before every PE has passed the NEXT barrier, and by then all reads below
+// are done).
+//
+// Deposits that reference memory the depositing caller may mutate after its
+// collective returns must be staged (copied, or handed off) by the caller —
+// unless only the pre-release combine reads them, which runs while all
+// depositors are still blocked. See the ownership notes on the individual
+// collectives.
+//
+// The tag check catches SPMD divergence bugs (different PEs calling
+// different collectives) immediately instead of deadlocking.
+func (c *Comm) exchange(tag opTag, val any, combine func(boards []deposit) any, read func(res any, boards []deposit)) {
+	board := c.deposit(tag, val, combine)
+	res := &c.w.combined[(c.epoch-1)&1]
+	if res.clockMax > c.clock {
+		c.clock = res.clockMax
+	}
+	if read != nil {
+		read(res.val, board)
+	}
+}
+
+// exchangeSubset is exchange for collectives that synchronize only a subset
+// of the world (pair exchanges, group reductions): it skips the global
+// clock synchronization and never combines; read inspects deposit clocks
+// itself.
+func (c *Comm) exchangeSubset(tag opTag, val any, read func(boards []deposit)) {
+	board := c.deposit(tag, val, nil)
+	read(board)
+}
+
+// deposit publishes (tag, val, clock), meets the world at the barrier,
+// checks SPMD agreement and advances the epoch, returning this superstep's
+// board.
+func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) []deposit {
+	w := c.w
+	board := w.boards[c.epoch&1]
+	s := &board[c.rank]
+	s.tag, s.val, s.clock = tag, val, c.clock
+	c.pending = combine
+	w.bar.Wait(c.rank, c.preFn)
+	c.epoch++
 	if c.rank == 0 {
 		for i := 1; i < w.p; i++ {
-			if w.boards[i].tag != tag {
-				panic(fmt.Sprintf("comm: SPMD divergence: rank 0 in %q, rank %d in %q", tag, i, w.boards[i].tag))
+			if board[i].tag != tag {
+				panic(fmt.Sprintf("comm: SPMD divergence: rank 0 in %v, rank %d in %v", tag, i, board[i].tag))
 			}
 		}
 	}
-	read(w.boards)
-	w.bar.Wait()
+	return board
 }
 
 // syncClocks sets this PE's clock to the maximum entry clock among the
-// given deposits (BSP barrier semantics), then returns that maximum.
+// given member deposits (BSP barrier semantics for a sub-communicator).
 func (c *Comm) syncClocks(deps []deposit, members []int) float64 {
 	m := c.clock
-	if members == nil {
-		for i := range deps {
-			m = math.Max(m, deps[i].clock)
-		}
-	} else {
-		for _, i := range members {
-			m = math.Max(m, deps[i].clock)
-		}
+	for _, i := range members {
+		m = math.Max(m, deps[i].clock)
 	}
 	c.clock = m
 	return m

@@ -154,6 +154,10 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 				pending++
 			}
 		}
+		// Convergence check: one Allreduce per doubling round. With the
+		// pre-release-combining substrate this superstep costs O(p) wall
+		// work total, so the O(log n) rounds of pointer chasing are no
+		// longer dominated by synchronization at high PE counts.
 		totalPending := comm.Allreduce(c, pending, func(a, b int) int { return a + b })
 		if totalPending == 0 {
 			break

@@ -210,7 +210,11 @@ func hypercubeQuicksort[T any](c *comm.Comm, data []T, less func(a, b T) bool, o
 		for i := range members {
 			members[i] = base + i
 		}
-		// Pivot: median of a few samples per group member.
+		// Pivot: median of a few samples per group member. The sample set
+		// is a reference-typed GroupAllreduce deposit: its Items array is
+		// freshly built here and never mutated afterwards, which is the
+		// immutable-until-next-collective contract comm places on deposited
+		// values containing references.
 		type sampleSet struct{ Items []T }
 		mySamples := sampleSet{}
 		for i := 0; i < 3 && len(local) > 0; i++ {

@@ -333,7 +333,14 @@ func TestLocalityContrast(t *testing.T) {
 }
 
 func TestRealWorldSpecs(t *testing.T) {
-	for _, name := range RealWorldNames() {
+	names := RealWorldNames()
+	if testing.Short() {
+		// The full Table I sweep builds every stand-in instance at 2^14
+		// vertices and dominates this package's test time (~17s); one
+		// social and one web instance keep the format check meaningful.
+		names = []string{names[0], names[2]}
+	}
+	for _, name := range names {
 		spec, err := RealWorldSpec(name, 1<<14, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -1,0 +1,18 @@
+// Package sizeof provides the element-size helper shared by the modeled-cost
+// accounting in internal/comm and internal/alltoall. Collectives charge
+// β-cost per byte, so they need the in-memory size of the element type on
+// every call; the previous per-package helpers asked reflect for it each
+// time, which costs a map lookup and an allocation-prone interface dance on
+// the hottest path of the simulator.
+package sizeof
+
+import "unsafe"
+
+// Of returns the in-memory size of T in bytes for cost accounting. It
+// compiles to a constant per instantiation (unsafe.Sizeof is evaluated at
+// compile time), so calling it per collective is free — no reflect, no
+// caching needed.
+func Of[T any]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
