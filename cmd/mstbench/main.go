@@ -7,6 +7,7 @@
 //
 //	mstbench -experiment fig3 -ps 4,8,16,32,64 -vppe 512 -eppe 8192
 //	mstbench -experiment all
+//	mstbench -input g.kg -ps 4,8,16       # benchmark a graph file
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 	seed := flag.Uint64("seed", def.Seed, "instance seed")
 	reps := flag.Int("reps", def.Reps, "repetitions per measurement (min modeled time kept)")
 	cap := flag.Int("basecap", 0, "base-case vertex threshold (0 = VPerPE/4)")
+	input := flag.String("input", "", "benchmark a graph file instead of a generated experiment")
+	informat := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
 	flag.Parse()
 
 	scale := bench.Scale{
@@ -49,6 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *input != "" {
+		if err := bench.RunFile(os.Stdout, *input, *informat, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	runners := bench.Experiments()
 	if *experiment == "all" {
 		for _, name := range bench.ExperimentNames() {

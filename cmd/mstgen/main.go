@@ -1,12 +1,17 @@
-// Command mstgen generates one of the paper's graph families and either
-// writes the edge list (one "u v w" line per undirected edge) or prints
-// instance statistics, for inspecting the workloads the benchmarks use.
+// Command mstgen generates one of the paper's graph families and writes it
+// to a file (or stdout) in any of the supported interchange formats, or
+// prints instance statistics. Expensive instances are generated once,
+// cached on disk, and fed back to mstbench/mstverify via -input.
 //
 // Usage:
 //
 //	mstgen -family gnm -n 1024 -m 8192 -seed 7 -stats
 //	mstgen -family rgg2d -n 4096 -m 32768 > edges.txt
-//	mstgen -realworld US-road -rw-scale 16384 -stats
+//	mstgen -family rgg2d -n 65536 -m 1048576 -o rgg.kg          # binary, chunk-indexed
+//	mstgen -realworld US-road -rw-scale 16384 -format gr -o road.gr
+//
+// Formats: kamsta (binary, .kg), edgelist ("u v w" text), gr (9th-DIMACS),
+// metis (adjacency). -format auto picks by the -o extension.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"kamsta/internal/dsort"
 	"kamsta/internal/gen"
 	"kamsta/internal/graph"
+	"kamsta/internal/graphio"
 )
 
 var families = map[string]gen.Family{
@@ -42,6 +48,8 @@ func main() {
 	realworld := flag.String("realworld", "", "generate a Table I stand-in instead (e.g. twitter, US-road)")
 	rwScale := flag.Uint64("rw-scale", 1<<14, "real-world downscale divisor")
 	stats := flag.Bool("stats", false, "print instance statistics instead of edges")
+	out := flag.String("o", "", "output file (default: write text to stdout)")
+	format := flag.String("format", "auto", "output format: kamsta, edgelist, gr, metis, auto (by -o extension)")
 	flag.Parse()
 
 	var spec gen.Spec
@@ -49,16 +57,18 @@ func main() {
 		var err error
 		spec, err = gen.RealWorldSpec(*realworld, *rwScale, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mstgen: %v\n", err)
-			os.Exit(2)
+			fail("%v", err)
 		}
 	} else {
 		f, ok := families[strings.ToLower(*family)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mstgen: unknown family %q\n", *family)
-			os.Exit(2)
+			fail("unknown family %q (known: %s)", *family, strings.Join(familyNames(), ", "))
 		}
 		spec = gen.Spec{Family: f, N: *n, M: *m, Seed: *seed}
+	}
+	fm, err := graphio.ParseFormat(*format)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	chunks := make([][]graph.Edge, *pes)
@@ -76,13 +86,37 @@ func main() {
 		printStats(spec, all)
 		return
 	}
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-	for _, e := range all {
-		if e.U < e.V {
-			fmt.Fprintf(out, "%d %d %d\n", e.U, e.V, e.W)
+	if *out != "" {
+		if err := graphio.WriteFile(*out, fm, all); err != nil {
+			fail("writing %s: %v", *out, err)
 		}
+		return
 	}
+	if fm == graphio.FormatAuto {
+		fm = graphio.FormatEdgeList
+	}
+	bw := bufio.NewWriterSize(os.Stdout, 1<<20)
+	if err := graphio.Write(bw, fm, all); err != nil {
+		fail("writing stdout: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail("writing stdout: %v", err)
+	}
+}
+
+// fail prints an error and exits with the flag-error status.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mstgen: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func familyNames() []string {
+	names := make([]string, 0, len(families))
+	for k := range families {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func printStats(spec gen.Spec, all []graph.Edge) {

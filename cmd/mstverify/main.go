@@ -1,11 +1,12 @@
 // Command mstverify cross-checks every distributed algorithm against
-// sequential Kruskal on a sweep of generated instances — the repository's
-// end-to-end smoke test in executable form.
+// sequential Kruskal, either on a sweep of generated instances or on a
+// graph file — the repository's end-to-end smoke test in executable form.
 //
 // Usage:
 //
-//	mstverify                  # default sweep
+//	mstverify                  # default generated sweep
 //	mstverify -n 2000 -m 12000 -ps 2,4,8 -seeds 5
+//	mstverify -input g.kg -ps 1,4,8   # file-backed cross-check
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	ps := flag.String("ps", "1,3,4,8", "PE counts to verify")
 	seeds := flag.Uint64("seeds", 3, "number of seeds per configuration")
 	threads := flag.Int("threads", 2, "threads per PE")
+	input := flag.String("input", "", "verify a graph file instead of the generated sweep")
+	format := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
 	flag.Parse()
 
 	peList, err := parseInts(*ps)
@@ -31,7 +34,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
 		os.Exit(2)
 	}
+	if *input != "" {
+		runFile(*input, *format, peList, *threads)
+		return
+	}
 	run(*n, *m, peList, *seeds, *threads)
+}
+
+// runFile cross-checks every distributed algorithm against Kruskal on a
+// file-backed instance, loaded in parallel at each PE count.
+func runFile(path, format string, peList []int, threads int) {
+	src := kamsta.FromFileFormat(path, format)
+	want, err := kamsta.ComputeMSFSource(src, kamsta.Config{PEs: 2, Algorithm: kamsta.AlgKruskal})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("oracle %s: vertices=%d edges(dir)=%d weight=%d msf_edges=%d\n",
+		path, want.InputVertices, want.InputEdges, want.TotalWeight, want.NumEdges)
+	algs := []kamsta.Algorithm{kamsta.AlgBoruvka, kamsta.AlgFilterBoruvka, kamsta.AlgMNDMST, kamsta.AlgSparseMatrix}
+	failures, checks := 0, 0
+	for _, alg := range algs {
+		for _, p := range peList {
+			got, err := kamsta.ComputeMSFSource(src, kamsta.Config{PEs: p, Threads: threads, Algorithm: alg})
+			checks++
+			if err != nil {
+				fmt.Printf("FAIL %-14s p=%-3d: %v\n", alg, p, err)
+				failures++
+				continue
+			}
+			if got.TotalWeight != want.TotalWeight || got.NumEdges != want.NumEdges {
+				fmt.Printf("FAIL %-14s p=%-3d: weight %d/%d want %d/%d\n",
+					alg, p, got.TotalWeight, got.NumEdges, want.TotalWeight, want.NumEdges)
+				failures++
+				continue
+			}
+			fmt.Printf("ok   %-14s p=%-3d weight=%d edges=%d\n", alg, p, got.TotalWeight, got.NumEdges)
+		}
+	}
+	fmt.Printf("\n%d checks, %d failures\n", checks, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
 }
 
 func run(n, m uint64, peList []int, seeds uint64, threads int) {

@@ -3,11 +3,13 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"kamsta/internal/comm"
 	"kamsta/internal/gen"
+	"kamsta/internal/graphio"
 )
 
 // tinyScale keeps harness tests fast.
@@ -37,6 +39,29 @@ func TestExperimentRunnersProduceOutput(t *testing.T) {
 		if !strings.Contains(out, "#") {
 			t.Fatalf("%s: missing header:\n%s", name, out)
 		}
+	}
+}
+
+func TestRunFileBenchmarksAGraphFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kg")
+	spec := gen.Spec{Family: gen.GNM, N: 200, M: 800, Seed: 2}
+	if err := graphio.WriteFile(path, graphio.FormatKamsta, collectEdges(spec, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := tinyScale()
+	s.Ps = []int{2}
+	var buf bytes.Buffer
+	if err := RunFile(&buf, path, "auto", s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"load_s", "boruvka", "sparseMatrix"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunFile output missing %q:\n%s", want, out)
+		}
+	}
+	if err := RunFile(&buf, filepath.Join(t.TempDir(), "missing.kg"), "auto", s); err == nil {
+		t.Fatal("RunFile on a missing file should error")
 	}
 }
 
@@ -98,7 +123,7 @@ func TestAlgConfigUnknownPanics(t *testing.T) {
 
 func TestExperimentNamesComplete(t *testing.T) {
 	names := ExperimentNames()
-	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "shared", "table1"}
+	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "shared", "table1", "table1file"}
 	if len(names) != len(want) {
 		t.Fatalf("experiments: %v want %v", names, want)
 	}

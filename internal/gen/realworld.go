@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // RealWorldInstance describes one of the paper's Table I graphs together
@@ -69,16 +70,17 @@ func RealWorldNames() []string {
 	return names
 }
 
-// RealWorldInfo returns the Table I metadata for an instance name.
+// RealWorldInfo returns the Table I metadata for an instance name. The
+// lookup is case-insensitive ("us-road" finds "US-road").
 func RealWorldInfo(name string) (RealWorldInstance, error) {
 	for _, rw := range realWorld {
-		if rw.Name == name {
+		if strings.EqualFold(rw.Name, name) {
 			return rw, nil
 		}
 	}
 	known := RealWorldNames()
 	sort.Strings(known)
-	return RealWorldInstance{}, fmt.Errorf("gen: unknown real-world instance %q (known: %v)", name, known)
+	return RealWorldInstance{}, fmt.Errorf("gen: unknown real-world instance %q (known: %s)", name, strings.Join(known, ", "))
 }
 
 // RealWorldSpec builds the stand-in Spec for an instance, scaled down by

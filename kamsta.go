@@ -21,10 +21,16 @@
 //	rep, err := kamsta.ComputeMSFSpec(kamsta.GraphSpec{
 //		Family: kamsta.GNM, N: 1 << 14, M: 1 << 17, Seed: 42,
 //	}, kamsta.Config{PEs: 16, Threads: 8, Algorithm: kamsta.AlgFilterBoruvka})
+//
+// or load a graph file, every PE ingesting its own byte range in parallel
+// (binary .kg, DIMACS .gr, METIS, or plain edge lists; see Source):
+//
+//	rep, err := kamsta.ComputeMSFFile("usa-road.gr", kamsta.Config{PEs: 16})
 package kamsta
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -132,6 +138,11 @@ type Report struct {
 	// InputVertices/InputEdges describe the instance (directed edge count).
 	InputVertices int
 	InputEdges    int
+	// InputModeledSeconds is the modeled time spent materializing the
+	// input inside the world — generating, or loading a file and
+	// establishing the sorted distributed format. It is excluded from
+	// ModeledSeconds, which measures only the algorithm.
+	InputModeledSeconds float64
 	// WallSeconds is real elapsed time of the simulation; ModeledSeconds
 	// is the α-β machine model's makespan — the quantity corresponding to
 	// the paper's measured running times.
@@ -152,61 +163,70 @@ type Report struct {
 // ComputeMSF computes the minimum spanning forest of a user-supplied
 // undirected edge list on a simulated machine.
 func ComputeMSF(edges []InputEdge, cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	for _, e := range edges {
-		if e.U == 0 || e.V == 0 || e.U >= 1<<32 || e.V >= 1<<32 {
-			return nil, fmt.Errorf("kamsta: vertex labels must be in [1, 2^32): edge (%d,%d)", e.U, e.V)
-		}
-		if e.U == e.V {
-			return nil, fmt.Errorf("kamsta: self-loop on vertex %d", e.U)
-		}
-	}
-	if cfg.Algorithm == AlgKruskal {
-		return sequentialReport(edges)
-	}
-	return run(cfg, func(c *comm.Comm) ([]graph.Edge, *graph.Layout) {
-		// PE 0 feeds the edges in; Finish distributes and sorts them.
-		var raw []graph.Edge
-		if c.Rank() == 0 {
-			raw = make([]graph.Edge, 0, 2*len(edges))
-			for _, e := range edges {
-				raw = append(raw, graph.NewEdge(e.U, e.V, e.W), graph.NewEdge(e.V, e.U, e.W))
-			}
-		}
-		return gen.Finish(c, raw, cfg.Core.Sort)
-	})
+	return ComputeMSFSource(FromEdges(edges), cfg)
 }
 
 // ComputeMSFSpec generates one of the paper's graph families inside the
 // simulation and computes its MSF.
 func ComputeMSFSpec(spec GraphSpec, cfg Config) (*Report, error) {
+	return ComputeMSFSource(FromSpec(spec), cfg)
+}
+
+// ComputeMSFFile loads a graph file — every PE ingesting its own byte
+// range in parallel — and computes its MSF. The format is detected from
+// the extension (see FromFile).
+func ComputeMSFFile(path string, cfg Config) (*Report, error) {
+	return ComputeMSFSource(FromFile(path), cfg)
+}
+
+// ComputeMSFSource computes the MSF of any input source — generated,
+// file-backed or user-supplied — on a simulated machine.
+func ComputeMSFSource(src Source, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if spec.Seed == 0 {
-		spec.Seed = cfg.Seed + 1
+	if err := src.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Algorithm == AlgKruskal {
-		var collected []InputEdge
-		w := comm.NewWorld(cfg.PEs)
-		w.Run(func(c *comm.Comm) {
-			edges, _ := gen.Build(c, spec, cfg.Core.Sort)
-			all := comm.AllgatherConcat(c, edges)
-			if c.Rank() == 0 {
-				for _, e := range all {
-					if e.U < e.V {
-						collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
-					}
-				}
-			}
-		})
+		if es, ok := src.(edgesSource); ok {
+			return sequentialReport(es.edges) // no world needed
+		}
+		collected, err := collectCanonical(src, cfg)
+		if err != nil {
+			return nil, err
+		}
 		return sequentialReport(collected)
 	}
-	return run(cfg, func(c *comm.Comm) ([]graph.Edge, *graph.Layout) {
-		return gen.Build(c, spec, cfg.Core.Sort)
+	return run(cfg, src)
+}
+
+// collectCanonical materializes a source inside a world and gathers the
+// canonical (U < V) undirected edges, for the sequential reference path.
+func collectCanonical(src Source, cfg Config) ([]InputEdge, error) {
+	var collected []InputEdge
+	var inputErr error
+	w := comm.NewWorld(cfg.PEs)
+	w.Run(func(c *comm.Comm) {
+		edges, _, err := src.provide(c, cfg)
+		if err != nil {
+			if c.Rank() == 0 {
+				inputErr = err
+			}
+			return
+		}
+		all := comm.AllgatherConcat(c, edges)
+		if c.Rank() == 0 {
+			for _, e := range all {
+				if e.U < e.V {
+					collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
+				}
+			}
+		}
 	})
+	return collected, inputErr
 }
 
 // run executes the selected distributed algorithm on a fresh world.
-func run(cfg Config, input func(*comm.Comm) ([]graph.Edge, *graph.Layout)) (*Report, error) {
+func run(cfg Config, src Source) (*Report, error) {
 	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
 	rep := &Report{}
 	var shares [][]graph.Edge
@@ -214,7 +234,18 @@ func run(cfg Config, input func(*comm.Comm) ([]graph.Edge, *graph.Layout)) (*Rep
 	shares = make([][]graph.Edge, cfg.PEs)
 	start := time.Now()
 	w.Run(func(c *comm.Comm) {
-		edges, layout := input(c)
+		edges, layout, inErr := src.provide(c, cfg)
+		if inErr != nil {
+			// provide returns the same error on every PE, so all PEs
+			// leave the SPMD program here together.
+			if c.Rank() == 0 {
+				algErr = inErr
+			}
+			return
+		}
+		// The input cost is the clock maximum now, before the nv/ne stats
+		// collectives below add their own charges.
+		iclk := comm.Allreduce(c, c.Clock(), math.Max)
 		nv := graph.GlobalVertexCount(c, layout, edges)
 		ne := comm.Allreduce(c, len(edges), func(a, b int) int { return a + b })
 		// Measure the algorithm, not the generation.
@@ -260,6 +291,7 @@ func run(cfg Config, input func(*comm.Comm) ([]graph.Edge, *graph.Layout)) (*Rep
 		}
 		if c.Rank() == 0 {
 			rep.InputVertices, rep.InputEdges = nv, ne
+			rep.InputModeledSeconds = iclk
 		}
 	})
 	if algErr != nil {
