@@ -9,6 +9,7 @@
 package kamsta_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -258,6 +259,39 @@ func BenchmarkAblationBaseCap(b *testing.B) {
 			cfg := paperCfg(kamsta.AlgBoruvka, 16, 1)
 			cfg.Core.BaseCaseCap = cap
 			runSpec(b, spec, cfg)
+		})
+	}
+}
+
+// BenchmarkMachineRepeatedSmallInstances — the service workload the Machine
+// API exists for: many small jobs back to back. The reused Machine keeps
+// its PE goroutines parked between jobs; the one-shot wrapper rebuilds the
+// world (spawns p goroutines, reallocates boards and barrier) per call.
+// The delta is the per-job setup cost a server no longer pays; it grows
+// with the machine width.
+func BenchmarkMachineRepeatedSmallInstances(b *testing.B) {
+	var edges []kamsta.InputEdge
+	for i := uint64(1); i <= 8; i++ {
+		edges = append(edges, kamsta.InputEdge{U: i, V: i + 1, W: uint32(i*7%13 + 1)})
+	}
+	src := kamsta.FromEdges(edges)
+	for _, p := range []int{8, 32} {
+		b.Run(fmt.Sprintf("reused-machine/p=%d", p), func(b *testing.B) {
+			m := kamsta.NewMachine(kamsta.MachineConfig{PEs: p})
+			defer m.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Compute(context.Background(), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("one-shot/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kamsta.ComputeMSFSource(src, kamsta.Config{PEs: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

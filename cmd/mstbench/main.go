@@ -7,7 +7,8 @@
 //
 //	mstbench -experiment fig3 -ps 4,8,16,32,64 -vppe 512 -eppe 8192
 //	mstbench -experiment all
-//	mstbench -input g.kg -ps 4,8,16       # benchmark a graph file
+//	mstbench -input g.kg -ps 4,8,16                  # benchmark a graph file
+//	mstbench -input g.kg -alg boruvka,filterBoruvka  # selected algorithms only
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"kamsta"
 	"kamsta/internal/bench"
 )
 
@@ -34,7 +36,14 @@ func main() {
 	cap := flag.Int("basecap", 0, "base-case vertex threshold (0 = VPerPE/4)")
 	input := flag.String("input", "", "benchmark a graph file instead of a generated experiment")
 	informat := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
+	algNames := flag.String("alg", "", "comma-separated algorithms for -input runs (default: all distributed algorithms)")
 	flag.Parse()
+
+	algs, err := parseAlgs(*algNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstbench: bad -alg: %v\n", err)
+		os.Exit(2)
+	}
 
 	scale := bench.Scale{
 		VPerPE:         *vppe,
@@ -45,7 +54,6 @@ func main() {
 		Reps:           *reps,
 		BaseCaseCap:    *cap,
 	}
-	var err error
 	scale.Ps, err = parseInts(*ps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstbench: bad -ps: %v\n", err)
@@ -53,7 +61,7 @@ func main() {
 	}
 
 	if *input != "" {
-		if err := bench.RunFile(os.Stdout, *input, *informat, scale); err != nil {
+		if err := bench.RunFile(os.Stdout, *input, *informat, algs, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,6 +82,23 @@ func main() {
 		os.Exit(2)
 	}
 	run(os.Stdout, scale)
+}
+
+// parseAlgs resolves the -alg list before any world is started; unknown
+// names error out listing the valid ones. Empty means the runner's default
+// set. The sequential reference is rejected: it has no modeled machine, so
+// its benchmark row would be all zeros.
+func parseAlgs(s string) ([]kamsta.Algorithm, error) {
+	out, err := kamsta.ParseAlgorithmList(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range out {
+		if a == kamsta.AlgKruskal {
+			return nil, fmt.Errorf("kruskal is the sequential reference (no modeled machine); pick distributed algorithms")
+		}
+	}
+	return out, nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,15 +1,18 @@
 // Command mstverify cross-checks every distributed algorithm against
 // sequential Kruskal, either on a sweep of generated instances or on a
 // graph file — the repository's end-to-end smoke test in executable form.
+// One persistent Machine per PE count is reused across the whole sweep.
 //
 // Usage:
 //
 //	mstverify                  # default generated sweep
 //	mstverify -n 2000 -m 12000 -ps 2,4,8 -seeds 5
 //	mstverify -input g.kg -ps 1,4,8   # file-backed cross-check
+//	mstverify -alg boruvka,mndmst     # restrict the checked algorithms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ func main() {
 	threads := flag.Int("threads", 2, "threads per PE")
 	input := flag.String("input", "", "verify a graph file instead of the generated sweep")
 	format := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
+	algNames := flag.String("alg", "", "comma-separated algorithms to check (default: all distributed algorithms)")
 	flag.Parse()
 
 	peList, err := parseInts(*ps)
@@ -34,29 +38,83 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
 		os.Exit(2)
 	}
+	algs, err := parseAlgs(*algNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: bad -alg: %v\n", err)
+		os.Exit(2)
+	}
+	v := newVerifier(peList, *threads)
+	defer v.Close()
 	if *input != "" {
-		runFile(*input, *format, peList, *threads)
+		v.runFile(*input, *format, algs)
 		return
 	}
-	run(*n, *m, peList, *seeds, *threads)
+	v.run(*n, *m, *seeds, algs)
 }
 
-// runFile cross-checks every distributed algorithm against Kruskal on a
+// parseAlgs resolves the -alg list before any world is started; unknown
+// names error out listing the valid ones. Empty means all distributed
+// algorithms.
+func parseAlgs(s string) ([]kamsta.Algorithm, error) {
+	out, err := kamsta.ParseAlgorithmList(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range out {
+		if a == kamsta.AlgKruskal {
+			return nil, fmt.Errorf("kruskal is the oracle; pick distributed algorithms to check against it")
+		}
+	}
+	if len(out) == 0 {
+		out = kamsta.DistributedAlgorithms()
+	}
+	return out, nil
+}
+
+// verifier holds one persistent Machine per PE count, reused for every
+// (family, seed, algorithm) data point of the sweep.
+type verifier struct {
+	peList   []int
+	machines map[int]*kamsta.Machine
+}
+
+func newVerifier(peList []int, threads int) *verifier {
+	v := &verifier{peList: peList, machines: make(map[int]*kamsta.Machine)}
+	for _, p := range peList {
+		if v.machines[p] == nil {
+			v.machines[p] = kamsta.NewMachine(kamsta.MachineConfig{PEs: p, Threads: threads})
+		}
+	}
+	return v
+}
+
+func (v *verifier) Close() {
+	for _, m := range v.machines {
+		m.Close()
+	}
+}
+
+// oracle computes the sequential Kruskal reference on the first machine.
+func (v *verifier) oracle(src kamsta.Source) (*kamsta.Report, error) {
+	return v.machines[v.peList[0]].Compute(context.Background(), src,
+		kamsta.WithAlgorithm(kamsta.AlgKruskal))
+}
+
+// runFile cross-checks the selected algorithms against Kruskal on a
 // file-backed instance, loaded in parallel at each PE count.
-func runFile(path, format string, peList []int, threads int) {
+func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
 	src := kamsta.FromFileFormat(path, format)
-	want, err := kamsta.ComputeMSFSource(src, kamsta.Config{PEs: 2, Algorithm: kamsta.AlgKruskal})
+	want, err := v.oracle(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", path, err)
 		os.Exit(1)
 	}
 	fmt.Printf("oracle %s: vertices=%d edges(dir)=%d weight=%d msf_edges=%d\n",
 		path, want.InputVertices, want.InputEdges, want.TotalWeight, want.NumEdges)
-	algs := []kamsta.Algorithm{kamsta.AlgBoruvka, kamsta.AlgFilterBoruvka, kamsta.AlgMNDMST, kamsta.AlgSparseMatrix}
 	failures, checks := 0, 0
 	for _, alg := range algs {
-		for _, p := range peList {
-			got, err := kamsta.ComputeMSFSource(src, kamsta.Config{PEs: p, Threads: threads, Algorithm: alg})
+		for _, p := range v.peList {
+			got, err := v.machines[p].Compute(context.Background(), src, kamsta.WithAlgorithm(alg))
 			checks++
 			if err != nil {
 				fmt.Printf("FAIL %-14s p=%-3d: %v\n", alg, p, err)
@@ -78,7 +136,7 @@ func runFile(path, format string, peList []int, threads int) {
 	}
 }
 
-func run(n, m uint64, peList []int, seeds uint64, threads int) {
+func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) {
 	fams := []struct {
 		name string
 		spec func(seed uint64) kamsta.GraphSpec
@@ -90,20 +148,20 @@ func run(n, m uint64, peList []int, seeds uint64, threads int) {
 		{"GNM", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.GNM, N: n, M: m, Seed: s} }},
 		{"RMAT", func(s uint64) kamsta.GraphSpec { return kamsta.GraphSpec{Family: kamsta.RMAT, N: n, M: m, Seed: s} }},
 	}
-	algs := []kamsta.Algorithm{kamsta.AlgBoruvka, kamsta.AlgFilterBoruvka, kamsta.AlgMNDMST, kamsta.AlgSparseMatrix}
 	failures := 0
 	checks := 0
 	for _, fam := range fams {
 		for seed := uint64(1); seed <= seeds; seed++ {
 			spec := fam.spec(seed)
-			want, err := kamsta.ComputeMSFSpec(spec, kamsta.Config{PEs: 2, Algorithm: kamsta.AlgKruskal})
+			want, err := v.oracle(kamsta.FromSpec(spec))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", fam.name, err)
 				os.Exit(1)
 			}
 			for _, alg := range algs {
-				for _, p := range peList {
-					got, err := kamsta.ComputeMSFSpec(spec, kamsta.Config{PEs: p, Threads: threads, Algorithm: alg})
+				for _, p := range v.peList {
+					got, err := v.machines[p].Compute(context.Background(), kamsta.FromSpec(spec),
+						kamsta.WithAlgorithm(alg))
 					checks++
 					if err != nil {
 						fmt.Printf("FAIL %-8s %-14s p=%-3d seed=%d: %v\n", fam.name, alg, p, seed, err)

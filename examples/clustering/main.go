@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -79,10 +80,10 @@ func main() {
 		}
 	}
 
-	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
-		PEs:       6,
-		Algorithm: kamsta.AlgFilterBoruvka,
-	})
+	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 6})
+	defer m.Close()
+	rep, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"kamsta"
 	"kamsta/internal/unionfind"
@@ -73,11 +75,15 @@ func main() {
 		}
 	}
 
-	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
-		PEs:       8,
-		Threads:   2,
-		Algorithm: kamsta.AlgFilterBoruvka,
-	})
+	// A service would hold this Machine for many images; the deadline
+	// shows the cancellation contract — an overrunning job is abandoned
+	// cooperatively with ctx.Err() and the machine stays usable.
+	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := m.Compute(ctx, kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
 	if err != nil {
 		log.Fatal(err)
 	}

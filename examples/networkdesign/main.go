@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,11 +43,10 @@ func main() {
 		}
 	}
 
-	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
-		PEs:       8,
-		Threads:   2,
-		Algorithm: kamsta.AlgFilterBoruvka, // dense input: the filter shines
-	})
+	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	defer m.Close()
+	rep, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka)) // dense input: the filter shines
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,9 +95,13 @@ func main() {
 	}
 	fmt.Printf("  max hop power:        %10d (bottleneck link; minimax-optimal by MST theory)\n", maxHop)
 
-	// Same computation on a wider simulated machine: the modeled time
-	// illustrates the scaling the benchmarks measure systematically.
-	wide, err := kamsta.ComputeMSF(edges, kamsta.Config{PEs: 32, Algorithm: kamsta.AlgFilterBoruvka})
+	// Same computation on a wider simulated machine (machine width is a
+	// Machine property, so a new width means a new Machine): the modeled
+	// time illustrates the scaling the benchmarks measure systematically.
+	m32 := kamsta.NewMachine(kamsta.MachineConfig{PEs: 32})
+	defer m32.Close()
+	wide, err := m32.Compute(context.Background(), kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
 	if err != nil {
 		log.Fatal(err)
 	}

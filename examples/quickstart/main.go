@@ -1,9 +1,11 @@
 // Quickstart: compute the minimum spanning forest of a small hand-written
-// graph on a simulated 4-PE machine and print the tree, then cross-check
-// with the sequential reference.
+// graph on a persistent simulated 4-PE machine, watch the run's progress
+// events, print the tree, then cross-check with the sequential reference on
+// the same machine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,24 +22,35 @@ func main() {
 		{U: 6, V: 8, W: 9}, {U: 7, V: 8, W: 7},
 	}
 
-	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{
-		PEs:       4,
-		Threads:   2,
-		Algorithm: kamsta.AlgBoruvka,
-	})
+	// One Machine, many jobs: the PE goroutines park between Computes.
+	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 4, Threads: 2})
+	defer m.Close()
+
+	rounds := 0
+	rep, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgBoruvka),
+		kamsta.WithObserver(func(ev kamsta.Event) {
+			if ev.Kind == kamsta.EventRound {
+				rounds++
+				fmt.Printf("  [observer] round %d: %d vertices left (modeled t=%.2e s)\n",
+					ev.Round, ev.Vertices, ev.Clock)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("minimum spanning tree (weight %d, %d edges):\n", rep.TotalWeight, rep.NumEdges)
+	fmt.Printf("minimum spanning tree (weight %d, %d edges, %d distributed rounds observed):\n",
+		rep.TotalWeight, rep.NumEdges, rounds)
 	for _, e := range rep.MSTEdges {
 		fmt.Printf("  %d -- %d  (w=%d)\n", e.U, e.V, e.W)
 	}
 	fmt.Printf("simulated machine: %d PEs, modeled time %.2e s, %d bytes moved\n",
-		4, rep.ModeledSeconds, rep.Stats.Bytes)
+		m.PEs(), rep.ModeledSeconds, rep.Stats.Bytes)
 
-	// The sequential reference must agree.
-	seq, err := kamsta.ComputeMSF(edges, kamsta.Config{Algorithm: kamsta.AlgKruskal})
+	// The sequential reference must agree — same machine, next job.
+	seq, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
+		kamsta.WithAlgorithm(kamsta.AlgKruskal))
 	if err != nil {
 		log.Fatal(err)
 	}

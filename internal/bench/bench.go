@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -102,30 +103,94 @@ func algConfig(name string, threads int, s Scale) kamsta.Config {
 	return cfg
 }
 
+// seriesConfig is algConfig keyed by public algorithm name instead of the
+// figures' series names (used by the file-backed runner, where the caller
+// picks algorithms with -alg). The paper's algorithms get their default
+// enhancements; baselines run as published.
+func seriesConfig(alg kamsta.Algorithm, threads int, s Scale) kamsta.Config {
+	switch alg {
+	case kamsta.AlgBoruvka:
+		return algConfig("boruvka", threads, s)
+	case kamsta.AlgFilterBoruvka:
+		return algConfig("filterBoruvka", threads, s)
+	case kamsta.AlgMNDMST:
+		return algConfig("MND-MST", threads, s)
+	case kamsta.AlgSparseMatrix:
+		return algConfig("sparseMatrix", threads, s)
+	}
+	cfg := kamsta.Config{Threads: threads, Algorithm: alg}
+	cfg.Core.BaseCaseCap = s.baseCap()
+	return cfg
+}
+
+// machinePool caches persistent kamsta.Machines keyed by machine shape
+// (PEs, threads, cost model), so a sweep reuses one parked world per shape
+// across all its data points instead of rebuilding the world — spawning p
+// goroutines and allocating all boards — for every measurement. Every
+// experiment owns a pool for its duration and closes it on exit.
+type machinePool struct {
+	ms map[machineKey]*kamsta.Machine
+}
+
+type machineKey struct {
+	pes, threads int
+	cost         comm.CostModel
+}
+
+func newMachinePool() *machinePool {
+	return &machinePool{ms: make(map[machineKey]*kamsta.Machine)}
+}
+
+// get returns the pooled machine for cfg's shape, creating it on first use.
+func (mp *machinePool) get(cfg kamsta.Config) *kamsta.Machine {
+	key := machineKey{pes: cfg.PEs, threads: cfg.Threads, cost: cfg.Cost}
+	if key.pes <= 0 {
+		key.pes = 4
+	}
+	if key.threads <= 0 {
+		key.threads = 1
+	}
+	m := mp.ms[key]
+	if m == nil {
+		m = kamsta.NewMachine(kamsta.MachineConfig{PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost})
+		mp.ms[key] = m
+	}
+	return m
+}
+
+// Close releases every pooled machine's parked PE goroutines.
+func (mp *machinePool) Close() {
+	for k, m := range mp.ms {
+		m.Close()
+		delete(mp.ms, k)
+	}
+}
+
 // measure runs one configuration, repeating per Scale.Reps and keeping the
 // run with minimum modeled time.
-func measure(spec gen.Spec, cfg kamsta.Config, reps int) *kamsta.Report {
-	return measureSource(kamsta.FromSpec(spec), cfg, reps)
+func (mp *machinePool) measure(spec gen.Spec, cfg kamsta.Config, reps int) *kamsta.Report {
+	return mp.measureSource(kamsta.FromSpec(spec), cfg, reps)
 }
 
 // measureSource is measure for any input source (generated or file-backed).
-func measureSource(src kamsta.Source, cfg kamsta.Config, reps int) *kamsta.Report {
-	best, err := measureSourceErr(src, cfg, reps)
+func (mp *machinePool) measureSource(src kamsta.Source, cfg kamsta.Config, reps int) *kamsta.Report {
+	best, err := mp.measureSourceErr(src, cfg, reps)
 	if err != nil {
 		panic(err)
 	}
 	return best
 }
 
-// measureSourceErr is the error-returning measurement core: reps runs,
-// keeping the one with minimum modeled time.
-func measureSourceErr(src kamsta.Source, cfg kamsta.Config, reps int) (*kamsta.Report, error) {
+// measureSourceErr is the error-returning measurement core: reps runs on
+// the pooled machine, keeping the one with minimum modeled time.
+func (mp *machinePool) measureSourceErr(src kamsta.Source, cfg kamsta.Config, reps int) (*kamsta.Report, error) {
 	var best *kamsta.Report
 	if reps < 1 {
 		reps = 1
 	}
+	m := mp.get(cfg)
 	for i := 0; i < reps; i++ {
-		rep, err := kamsta.ComputeMSFSource(src, cfg)
+		rep, err := m.Compute(context.Background(), src, cfg.RunOptions()...)
 		if err != nil {
 			return nil, err
 		}
@@ -168,6 +233,8 @@ func weakSpec(f gen.Family, s Scale, p int) gen.Spec {
 // {boruvka, filterBoruvka, MND-MST, sparseMatrix} × {1, 8} threads,
 // throughput in (directed) input edges per modeled second.
 func Fig3(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.GNM, gen.RHG, gen.RMAT}
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
 	threads := []int{1, 8}
@@ -181,7 +248,7 @@ func Fig3(w io.Writer, s Scale) {
 					spec := weakSpec(f, s, p)
 					cfg := algConfig(alg, t, s)
 					cfg.PEs = p
-					rep := measure(spec, cfg, s.Reps)
+					rep := mp.measure(spec, cfg, s.Reps)
 					fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.4e\t%.3f\t%.4e\n",
 						f, alg, t, p, rep.InputVertices, rep.InputEdges,
 						rep.ModeledSeconds, rep.WallSeconds, rep.EdgesPerSecond)
@@ -196,6 +263,8 @@ func Fig3(w io.Writer, s Scale) {
 // contraction time for one-level (direct) vs two-level (grid) exchanges on
 // GNM weak scaling.
 func Fig2(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	fmt.Fprintf(w, "# Fig. 2 — one-level vs two-level all-to-all, contraction phase, GNM weak scaling\n")
 	tw := table(w)
 	fmt.Fprintln(tw, "p\tvariant\tcontract_modeled_s\ttotal_modeled_s")
@@ -208,7 +277,7 @@ func Fig2(w io.Writer, s Scale) {
 			cfg := algConfig("boruvka-nopre", 1, s)
 			cfg.PEs = p
 			cfg.Core.A2A = variant.a2a
-			rep := measure(spec, cfg, s.Reps)
+			rep := mp.measure(spec, cfg, s.Reps)
 			contract := rep.Phases["contractComponents"]
 			fmt.Fprintf(tw, "%d\t%s\t%.4e\t%.4e\n", p, variant.name, contract.Modeled, rep.ModeledSeconds)
 		}
@@ -220,6 +289,8 @@ func Fig2(w io.Writer, s Scale) {
 // families with the denser per-PE setting, including the fastest
 // preprocessing-enabled variant as baseline.
 func Fig4(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.RHG}
 	fmt.Fprintf(w, "# Fig. 4 — disabled local preprocessing, %d vertices and %d undirected edges per PE\n", s.VPerPE, s.DenseEPerPE)
 	tw := table(w)
@@ -238,7 +309,7 @@ func Fig4(w io.Writer, s Scale) {
 				spec := gen.Spec{Family: f, N: s.VPerPE * uint64(p), M: s.DenseEPerPE * uint64(p), Seed: s.Seed}
 				cfg := algConfig(sr.name, sr.threads, s)
 				cfg.PEs = p
-				rep := measure(spec, cfg, s.Reps)
+				rep := mp.measure(spec, cfg, s.Reps)
 				label := sr.name
 				if sr.name == "boruvka" {
 					label = "local-boruvka"
@@ -252,6 +323,8 @@ func Fig4(w io.Writer, s Scale) {
 
 // Fig5 reproduces the strong-scaling experiment on the Table I stand-ins.
 func Fig5(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
 	threads := []int{1, 8}
 	fmt.Fprintf(w, "# Fig. 5 — strong scaling on real-world stand-ins (scale 1/%d)\n", s.RealWorldScale)
@@ -267,7 +340,7 @@ func Fig5(w io.Writer, s Scale) {
 				for _, p := range s.Ps {
 					cfg := algConfig(alg, t, s)
 					cfg.PEs = p
-					rep := measure(spec, cfg, s.Reps)
+					rep := mp.measure(spec, cfg, s.Reps)
 					fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.4e\t%.3f\n",
 						name, alg, t, p, rep.ModeledSeconds, rep.WallSeconds)
 				}
@@ -280,6 +353,8 @@ func Fig5(w io.Writer, s Scale) {
 // Fig6 reproduces the normalized phase breakdown for 3D-RGG, GNM and RMAT
 // across the b1/b8/f1/f8 variants.
 func Fig6(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	families := []gen.Family{gen.RGG3D, gen.GNM, gen.RMAT}
 	variants := []struct {
 		label   string
@@ -307,7 +382,7 @@ func Fig6(w io.Writer, s Scale) {
 			for _, v := range variants {
 				cfg := algConfig(v.alg, v.threads, s)
 				cfg.PEs = p
-				rep := measure(spec, cfg, s.Reps)
+				rep := mp.measure(spec, cfg, s.Reps)
 				total := rep.ModeledSeconds
 				fmt.Fprintf(tw, "%s\t%d\t%s\t%.4e", f, p, v.label, total)
 				accounted := 0.0
@@ -337,6 +412,8 @@ func safeFrac(x, total float64) float64 {
 // Table1 prints the real-world instance inventory with both the paper's
 // original sizes and the stand-in sizes at the configured scale.
 func Table1(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	fmt.Fprintf(w, "# Table I — real-world instances and their stand-ins (scale 1/%d)\n", s.RealWorldScale)
 	tw := table(w)
 	fmt.Fprintln(tw, "graph\ttype\tpaper_n\tpaper_m(dir)\tstandin\tn\tm(dir)")
@@ -351,7 +428,7 @@ func Table1(w io.Writer, s Scale) {
 		}
 		cfg := algConfig("boruvka", 1, s)
 		cfg.PEs = 4
-		rep := measure(spec, cfg, 1)
+		rep := mp.measure(spec, cfg, 1)
 		fmt.Fprintf(tw, "%s\t%s\t%.3e\t%.3e\t%s\t%d\t%d\n",
 			name, info.Type, float64(info.PaperN), float64(info.PaperM),
 			spec.Family, rep.InputVertices, rep.InputEdges)
@@ -363,6 +440,8 @@ func Table1(w io.Writer, s Scale) {
 // (our local MSF with t threads, standing in for MASTIFF) against the
 // distributed algorithms at increasing PE counts on the same instance.
 func SharedMemory(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	fmt.Fprintf(w, "# §VII-C — shared-memory baseline vs distributed algorithms\n")
 	specs := []struct {
 		name string
@@ -385,12 +464,12 @@ func SharedMemory(w io.Writer, s Scale) {
 		// only; the modeled time has no communication terms).
 		cfg := algConfig("boruvka", 8, s)
 		cfg.PEs = 1
-		rep := measure(it.spec, cfg, s.Reps)
+		rep := mp.measure(it.spec, cfg, s.Reps)
 		fmt.Fprintf(tw, "%s\tshared-memory-8t\t%.4e\t%.3f\n", it.name, rep.ModeledSeconds, rep.WallSeconds)
 		for _, p := range s.Ps {
 			cfg := algConfig("boruvka", 8, s)
 			cfg.PEs = p
-			rep := measure(it.spec, cfg, s.Reps)
+			rep := mp.measure(it.spec, cfg, s.Reps)
 			fmt.Fprintf(tw, "%s\tboruvka-8 p=%d\t%.4e\t%.3f\n", it.name, p, rep.ModeledSeconds, rep.WallSeconds)
 		}
 	}
@@ -405,6 +484,8 @@ func SharedMemory(w io.Writer, s Scale) {
 // modeled time of ingestion + global sort (Report.InputModeledSeconds);
 // modeled_s the algorithm itself.
 func FileBackedTable1(w io.Writer, s Scale) {
+	mp := newMachinePool()
+	defer mp.Close()
 	dir, err := os.MkdirTemp("", "kamsta-bench-")
 	if err != nil {
 		panic(err)
@@ -431,7 +512,7 @@ func FileBackedTable1(w io.Writer, s Scale) {
 			for _, p := range s.Ps {
 				cfg := algConfig(alg, 1, s)
 				cfg.PEs = p
-				rep := measureSource(src, cfg, s.Reps)
+				rep := mp.measureSource(src, cfg, s.Reps)
 				fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.4e\t%.4e\t%.3f\n",
 					name, st.Size(), alg, p, rep.InputModeledSeconds, rep.ModeledSeconds, rep.WallSeconds)
 			}
@@ -442,16 +523,21 @@ func FileBackedTable1(w io.Writer, s Scale) {
 
 // RunFile benchmarks the paper's algorithms on a user-supplied graph file
 // across the configured PE counts (cmd/mstbench -input).
-func RunFile(w io.Writer, path, format string, s Scale) error {
+func RunFile(w io.Writer, path, format string, algs []kamsta.Algorithm, s Scale) error {
+	mp := newMachinePool()
+	defer mp.Close()
 	src := kamsta.FromFileFormat(path, format)
 	fmt.Fprintf(w, "# file-backed run — %s\n", path)
 	tw := table(w)
 	fmt.Fprintln(tw, "algorithm\tp\tn\tm(dir)\tload_s\tmodeled_s\twall_s\tedges_per_s")
-	for _, alg := range []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"} {
+	if len(algs) == 0 {
+		algs = kamsta.DistributedAlgorithms()
+	}
+	for _, alg := range algs {
 		for _, p := range s.Ps {
-			cfg := algConfig(alg, 1, s)
+			cfg := seriesConfig(alg, 1, s)
 			cfg.PEs = p
-			rep, err := measureSourceErr(src, cfg, s.Reps)
+			rep, err := mp.measureSourceErr(src, cfg, s.Reps)
 			if err != nil {
 				return err
 			}

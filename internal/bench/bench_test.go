@@ -51,7 +51,7 @@ func TestRunFileBenchmarksAGraphFile(t *testing.T) {
 	s := tinyScale()
 	s.Ps = []int{2}
 	var buf bytes.Buffer
-	if err := RunFile(&buf, path, "auto", s); err != nil {
+	if err := RunFile(&buf, path, "auto", nil, s); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +60,7 @@ func TestRunFileBenchmarksAGraphFile(t *testing.T) {
 			t.Fatalf("RunFile output missing %q:\n%s", want, out)
 		}
 	}
-	if err := RunFile(&buf, filepath.Join(t.TempDir(), "missing.kg"), "auto", s); err == nil {
+	if err := RunFile(&buf, filepath.Join(t.TempDir(), "missing.kg"), "auto", nil, s); err == nil {
 		t.Fatal("RunFile on a missing file should error")
 	}
 }
@@ -169,13 +169,15 @@ func TestShapeHeadlines(t *testing.T) {
 	// bites once n is large.
 	regime := comm.CostModel{Alpha: 10e-6, Beta: 1e-9, Compute: 2.5e-7}
 	s.BaseCaseCap = 256
+	mp := newMachinePool()
+	defer mp.Close()
 
 	modeled := func(series string, threads int, f gen.Family, n, m uint64) float64 {
 		spec := gen.Spec{Family: f, N: n, M: m, Seed: 1}
 		cfg := algConfig(series, threads, s)
 		cfg.PEs = p
 		cfg.Cost = regime
-		return measure(spec, cfg, 1).ModeledSeconds
+		return mp.measure(spec, cfg, 1).ModeledSeconds
 	}
 
 	// Fig. 3 headline on the grid family: locality exploitation wins big.

@@ -40,6 +40,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,6 +89,15 @@ type World struct {
 	phases map[string]*PhaseTime // max-aggregated over PEs
 	stats  Stats
 	clocks []float64 // final modeled clock per PE, for the last Run
+
+	// pes holds the per-rank job channels of a persistent world (Start);
+	// nil means every Run spawns fresh PE goroutines. cancelled is the
+	// current job's cancellation request, set asynchronously by the
+	// context watcher and turned into a per-superstep verdict by
+	// preRelease. obs is the current job's event observer (rank 0 only).
+	pes       []chan *worldJob
+	cancelled atomic.Bool
+	obs       Observer
 }
 
 // deposit is one PE's contribution to a collective, padded so adjacent
@@ -100,11 +110,15 @@ type deposit struct {
 }
 
 // combineSlot is one epoch's combined exchange result, padded so the two
-// parities never share a cache line.
+// parities never share a cache line. cancelled publishes the run's
+// cancellation decision for this superstep: it is read once per epoch by the
+// pre-release combiner while every PE is still blocked in the barrier, so
+// all PEs of the superstep observe the same verdict and unwind together.
 type combineSlot struct {
-	clockMax float64
-	val      any
-	_        [40]byte
+	clockMax  float64
+	val       any
+	cancelled bool
+	_         [39]byte
 }
 
 // Option configures a World.
@@ -152,35 +166,20 @@ func (w *World) P() int { return w.p }
 // Cost reports the configured cost model.
 func (w *World) Cost() CostModel { return w.cost }
 
-// Run executes f as an SPMD program: one goroutine per PE, each receiving
-// its own Comm handle. Run returns when every PE's f has returned. It may
-// be called repeatedly; statistics accumulate across calls.
-func (w *World) Run(f func(c *Comm)) {
-	var wg sync.WaitGroup
-	wg.Add(w.p)
-	for r := 0; r < w.p; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			c := &Comm{
-				rank:    rank,
-				w:       w,
-				threads: w.threads,
-				phases:  make(map[string]*PhaseTime),
-			}
-			c.preFn = c.preRelease
-			f(c)
-			c.flush()
-		}(r)
+// newComm builds rank's PE handle for one job. Only rank 0 carries the
+// job's observer, so every phase/round event fires exactly once.
+func (w *World) newComm(rank int) *Comm {
+	c := &Comm{
+		rank:    rank,
+		w:       w,
+		threads: w.threads,
+		phases:  make(map[string]*PhaseTime),
 	}
-	wg.Wait()
-	// Drop deposit references so the last collective's payloads don't stay
-	// reachable through the world between (or after) runs.
-	for b := range w.boards {
-		for i := range w.boards[b] {
-			w.boards[b][i].val = nil
-		}
-		w.combined[b].val = nil
+	c.preFn = c.preRelease
+	if rank == 0 {
+		c.obs = w.obs
 	}
+	return c
 }
 
 // PhaseTime is the accumulated cost of one named phase.
@@ -284,6 +283,9 @@ type Comm struct {
 	// epoch e+2 is safe for the same reason the boards are: every reader
 	// of epoch e finished before anyone passed the barrier of epoch e+1.
 	a2aStage [2]any
+
+	// obs receives phase/round events; set on rank 0 only (see newComm).
+	obs Observer
 }
 
 type phaseFrame struct {
@@ -347,6 +349,7 @@ func (c *Comm) ChargeComm(msgs int, bytes int) {
 // PhaseBegin opens a named phase. Phases may nest; time spent in nested
 // phases is attributed to the nested phase only.
 func (c *Comm) PhaseBegin(name string) {
+	c.emit(Event{Kind: EventPhaseBegin, Phase: name})
 	c.phaseStack = append(c.phaseStack, phaseFrame{
 		name:    name,
 		clockAt: c.clock,
@@ -376,6 +379,7 @@ func (c *Comm) PhaseEnd() {
 		parent.childTime += c.clock - fr.clockAt
 		parent.childWall += time.Since(fr.wallAt)
 	}
+	c.emit(Event{Kind: EventPhaseEnd, Phase: fr.name})
 }
 
 // Phase runs f inside a named phase.
@@ -493,6 +497,10 @@ func (c *Comm) preRelease() {
 	}
 	res := &w.combined[par]
 	res.clockMax = m
+	// One read of the asynchronous cancellation request becomes the
+	// superstep's verdict: every PE checks res.cancelled after release, so
+	// either all PEs of this superstep unwind or none do.
+	res.cancelled = w.cancelled.Load()
 	if c.pending != nil {
 		res.val = c.pending(boards)
 	} else {
@@ -550,6 +558,12 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 	c.pending = combine
 	w.bar.Wait(c.rank, c.preFn)
 	c.epoch++
+	if w.combined[(c.epoch-1)&1].cancelled {
+		// The pre-release combiner saw the job's context expire. Every PE
+		// of this superstep reads the same verdict, so the whole world
+		// unwinds here together (recovered in runPE).
+		panic(jobCancelled{})
+	}
 	if c.rank == 0 {
 		for i := 1; i < w.p; i++ {
 			if board[i].tag != tag {

@@ -1,0 +1,262 @@
+package comm
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the world's job engine: how an SPMD program is executed on
+// the PEs, how a persistent world keeps its PE goroutines parked between
+// jobs (Start/Close), how a job's context cancels the whole world
+// cooperatively at collective boundaries, and how rank 0 streams progress
+// events to an Observer.
+//
+// # Cancellation protocol
+//
+// A context cannot interrupt a PE mid-computation — PEs are plain
+// goroutines running algorithm code — but every PE passes through the
+// collective barrier many times per job, and that barrier already has a
+// moment when one PE acts on behalf of a fully blocked world: the
+// pre-release combine (see preRelease). Cancellation therefore works in
+// three steps:
+//
+//  1. A watcher goroutine turns ctx.Done() into w.cancelled (an atomic
+//     flag) at an arbitrary moment.
+//  2. The pre-release combiner of the next superstep reads the flag ONCE
+//     and publishes the verdict in the superstep's combineSlot, while all
+//     PEs are still blocked in the barrier. Reading once is what makes the
+//     decision consistent: had each PE polled the flag itself, two PEs of
+//     the same superstep could disagree and the barrier would deadlock.
+//  3. After release, every PE of the superstep observes the same verdict
+//     and unwinds its job with a jobCancelled panic, recovered at the top
+//     of the PE's job runner. All PEs exit together at the same collective,
+//     no goroutine leaks, and RunJob returns ctx.Err().
+//
+// A job that performs no further collectives after the flag is set simply
+// completes; cancellation is cooperative and only observed at collective
+// boundaries.
+
+// EventKind discriminates observer events.
+type EventKind uint8
+
+const (
+	// EventPhaseBegin and EventPhaseEnd bracket a named algorithm phase
+	// (the paper's Fig. 6 breakdown) on rank 0.
+	EventPhaseBegin EventKind = iota + 1
+	EventPhaseEnd
+	// EventRound fires at the top of each distributed Borůvka round with
+	// the global vertex count entering the round.
+	EventRound
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventPhaseBegin:
+		return "phaseBegin"
+	case EventPhaseEnd:
+		return "phaseEnd"
+	case EventRound:
+		return "round"
+	}
+	return "(unknown)"
+}
+
+// Event is one progress notification from a running job.
+type Event struct {
+	Kind EventKind
+	// Phase is the phase name for phase events.
+	Phase string
+	// Round is the 1-based distributed round number for round events;
+	// Vertices the global vertex count entering it.
+	Round    int
+	Vertices int
+	// Clock is rank 0's modeled time when the event fired.
+	Clock float64
+}
+
+// Observer receives progress events from rank 0 of a running job. It is
+// invoked synchronously on the PE-0 goroutine: implementations must be fast,
+// must not block, and must not call back into the world.
+type Observer func(Event)
+
+// emit delivers an event to the job's observer, if any (rank 0 only).
+func (c *Comm) emit(ev Event) {
+	if c.obs == nil {
+		return
+	}
+	ev.Clock = c.clock
+	c.obs(ev)
+}
+
+// EmitRound reports the start of distributed round `round` (1-based) with
+// the global vertex count entering it. Algorithms call it once per round;
+// it charges nothing and is a no-op without an observer.
+func (c *Comm) EmitRound(round, vertices int) {
+	c.emit(Event{Kind: EventRound, Round: round, Vertices: vertices})
+}
+
+// jobCancelled unwinds a PE whose job's context expired; recovered in runPE.
+type jobCancelled struct{}
+
+// worldJob is one SPMD program handed to the parked PEs of a persistent
+// world.
+type worldJob struct {
+	f         func(*Comm)
+	wg        *sync.WaitGroup
+	cancelled *atomic.Int32
+}
+
+// Run executes f as an SPMD program: every PE runs f with its own Comm
+// handle, and Run returns when all have finished. It may be called
+// repeatedly; statistics accumulate across calls. On a persistent world
+// (Start) the parked PE goroutines execute the job; otherwise one goroutine
+// per PE is spawned for this call only.
+func (w *World) Run(f func(c *Comm)) {
+	_ = w.RunJob(context.Background(), nil, f)
+}
+
+// RunJob is Run with a cancellation context and a progress observer (both
+// optional). If ctx expires while the job is running, all PEs abandon the
+// job together at the next collective boundary and RunJob returns ctx.Err();
+// a job that completes before the cancellation is observed returns nil. obs
+// receives rank 0's phase/round events. A World runs one job at a time;
+// serializing concurrent callers is the caller's concern (see the public
+// Machine API).
+func (w *World) RunJob(ctx context.Context, obs Observer, f func(*Comm)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Arm the watcher only for cancellable contexts; Background costs
+	// nothing.
+	var stop, watcherDone chan struct{}
+	if done := ctx.Done(); done != nil {
+		stop = make(chan struct{})
+		watcherDone = make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				w.cancelled.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+	w.obs = obs
+	cancelledPEs := w.dispatch(f)
+	w.obs = nil
+	if stop != nil {
+		// Join the watcher before clearing the flag: a store racing past
+		// the clear would poison the next job's first superstep.
+		close(stop)
+		<-watcherDone
+	}
+	w.cancelled.Store(false)
+	// Drop deposit references so the last collective's payloads don't stay
+	// reachable through the world between (or after) jobs, and clear any
+	// published cancellation verdict.
+	for b := range w.boards {
+		for i := range w.boards[b] {
+			w.boards[b][i].val = nil
+		}
+		w.combined[b].val = nil
+		w.combined[b].cancelled = false
+	}
+	if cancelledPEs > 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// dispatch hands f to every PE — parked goroutines on a persistent world,
+// freshly spawned ones otherwise — waits for all of them, and reports how
+// many unwound via cancellation (0 or p: the verdict is per-superstep).
+func (w *World) dispatch(f func(*Comm)) int {
+	var wg sync.WaitGroup
+	var cancelled atomic.Int32
+	wg.Add(w.p)
+	if w.pes != nil {
+		jb := &worldJob{f: f, wg: &wg, cancelled: &cancelled}
+		for _, ch := range w.pes {
+			ch <- jb
+		}
+	} else {
+		for r := 0; r < w.p; r++ {
+			go func(rank int) {
+				defer wg.Done()
+				if w.runPE(w.newComm(rank), f) {
+					cancelled.Add(1)
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	return int(cancelled.Load())
+}
+
+// runPE runs one PE's share of a job and reports whether it was unwound by
+// cancellation. Metrics of cancelled PEs are discarded — a partial clock is
+// not a makespan. Any other panic (SPMD divergence, algorithm bug)
+// propagates and crashes the program, exactly as before.
+func (w *World) runPE(c *Comm, f func(*Comm)) (cancelled bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(jobCancelled); ok {
+				cancelled = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f(c)
+	c.flush()
+	return false
+}
+
+// Start makes the world persistent: one goroutine per PE is spawned now and
+// parks between jobs, so repeated Run/RunJob calls reuse the same
+// goroutines instead of spawning p of them per job. Idempotent. Not safe
+// for concurrent use with Run/Close.
+func (w *World) Start() {
+	if w.pes != nil {
+		return
+	}
+	w.pes = make([]chan *worldJob, w.p)
+	for r := range w.pes {
+		// Capacity 1 makes the dispatch loop non-blocking: a PE always
+		// consumes job k before signalling job k's completion, so when job
+		// k+1 is submitted (necessarily after k completed) every buffer is
+		// empty and the p sends cost p channel pushes, not p rendezvous.
+		ch := make(chan *worldJob, 1)
+		w.pes[r] = ch
+		go w.peLoop(r, ch)
+	}
+}
+
+// peLoop is one parked PE of a persistent world: it waits for the next job,
+// runs its share, and parks again until Close.
+func (w *World) peLoop(rank int, jobs <-chan *worldJob) {
+	for jb := range jobs {
+		if w.runPE(w.newComm(rank), jb.f) {
+			jb.cancelled.Add(1)
+		}
+		jb.wg.Done()
+	}
+}
+
+// Close releases a persistent world's parked PE goroutines. Idempotent; a
+// never-started world closes trivially. The world remains usable in
+// spawn-per-run mode afterwards. Must not be called while a job is running.
+func (w *World) Close() {
+	if w.pes == nil {
+		return
+	}
+	for _, ch := range w.pes {
+		close(ch)
+	}
+	w.pes = nil
+}

@@ -84,6 +84,7 @@ func distributedRounds(c *comm.Comm, work *[]graph.Edge, l **graph.Layout,
 			break
 		}
 		vertexCounts = append(vertexCounts, n)
+		c.EmitRound(rounds+1, n)
 		mins := minEdges(c, *work, *l, pool)
 		c.PhaseEnd()
 

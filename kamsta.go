@@ -10,27 +10,32 @@
 // competitors are faithful re-implementations; DESIGN.md documents every
 // substitution.
 //
-// Quick start:
+// Quick start — the persistent Machine API. A Machine owns a reusable
+// simulated machine whose PE goroutines stay parked between jobs; each
+// Compute runs one job, with cancellation, per-job options and a progress
+// observer:
 //
-//	edges := []kamsta.InputEdge{{U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 1}, {U: 1, V: 3, W: 7}}
-//	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{PEs: 4})
-//	// rep.TotalWeight == 5, rep.MSTEdges lists the forest
-//
-// or generate one of the paper's graph families in-simulation:
-//
-//	rep, err := kamsta.ComputeMSFSpec(kamsta.GraphSpec{
+//	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
+//	defer m.Close()
+//	rep, err := m.Compute(ctx, kamsta.FromSpec(kamsta.GraphSpec{
 //		Family: kamsta.GNM, N: 1 << 14, M: 1 << 17, Seed: 42,
-//	}, kamsta.Config{PEs: 16, Threads: 8, Algorithm: kamsta.AlgFilterBoruvka})
+//	}), kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
+//	// rep.TotalWeight, rep.MSTEdges, rep.ModeledSeconds, ...
 //
-// or load a graph file, every PE ingesting its own byte range in parallel
-// (binary .kg, DIMACS .gr, METIS, or plain edge lists; see Source):
+// Sources unify the three input paths — user edges, generated families, and
+// files ingested in parallel (every PE reads its own byte range):
 //
-//	rep, err := kamsta.ComputeMSFFile("usa-road.gr", kamsta.Config{PEs: 16})
+//	rep, err := m.Compute(ctx, kamsta.FromEdges(edges))
+//	rep, err := m.Compute(ctx, kamsta.FromFile("usa-road.gr"))
+//
+// For one-shot computations the ComputeMSF* helpers wrap a transient
+// Machine:
+//
+//	rep, err := kamsta.ComputeMSF(edges, kamsta.Config{PEs: 4})
 package kamsta
 
 import (
-	"fmt"
-	"math"
+	"context"
 	"sort"
 	"time"
 
@@ -88,7 +93,30 @@ type InputEdge struct {
 	W    uint32
 }
 
-// Config controls a computation.
+// canonicalEdgeLess is the one report ordering every algorithm path uses:
+// lexicographic by (U, V, W) on canonical (U < V) edges. Keeping the weight
+// tie-break shared guarantees that Reports from different algorithms for
+// the same multigraph list identical edge sequences.
+func canonicalEdgeLess(a, b InputEdge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	return a.W < b.W
+}
+
+// sortMSTEdges puts a Report's forest into the canonical order.
+func sortMSTEdges(es []InputEdge) {
+	sort.Slice(es, func(i, j int) bool { return canonicalEdgeLess(es[i], es[j]) })
+}
+
+// Config controls a one-shot computation (the ComputeMSF* helpers). It
+// predates the Machine API and bundles machine-scoped settings (PEs,
+// Threads, Cost — now MachineConfig) with job-scoped ones (Algorithm, Core,
+// Baseline, Seed — now RunOptions). New code should use NewMachine/Compute
+// directly; Config remains for one-shot convenience.
 type Config struct {
 	// PEs is the number of simulated processing elements (default 4).
 	PEs int
@@ -107,24 +135,20 @@ type Config struct {
 	Seed uint64
 }
 
-func (cfg Config) withDefaults() Config {
-	if cfg.PEs <= 0 {
-		cfg.PEs = 4
+// MachineConfig splits out a Config's machine-scoped settings — the
+// migration path from the one-shot API to a persistent Machine.
+func (cfg Config) MachineConfig() MachineConfig {
+	return MachineConfig{PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost}
+}
+
+// RunOptions splits out a Config's job-scoped settings as Compute options.
+func (cfg Config) RunOptions() []RunOption {
+	return []RunOption{
+		WithAlgorithm(cfg.Algorithm),
+		WithSeed(cfg.Seed),
+		WithCoreOptions(cfg.Core),
+		WithBaselineOptions(cfg.Baseline),
 	}
-	if cfg.Threads <= 0 {
-		cfg.Threads = 1
-	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = AlgBoruvka
-	}
-	if cfg.Cost == (comm.CostModel{}) {
-		cfg.Cost = comm.DefaultCostModel()
-	}
-	if cfg.Core.Seed == 0 {
-		cfg.Core.Seed = cfg.Seed
-	}
-	cfg.Baseline.Threads = cfg.Threads
-	return cfg
 }
 
 // Report is the outcome of a computation.
@@ -133,7 +157,7 @@ type Report struct {
 	TotalWeight uint64
 	NumEdges    int
 	// MSTEdges lists the forest edges with original endpoints in canonical
-	// (U < V) orientation, sorted.
+	// (U < V) orientation, sorted by (U, V, W).
 	MSTEdges []InputEdge
 	// InputVertices/InputEdges describe the instance (directed edge count).
 	InputVertices int
@@ -180,147 +204,13 @@ func ComputeMSFFile(path string, cfg Config) (*Report, error) {
 }
 
 // ComputeMSFSource computes the MSF of any input source — generated,
-// file-backed or user-supplied — on a simulated machine.
+// file-backed or user-supplied — on a simulated machine. It is a one-shot
+// wrapper over a transient Machine; callers computing repeatedly should
+// hold a Machine and Compute on it.
 func ComputeMSFSource(src Source, cfg Config) (*Report, error) {
-	cfg = cfg.withDefaults()
-	if err := src.validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Algorithm == AlgKruskal {
-		if es, ok := src.(edgesSource); ok {
-			return sequentialReport(es.edges) // no world needed
-		}
-		collected, err := collectCanonical(src, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return sequentialReport(collected)
-	}
-	return run(cfg, src)
-}
-
-// collectCanonical materializes a source inside a world and gathers the
-// canonical (U < V) undirected edges, for the sequential reference path.
-func collectCanonical(src Source, cfg Config) ([]InputEdge, error) {
-	var collected []InputEdge
-	var inputErr error
-	w := comm.NewWorld(cfg.PEs)
-	w.Run(func(c *comm.Comm) {
-		edges, _, err := src.provide(c, cfg)
-		if err != nil {
-			if c.Rank() == 0 {
-				inputErr = err
-			}
-			return
-		}
-		all := comm.AllgatherConcat(c, edges)
-		if c.Rank() == 0 {
-			for _, e := range all {
-				if e.U < e.V {
-					collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
-				}
-			}
-		}
-	})
-	return collected, inputErr
-}
-
-// run executes the selected distributed algorithm on a fresh world.
-func run(cfg Config, src Source) (*Report, error) {
-	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
-	rep := &Report{}
-	var shares [][]graph.Edge
-	var algErr error
-	shares = make([][]graph.Edge, cfg.PEs)
-	start := time.Now()
-	w.Run(func(c *comm.Comm) {
-		edges, layout, inErr := src.provide(c, cfg)
-		if inErr != nil {
-			// provide returns the same error on every PE, so all PEs
-			// leave the SPMD program here together.
-			if c.Rank() == 0 {
-				algErr = inErr
-			}
-			return
-		}
-		// The input cost is the clock maximum now, before the nv/ne stats
-		// collectives below add their own charges.
-		iclk := comm.Allreduce(c, c.Clock(), math.Max)
-		nv := graph.GlobalVertexCount(c, layout, edges)
-		ne := comm.Allreduce(c, len(edges), func(a, b int) int { return a + b })
-		// Measure the algorithm, not the generation.
-		comm.Barrier(c)
-		c.ResetLocalMetrics()
-		if c.Rank() == 0 {
-			w.ResetMetrics()
-		}
-		comm.Barrier(c)
-		switch cfg.Algorithm {
-		case AlgBoruvka:
-			r := core.Boruvka(c, edges, layout, cfg.Core)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
-			}
-		case AlgFilterBoruvka:
-			r := core.FilterBoruvka(c, edges, layout, cfg.Core)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
-			}
-		case AlgMNDMST:
-			r := baselines.MNDMST(c, edges, layout, cfg.Baseline)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds = r.Rounds
-			}
-		case AlgSparseMatrix:
-			r := baselines.SparseMatrix(c, edges, layout, cfg.Baseline)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds = r.Rounds
-			}
-		default:
-			if c.Rank() == 0 {
-				algErr = fmt.Errorf("kamsta: unknown algorithm %q", cfg.Algorithm)
-			}
-		}
-		if c.Rank() == 0 {
-			rep.InputVertices, rep.InputEdges = nv, ne
-			rep.InputModeledSeconds = iclk
-		}
-	})
-	if algErr != nil {
-		return nil, algErr
-	}
-	rep.WallSeconds = time.Since(start).Seconds()
-	rep.ModeledSeconds = w.MaxClock()
-	if rep.ModeledSeconds > 0 {
-		rep.EdgesPerSecond = float64(rep.InputEdges) / rep.ModeledSeconds
-	}
-	rep.Phases = w.Phases()
-	rep.Stats = w.TotalStats()
-	for _, sh := range shares {
-		for _, e := range sh {
-			u, v := e.OrigPair()
-			rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
-		}
-	}
-	sort.Slice(rep.MSTEdges, func(i, j int) bool {
-		a, b := rep.MSTEdges[i], rep.MSTEdges[j]
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		if a.V != b.V {
-			return a.V < b.V
-		}
-		return a.W < b.W
-	})
-	return rep, nil
+	m := NewMachine(cfg.MachineConfig())
+	defer m.Close()
+	return m.Compute(context.Background(), src, cfg.RunOptions()...)
 }
 
 // sequentialReport runs the Kruskal reference.
@@ -352,12 +242,6 @@ func sequentialReport(edges []InputEdge) (*Report, error) {
 		u, v := e.OrigPair()
 		rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
 	}
-	sort.Slice(rep.MSTEdges, func(i, j int) bool {
-		a, b := rep.MSTEdges[i], rep.MSTEdges[j]
-		if a.U != b.U {
-			return a.U < b.U
-		}
-		return a.V < b.V
-	})
+	sortMSTEdges(rep.MSTEdges)
 	return rep, nil
 }

@@ -48,6 +48,25 @@ func TestAllAlgorithmsAgreeOnSpec(t *testing.T) {
 	}
 }
 
+// TestReportOrderingCanonical: every algorithm (distributed and the
+// sequential reference) reports its forest strictly increasing under the
+// one shared (U, V, W) comparator — no per-path sort rules.
+func TestReportOrderingCanonical(t *testing.T) {
+	spec := GraphSpec{Family: RGG2D, N: 500, M: 2500, Seed: 13}
+	for _, alg := range Algorithms() {
+		rep, err := ComputeMSFSpec(spec, Config{PEs: 4, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for i := 1; i < len(rep.MSTEdges); i++ {
+			if !canonicalEdgeLess(rep.MSTEdges[i-1], rep.MSTEdges[i]) {
+				t.Fatalf("%s: MSTEdges[%d..%d] not strictly canonical: %+v, %+v",
+					alg, i-1, i, rep.MSTEdges[i-1], rep.MSTEdges[i])
+			}
+		}
+	}
+}
+
 func TestComputeMSFValidation(t *testing.T) {
 	if _, err := ComputeMSF([]InputEdge{{U: 0, V: 1, W: 1}}, Config{}); err == nil {
 		t.Fatal("label 0 should be rejected")

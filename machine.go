@@ -1,0 +1,288 @@
+package kamsta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"kamsta/internal/baselines"
+	"kamsta/internal/comm"
+	"kamsta/internal/core"
+	"kamsta/internal/graph"
+)
+
+// MachineConfig describes a simulated machine: the settings that outlive
+// any single computation. Everything per-job (algorithm, seed, tuning,
+// observer) is a RunOption on Compute.
+type MachineConfig struct {
+	// PEs is the number of simulated processing elements (default 4).
+	PEs int
+	// Threads is the number of intra-PE threads, the paper's OpenMP
+	// threads per MPI process (default 1).
+	Threads int
+	// Cost overrides the α-β machine model (zero value: defaults).
+	Cost comm.CostModel
+}
+
+func (mc MachineConfig) withDefaults() MachineConfig {
+	if mc.PEs <= 0 {
+		mc.PEs = 4
+	}
+	if mc.Threads <= 0 {
+		mc.Threads = 1
+	}
+	if mc.Cost == (comm.CostModel{}) {
+		mc.Cost = comm.DefaultCostModel()
+	}
+	return mc
+}
+
+// ErrMachineClosed is returned by Compute on a closed Machine.
+var ErrMachineClosed = errors.New("kamsta: machine is closed")
+
+// Machine is a persistent simulated machine: its PE goroutines are spawned
+// once and stay parked between jobs, so a service computing many instances
+// pays the world setup once instead of per call. A Machine is safe for
+// concurrent use — Compute calls from multiple goroutines queue and run one
+// at a time (the machine is a single resource, like its MPI counterpart).
+//
+//	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
+//	defer m.Close()
+//	rep, err := m.Compute(ctx, kamsta.FromSpec(spec), kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
+//
+// The one-shot ComputeMSF* helpers remain as wrappers over a transient
+// Machine.
+type Machine struct {
+	cfg   MachineConfig
+	world *comm.World
+
+	// sem is the job queue: a 1-slot semaphore acquired for the duration
+	// of each job. Waiting in Compute is abandoned when the caller's
+	// context expires or the machine closes.
+	sem       chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewMachine builds a machine and parks its PE goroutines, ready for jobs.
+// Close it when done to release them.
+func NewMachine(cfg MachineConfig) *Machine {
+	cfg = cfg.withDefaults()
+	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
+	w.Start()
+	return &Machine{
+		cfg:    cfg,
+		world:  w,
+		sem:    make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+}
+
+// PEs reports the machine width.
+func (m *Machine) PEs() int { return m.cfg.PEs }
+
+// Threads reports the intra-PE thread count.
+func (m *Machine) Threads() int { return m.cfg.Threads }
+
+// Cost reports the machine's α-β cost model.
+func (m *Machine) Cost() comm.CostModel { return m.cfg.Cost }
+
+// Close waits for the in-flight job (if any) and releases the machine's PE
+// goroutines. Jobs queued or submitted after Close return ErrMachineClosed.
+// Close is idempotent and always returns nil (the error return keeps the
+// io.Closer shape).
+func (m *Machine) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		// Acquire the job slot: from here no new job can start (Compute
+		// re-checks closed after acquiring), so the world is quiescent.
+		m.sem <- struct{}{}
+		m.world.Close()
+		<-m.sem
+	})
+	return nil
+}
+
+// Compute executes one MSF job on the machine: materialize src, run the
+// selected algorithm, return the Report. Concurrent calls queue; waiting in
+// the queue and the job itself are both abandoned with ctx.Err() when ctx
+// expires (cancellation is observed cooperatively at collective boundaries,
+// all PEs exit together, and the machine stays usable for the next job).
+func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rs := runSettings{alg: AlgBoruvka}
+	for _, o := range opts {
+		if o != nil {
+			o(&rs)
+		}
+	}
+	if !validAlgorithm(rs.alg) {
+		return nil, fmt.Errorf("kamsta: unknown algorithm %q", rs.alg)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("kamsta: nil input source")
+	}
+	if err := src.validate(); err != nil {
+		return nil, err
+	}
+	// Resolve the derived per-job defaults exactly as Config.withDefaults
+	// used to: the core seed follows the job seed, baselines always run
+	// with the machine's threads.
+	if rs.core.Seed == 0 {
+		rs.core.Seed = rs.seed
+	}
+	rs.baseline.Threads = m.cfg.Threads
+
+	select {
+	case m.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-m.closed:
+		return nil, ErrMachineClosed
+	}
+	defer func() { <-m.sem }()
+	select {
+	case <-m.closed:
+		return nil, ErrMachineClosed
+	default:
+	}
+	return m.run(ctx, src, rs)
+}
+
+// run executes one job on the machine's world. The caller holds the job
+// slot.
+func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report, error) {
+	if rs.alg == AlgKruskal {
+		if es, ok := src.(edgesSource); ok {
+			return sequentialReport(es.edges) // no world needed
+		}
+		collected, err := m.collectCanonical(ctx, src, rs)
+		if err != nil {
+			return nil, err
+		}
+		return sequentialReport(collected)
+	}
+
+	w := m.world
+	w.ResetMetrics() // this job's makespan, not the machine's history
+	rep := &Report{}
+	shares := make([][]graph.Edge, m.cfg.PEs)
+	var algErr error
+	start := time.Now()
+	err := w.RunJob(ctx, rs.obs, func(c *comm.Comm) {
+		edges, layout, inErr := src.provide(c, rs)
+		if inErr != nil {
+			// provide returns the same error on every PE, so all PEs
+			// leave the SPMD program here together.
+			if c.Rank() == 0 {
+				algErr = inErr
+			}
+			return
+		}
+		// The input cost is the clock maximum now, before the nv/ne stats
+		// collectives below add their own charges.
+		iclk := comm.Allreduce(c, c.Clock(), math.Max)
+		nv := graph.GlobalVertexCount(c, layout, edges)
+		ne := comm.Allreduce(c, len(edges), func(a, b int) int { return a + b })
+		// Measure the algorithm, not the generation.
+		comm.Barrier(c)
+		c.ResetLocalMetrics()
+		if c.Rank() == 0 {
+			w.ResetMetrics()
+		}
+		comm.Barrier(c)
+		switch rs.alg {
+		case AlgBoruvka:
+			r := core.Boruvka(c, edges, layout, rs.core)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
+			}
+		case AlgFilterBoruvka:
+			r := core.FilterBoruvka(c, edges, layout, rs.core)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
+			}
+		case AlgMNDMST:
+			r := baselines.MNDMST(c, edges, layout, rs.baseline)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds = r.Rounds
+			}
+		case AlgSparseMatrix:
+			r := baselines.SparseMatrix(c, edges, layout, rs.baseline)
+			shares[c.Rank()] = r.MSTEdges
+			if c.Rank() == 0 {
+				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
+				rep.Rounds = r.Rounds
+			}
+		default:
+			if c.Rank() == 0 {
+				algErr = fmt.Errorf("kamsta: unknown algorithm %q", rs.alg)
+			}
+		}
+		if c.Rank() == 0 {
+			rep.InputVertices, rep.InputEdges = nv, ne
+			rep.InputModeledSeconds = iclk
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if algErr != nil {
+		return nil, algErr
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.ModeledSeconds = w.MaxClock()
+	if rep.ModeledSeconds > 0 {
+		rep.EdgesPerSecond = float64(rep.InputEdges) / rep.ModeledSeconds
+	}
+	rep.Phases = w.Phases()
+	rep.Stats = w.TotalStats()
+	for _, sh := range shares {
+		for _, e := range sh {
+			u, v := e.OrigPair()
+			rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
+		}
+	}
+	sortMSTEdges(rep.MSTEdges)
+	return rep, nil
+}
+
+// collectCanonical materializes a source inside the machine's world and
+// gathers the canonical (U < V) undirected edges, for the sequential
+// reference path.
+func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettings) ([]InputEdge, error) {
+	var collected []InputEdge
+	var inputErr error
+	err := m.world.RunJob(ctx, nil, func(c *comm.Comm) {
+		edges, _, err := src.provide(c, rs)
+		if err != nil {
+			if c.Rank() == 0 {
+				inputErr = err
+			}
+			return
+		}
+		all := comm.AllgatherConcat(c, edges)
+		if c.Rank() == 0 {
+			for _, e := range all {
+				if e.U < e.V {
+					collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return collected, inputErr
+}

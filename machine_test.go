@@ -1,0 +1,282 @@
+package kamsta
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kamsta/internal/core"
+)
+
+// TestMachineReuseParity: jobs on a reused Machine must produce bit-for-bit
+// the same Report as the one-shot wrapper path — same forest, same modeled
+// clock, same traffic. Three consecutive jobs guard against state leaking
+// between jobs (clocks, phases, stats, boards).
+func TestMachineReuseParity(t *testing.T) {
+	spec := GraphSpec{Family: GNM, N: 1 << 10, M: 1 << 13, Seed: 42}
+	cfg := Config{PEs: 8, Algorithm: AlgBoruvka}
+	want, err := ComputeMSFSpec(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(cfg.MachineConfig())
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		got, err := m.Compute(context.Background(), FromSpec(spec), cfg.RunOptions()...)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if got.TotalWeight != want.TotalWeight || got.NumEdges != want.NumEdges {
+			t.Fatalf("job %d: weight/edges %d/%d want %d/%d", i,
+				got.TotalWeight, got.NumEdges, want.TotalWeight, want.NumEdges)
+		}
+		if math.Float64bits(got.ModeledSeconds) != math.Float64bits(want.ModeledSeconds) {
+			t.Fatalf("job %d: modeled %v (bits %#x) want %v (bits %#x)", i,
+				got.ModeledSeconds, math.Float64bits(got.ModeledSeconds),
+				want.ModeledSeconds, math.Float64bits(want.ModeledSeconds))
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("job %d: stats %+v want %+v", i, got.Stats, want.Stats)
+		}
+		if len(got.MSTEdges) != len(want.MSTEdges) {
+			t.Fatalf("job %d: %d MST edges want %d", i, len(got.MSTEdges), len(want.MSTEdges))
+		}
+		for j := range got.MSTEdges {
+			if got.MSTEdges[j] != want.MSTEdges[j] {
+				t.Fatalf("job %d: MSTEdges[%d] = %+v want %+v", i, j, got.MSTEdges[j], want.MSTEdges[j])
+			}
+		}
+	}
+}
+
+// TestMachineConcurrentCompute hammers one Machine from many goroutines
+// (run under -race in CI): jobs must queue, never interleave, and each must
+// return its own instance's result.
+func TestMachineConcurrentCompute(t *testing.T) {
+	specs := []GraphSpec{
+		{Family: GNM, N: 300, M: 1200, Seed: 7},
+		{Family: RGG2D, N: 400, M: 1600, Seed: 9},
+		{Family: Grid2D, N: 400, Seed: 3},
+	}
+	want := make([]uint64, len(specs))
+	for i, spec := range specs {
+		rep, err := ComputeMSFSpec(spec, Config{PEs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep.TotalWeight
+	}
+	m := NewMachine(MachineConfig{PEs: 4})
+	defer m.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				k := (g + i) % len(specs)
+				rep, err := m.Compute(context.Background(), FromSpec(specs[k]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.TotalWeight != want[k] {
+					t.Errorf("goroutine %d job %d: weight %d want %d", g, i, rep.TotalWeight, want[k])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// waitForGoroutines polls until the live goroutine count drops to at most
+// want, failing after a generous deadline.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizers; cheap in tests
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still alive, want <= %d", n, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMachineCancellationMidRun cancels a job from its own observer at the
+// first distributed round: Compute must return ctx.Err(), the machine must
+// stay usable (next job bit-identical to the one-shot path), and closing it
+// must return the goroutine count to baseline — no leaked PEs or watchers.
+func TestMachineCancellationMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// With a tiny base case this instance runs several distributed rounds
+	// of many collectives each, so the cancellation fired at round 1 is
+	// observed at one of the following collective boundaries, far from the
+	// end of the job.
+	spec := GraphSpec{Family: GNM, N: 1 << 12, M: 1 << 15, Seed: 5}
+	m := NewMachine(MachineConfig{PEs: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := m.Compute(ctx, FromSpec(spec),
+		WithCoreOptions(coreOptionsTinyBase()),
+		WithObserver(func(ev Event) {
+			if ev.Kind == EventRound && ev.Round == 1 {
+				cancel()
+			}
+		}))
+	if err != context.Canceled {
+		t.Fatalf("cancelled Compute: rep=%v err=%v, want context.Canceled", rep, err)
+	}
+	// The machine survives cancellation: the next job matches the one-shot
+	// reference exactly. The comparison uses the golden-test instance —
+	// the modeled clock is pinned bit-deterministic there, so any state
+	// leaking out of the aborted job would show up in the bits.
+	golden := GraphSpec{Family: GNM, N: 1 << 10, M: 1 << 13, Seed: 42}
+	want, err := ComputeMSFSpec(golden, Config{PEs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Compute(context.Background(), FromSpec(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalWeight != want.TotalWeight ||
+		math.Float64bits(got.ModeledSeconds) != math.Float64bits(want.ModeledSeconds) {
+		t.Fatalf("post-cancel job: weight %d modeled %v, want %d / %v",
+			got.TotalWeight, got.ModeledSeconds, want.TotalWeight, want.ModeledSeconds)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestMachineComputeQueue: a Compute waiting behind an in-flight job leaves
+// the queue with ctx.Err() when its context expires.
+func TestMachineComputeQueue(t *testing.T) {
+	m := NewMachine(MachineConfig{PEs: 4})
+	defer m.Close()
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := m.Compute(context.Background(), FromSpec(GraphSpec{Family: GNM, N: 2000, M: 12000, Seed: 1}),
+			WithObserver(func(Event) { once.Do(func() { close(started) }) }))
+		if err != nil {
+			t.Errorf("background job: %v", err)
+		}
+	}()
+	<-started // the first job is in flight and holds the machine
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Compute(ctx, FromSpec(GraphSpec{Family: GNM, N: 100, M: 400, Seed: 2})); err != context.Canceled {
+		t.Fatalf("queued Compute with cancelled ctx: %v, want context.Canceled", err)
+	}
+	<-done
+}
+
+// TestMachineClosed: Compute on a closed machine fails with
+// ErrMachineClosed; Close is idempotent.
+func TestMachineClosed(t *testing.T) {
+	m := NewMachine(MachineConfig{PEs: 2})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Compute(context.Background(), FromEdges([]InputEdge{{U: 1, V: 2, W: 1}})); err != ErrMachineClosed {
+		t.Fatalf("Compute on closed machine: %v, want ErrMachineClosed", err)
+	}
+}
+
+// TestMachineObserverEvents: a job streams balanced phase events and round
+// events with plausible payloads, in nondecreasing modeled time.
+func TestMachineObserverEvents(t *testing.T) {
+	m := NewMachine(MachineConfig{PEs: 4})
+	defer m.Close()
+	var events []Event
+	_, err := m.Compute(context.Background(),
+		FromSpec(GraphSpec{Family: GNM, N: 600, M: 2400, Seed: 11}),
+		WithCoreOptions(coreOptionsTinyBase()),
+		WithObserver(func(ev Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, rounds := 0, 0
+	lastRound := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventPhaseBegin:
+			if ev.Phase == "" {
+				t.Fatal("phase begin without a name")
+			}
+			depth++
+		case EventPhaseEnd:
+			depth--
+			if depth < 0 {
+				t.Fatal("phase end without begin")
+			}
+		case EventRound:
+			rounds++
+			if ev.Round != lastRound+1 || ev.Vertices <= 0 {
+				t.Fatalf("round event %+v after round %d", ev, lastRound)
+			}
+			lastRound = ev.Round
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced phase events (depth %d)", depth)
+	}
+	if rounds == 0 {
+		t.Fatal("no round events")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Clock < events[i-1].Clock {
+			t.Fatalf("event clocks went backwards: %v then %v", events[i-1], events[i])
+		}
+	}
+}
+
+// TestParseAlgorithm: case-insensitive resolution, and unknown names list
+// the valid ones.
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(string(a))
+		if err != nil || got != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, %v", a, got, err)
+		}
+	}
+	if got, err := ParseAlgorithm("FILTERBORUVKA"); err != nil || got != AlgFilterBoruvka {
+		t.Fatalf("case-insensitive parse: %v, %v", got, err)
+	}
+	_, err := ParseAlgorithm("primjarnik")
+	if err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	for _, a := range Algorithms() {
+		if !strings.Contains(err.Error(), string(a)) {
+			t.Fatalf("error %q should list %q", err, a)
+		}
+	}
+}
+
+// coreOptionsTinyBase shrinks the base case so even small test instances
+// run several distributed rounds (round events, cancellation windows).
+func coreOptionsTinyBase() core.Options {
+	return core.Options{BaseCaseCap: 1, DedupParallel: true}
+}

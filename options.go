@@ -1,0 +1,141 @@
+package kamsta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kamsta/internal/baselines"
+	"kamsta/internal/comm"
+	"kamsta/internal/core"
+)
+
+// Event is one progress notification from a running job: phase begin/end
+// (the paper's Fig. 6 breakdown) and distributed-round starts, stamped with
+// rank 0's modeled clock (re-exported from the machine simulation; see
+// comm.Event).
+type Event = comm.Event
+
+// EventKind discriminates observer events.
+type EventKind = comm.EventKind
+
+// The observer event kinds.
+const (
+	EventPhaseBegin = comm.EventPhaseBegin
+	EventPhaseEnd   = comm.EventPhaseEnd
+	EventRound      = comm.EventRound
+)
+
+// Observer receives progress events from a running job — the production
+// observability hook. It is invoked synchronously on the simulation's PE-0
+// goroutine: implementations must be fast, must not block, and must not
+// call back into the Machine. Cancelling the job's context from an
+// observer is allowed (and is the natural way to abort a run that exceeds
+// a round budget).
+type Observer = comm.Observer
+
+// runSettings is the resolved per-job configuration: everything about one
+// computation that is not a property of the Machine itself.
+type runSettings struct {
+	alg      Algorithm
+	seed     uint64
+	core     core.Options
+	baseline baselines.Options
+	obs      Observer
+}
+
+// RunOption configures one Compute call on a Machine. Machine-scoped
+// settings (PEs, threads, cost model) live in MachineConfig; everything
+// per-job is a RunOption.
+type RunOption func(*runSettings)
+
+// WithAlgorithm selects the MST algorithm for this job. The zero value ""
+// leaves the default (AlgBoruvka).
+func WithAlgorithm(a Algorithm) RunOption {
+	return func(rs *runSettings) {
+		if a != "" {
+			rs.alg = a
+		}
+	}
+}
+
+// WithSeed sets the seed driving generation and sampling for this job (used
+// when the GraphSpec or core options don't set their own).
+func WithSeed(seed uint64) RunOption {
+	return func(rs *runSettings) { rs.seed = seed }
+}
+
+// WithCoreOptions tunes the paper's algorithms for this job; zero values
+// give the defaults.
+func WithCoreOptions(o core.Options) RunOption {
+	return func(rs *runSettings) { rs.core = o }
+}
+
+// WithBaselineOptions tunes the competitor baselines for this job. The
+// thread count is always the Machine's.
+func WithBaselineOptions(o baselines.Options) RunOption {
+	return func(rs *runSettings) { rs.baseline = o }
+}
+
+// WithObserver streams the job's phase and round events to obs.
+func WithObserver(obs Observer) RunOption {
+	return func(rs *runSettings) { rs.obs = obs }
+}
+
+// ParseAlgorithm resolves a case-insensitive algorithm name, with an error
+// listing the valid names for unknown input.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if strings.EqualFold(string(a), name) {
+			return a, nil
+		}
+	}
+	known := make([]string, 0, len(Algorithms()))
+	for _, a := range Algorithms() {
+		known = append(known, string(a))
+	}
+	sort.Strings(known)
+	return "", fmt.Errorf("kamsta: unknown algorithm %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// ParseAlgorithmList resolves a comma-separated list of algorithm names
+// via ParseAlgorithm (case-insensitive; empty parts skipped). An empty
+// list returns nil — callers substitute their default set.
+func ParseAlgorithmList(s string) ([]Algorithm, error) {
+	var out []Algorithm
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		a, err := ParseAlgorithm(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// DistributedAlgorithms lists the algorithms that run on the simulated
+// machine — Algorithms() minus the sequential reference. It is the default
+// sweep set of the benchmarking and verification commands.
+func DistributedAlgorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(Algorithms())-1)
+	for _, a := range Algorithms() {
+		if a != AlgKruskal {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// validAlgorithm reports whether a is a supported algorithm name.
+func validAlgorithm(a Algorithm) bool {
+	for _, k := range Algorithms() {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}

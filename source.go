@@ -25,7 +25,7 @@ type Source interface {
 	// provide materializes this PE's share of the §II-B input inside the
 	// world. Implementations must return the same error on every PE (or
 	// nil everywhere), so the SPMD program stays in lockstep.
-	provide(c *comm.Comm, cfg Config) ([]graph.Edge, *graph.Layout, error)
+	provide(c *comm.Comm, rs runSettings) ([]graph.Edge, *graph.Layout, error)
 }
 
 // FromSpec makes a Source that generates one of the paper's graph families
@@ -37,12 +37,12 @@ type specSource struct{ spec gen.Spec }
 func (s specSource) Label() string   { return s.spec.Label() }
 func (s specSource) validate() error { return nil }
 
-func (s specSource) provide(c *comm.Comm, cfg Config) ([]graph.Edge, *graph.Layout, error) {
+func (s specSource) provide(c *comm.Comm, rs runSettings) ([]graph.Edge, *graph.Layout, error) {
 	spec := s.spec
 	if spec.Seed == 0 {
-		spec.Seed = cfg.Seed + 1
+		spec.Seed = rs.seed + 1
 	}
-	edges, layout := gen.Build(c, spec, cfg.Core.Sort)
+	edges, layout := gen.Build(c, spec, rs.core.Sort)
 	return edges, layout, nil
 }
 
@@ -71,15 +71,15 @@ func (f fileSource) validate() error {
 	return err
 }
 
-func (f fileSource) provide(c *comm.Comm, cfg Config) ([]graph.Edge, *graph.Layout, error) {
+func (f fileSource) provide(c *comm.Comm, rs runSettings) ([]graph.Edge, *graph.Layout, error) {
 	fm, err := graphio.ParseFormat(f.format)
 	if err != nil {
 		return nil, nil, err // validate() catches this before the world starts
 	}
 	return graphio.Load(c, f.path, graphio.Options{
 		Format: fm,
-		Seed:   cfg.Seed,
-		Sort:   cfg.Core.Sort,
+		Seed:   rs.seed,
+		Sort:   rs.core.Sort,
 	})
 }
 
@@ -105,7 +105,7 @@ func (s edgesSource) validate() error {
 	return nil
 }
 
-func (s edgesSource) provide(c *comm.Comm, cfg Config) ([]graph.Edge, *graph.Layout, error) {
+func (s edgesSource) provide(c *comm.Comm, rs runSettings) ([]graph.Edge, *graph.Layout, error) {
 	// PE 0 feeds the edges in; Finish distributes and sorts them.
 	var raw []graph.Edge
 	if c.Rank() == 0 {
@@ -114,6 +114,6 @@ func (s edgesSource) provide(c *comm.Comm, cfg Config) ([]graph.Edge, *graph.Lay
 			raw = append(raw, graph.NewEdge(e.U, e.V, e.W), graph.NewEdge(e.V, e.U, e.W))
 		}
 	}
-	edges, layout := gen.Finish(c, raw, cfg.Core.Sort)
+	edges, layout := gen.Finish(c, raw, rs.core.Sort)
 	return edges, layout, nil
 }
