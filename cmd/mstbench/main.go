@@ -36,7 +36,8 @@ func main() {
 	cap := flag.Int("basecap", 0, "base-case vertex threshold (0 = VPerPE/4)")
 	input := flag.String("input", "", "benchmark a graph file instead of a generated experiment")
 	informat := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
-	algNames := flag.String("alg", "", "comma-separated algorithms for -input runs (default: all distributed algorithms)")
+	algNames := flag.String("alg", "", "comma-separated algorithms for -input runs, from: "+
+		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
 	flag.Parse()
 
 	algs, err := parseAlgs(*algNames)

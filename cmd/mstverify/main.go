@@ -30,7 +30,8 @@ func main() {
 	threads := flag.Int("threads", 2, "threads per PE")
 	input := flag.String("input", "", "verify a graph file instead of the generated sweep")
 	format := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
-	algNames := flag.String("alg", "", "comma-separated algorithms to check (default: all distributed algorithms)")
+	algNames := flag.String("alg", "", "comma-separated algorithms to check, from: "+
+		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
 	flag.Parse()
 
 	peList, err := parseInts(*ps)

@@ -1,0 +1,80 @@
+package kamsta
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestModeledClockDeterminism pins the fix for the run-to-run modeled-clock
+// variance that used to appear at instances beyond the golden sizes (e.g.
+// Grid2D n=2^12 and GNM n=2^12/m=2^15 at p=8): identical jobs must produce
+// bit-identical reports, run after run, on both the Borůvka and the
+// Filter-Borůvka path.
+//
+// Root cause of the old variance: the pointer-doubling loop iterated a
+// map[VID]*parentEntry, and Go's randomized map order decided how many
+// pointer chases were short-cut through entries already advanced in the
+// same pass — changing per-round query volumes and with them the β·ℓ term
+// of the modeled clock (collective and message counts stayed fixed; only
+// bytes moved). The dense tables process vertices in index order, so the
+// message sequence is a pure function of the graph.
+func TestModeledClockDeterminism(t *testing.T) {
+	reps := 3
+	if testing.Short() {
+		reps = 2
+	}
+	specs := []GraphSpec{
+		{Family: Grid2D, N: 1 << 12, Seed: 9},
+		{Family: GNM, N: 1 << 12, M: 1 << 15, Seed: 9},
+	}
+	algs := []Algorithm{AlgBoruvka, AlgFilterBoruvka}
+	m := NewMachine(MachineConfig{PEs: 8})
+	defer m.Close()
+	for _, spec := range specs {
+		for _, alg := range algs {
+			var ref *Report
+			for run := 0; run < reps; run++ {
+				rep, err := m.Compute(context.Background(), FromSpec(spec), WithAlgorithm(alg))
+				if err != nil {
+					t.Fatalf("%s/%s: %v", spec.Family, alg, err)
+				}
+				if ref == nil {
+					ref = rep
+					continue
+				}
+				name := spec.Family.String() + "/" + string(alg)
+				if got, want := math.Float64bits(rep.ModeledSeconds), math.Float64bits(ref.ModeledSeconds); got != want {
+					t.Errorf("%s run %d: ModeledSeconds bits %#x != %#x", name, run, got, want)
+				}
+				if rep.Stats != ref.Stats {
+					t.Errorf("%s run %d: Stats %+v != %+v", name, run, rep.Stats, ref.Stats)
+				}
+				if rep.TotalWeight != ref.TotalWeight || rep.NumEdges != ref.NumEdges ||
+					rep.Rounds != ref.Rounds || rep.BaseCalls != ref.BaseCalls {
+					t.Errorf("%s run %d: result shape differs: %d/%d/%d/%d vs %d/%d/%d/%d", name, run,
+						rep.TotalWeight, rep.NumEdges, rep.Rounds, rep.BaseCalls,
+						ref.TotalWeight, ref.NumEdges, ref.Rounds, ref.BaseCalls)
+				}
+				if len(rep.MSTEdges) != len(ref.MSTEdges) {
+					t.Fatalf("%s run %d: %d MST edges vs %d", name, run, len(rep.MSTEdges), len(ref.MSTEdges))
+				}
+				for i := range rep.MSTEdges {
+					if rep.MSTEdges[i] != ref.MSTEdges[i] {
+						t.Errorf("%s run %d: MST edge %d differs: %+v vs %+v", name, run,
+							i, rep.MSTEdges[i], ref.MSTEdges[i])
+						break
+					}
+				}
+				if got, want := math.Float64bits(rep.InputModeledSeconds), math.Float64bits(ref.InputModeledSeconds); got != want {
+					t.Errorf("%s run %d: InputModeledSeconds bits %#x != %#x", name, run, got, want)
+				}
+				for ph, pt := range ref.Phases {
+					if got := rep.Phases[ph]; math.Float64bits(got.Modeled) != math.Float64bits(pt.Modeled) {
+						t.Errorf("%s run %d: phase %q modeled %v != %v", name, run, ph, got.Modeled, pt.Modeled)
+					}
+				}
+			}
+		}
+	}
+}

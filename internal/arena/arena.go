@@ -1,0 +1,129 @@
+// Package arena provides per-PE scratch memory that is recycled across
+// Borůvka rounds and across jobs: grow-only typed slices owned by the
+// persistent world (one Arena per simulated PE, see comm.Comm.Scratch).
+//
+// The hot per-round tables of the MST algorithms — the dense vertex rename
+// table, parent/emit/label arrays, all-to-all send buckets — live in these
+// slots, so a steady-state round performs no vertex-bookkeeping allocation:
+// each round re-grabs the same slots, which only reallocate while the
+// working set is still growing. Resetting is explicit — Grab returns
+// unspecified contents and the caller writes every entry it reads (or uses
+// GrabZeroed when an absent-marker fill is the natural initialization).
+//
+// Concurrency: an Arena must only be used by the goroutine of the PE that
+// owns it. The world hands rank r's arena to whichever goroutine runs rank
+// r's share of a job; jobs are serialized, so successive uses are ordered by
+// the job dispatch's happens-before edges.
+//
+// Ownership discipline for slices handed to collectives: a bucket deposited
+// in an all-to-all is staged (copied into the wire frame) at deposit time,
+// so reusing its slot after the collective returns is safe. A slot whose
+// memory is referenced by a routed payload (e.g. the Items of an in-flight
+// hop in an indirect exchange) must not be re-grabbed until the PE has
+// passed one further collective — every algorithm in internal/core reuses a
+// slot no earlier than the next round, several supersteps later.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Key identifies one typed slot of an Arena. Allocate keys once at package
+// init with NewKey; a key may be used with any Arena but always with the
+// same element type.
+type Key int32
+
+var nextKey atomic.Int32
+
+// NewKey reserves a fresh slot key, distinct from every other key in the
+// process.
+func NewKey() Key { return Key(nextKey.Add(1) - 1) }
+
+// Arena is a set of grow-only typed scratch slots, one per Key.
+type Arena struct {
+	slots []any // slots[key] holds a *[]T, lazily created
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// slot returns the *[]T backing k, creating it on first use. The element
+// type of a key is fixed by its first use; mixing types panics with a
+// diagnostic rather than corrupting memory.
+func slot[T any](a *Arena, k Key) *[]T {
+	if int(k) >= len(a.slots) {
+		grown := make([]any, int(k)+1)
+		copy(grown, a.slots)
+		a.slots = grown
+	}
+	s := a.slots[k]
+	if s == nil {
+		p := new([]T)
+		a.slots[k] = p
+		return p
+	}
+	p, ok := s.(*[]T)
+	if !ok {
+		panic(fmt.Sprintf("arena: key %d used with two element types (%T vs requested)", k, s))
+	}
+	return p
+}
+
+// Grab returns a slice of length n in slot k, reusing the slot's capacity.
+// Contents are unspecified (they are whatever the previous user left);
+// callers must write every element they read. Grabbing a slot invalidates
+// the slice returned by its previous Grab.
+func Grab[T any](a *Arena, k Key, n int) []T {
+	p := slot[T](a, k)
+	if cap(*p) < n {
+		*p = make([]T, n+n/2+8)
+	}
+	s := (*p)[:n]
+	*p = s
+	return s
+}
+
+// GrabZeroed is Grab with every element set to T's zero value.
+func GrabZeroed[T any](a *Arena, k Key, n int) []T {
+	s := Grab[T](a, k, n)
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// GrabAppend returns a zero-length slice in slot k with the slot's full
+// grown capacity, for append-style filling.
+func GrabAppend[T any](a *Arena, k Key) []T {
+	p := slot[T](a, k)
+	return (*p)[:0]
+}
+
+// Keep stores s back into slot k so its grown capacity (from appends beyond
+// the grabbed capacity) is retained for the next Grab.
+func Keep[T any](a *Arena, k Key, s []T) {
+	p := slot[T](a, k)
+	*p = s
+}
+
+// Buckets returns a [][]T of length p in slot k with every bucket reset to
+// length zero, reusing both the outer array and each bucket's capacity —
+// the shape of a sparse all-to-all send set. Bucket capacities grow with
+// use and are retained across calls.
+func Buckets[T any](a *Arena, k Key, p int) [][]T {
+	bp := slot[[]T](a, k)
+	b := *bp
+	if cap(b) < p {
+		nb := make([][]T, p)
+		copy(nb, b[:len(b)])
+		b = nb
+	}
+	b = b[:p]
+	*bp = b
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
+}

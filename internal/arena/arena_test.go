@@ -1,0 +1,106 @@
+package arena
+
+import "testing"
+
+func TestGrabReusesCapacity(t *testing.T) {
+	a := New()
+	k := NewKey()
+	s1 := Grab[int](a, k, 100)
+	for i := range s1 {
+		s1[i] = i
+	}
+	p1 := &s1[0]
+	s2 := Grab[int](a, k, 50)
+	if &s2[0] != p1 {
+		t.Fatal("Grab with smaller n reallocated")
+	}
+	if len(s2) != 50 {
+		t.Fatalf("len = %d, want 50", len(s2))
+	}
+	// Growth reallocates, then stabilizes.
+	s3 := Grab[int](a, k, 1000)
+	if len(s3) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(s3))
+	}
+	s4 := Grab[int](a, k, 900)
+	if &s4[0] != &s3[0] {
+		t.Fatal("Grab after growth reallocated")
+	}
+}
+
+func TestGrabZeroed(t *testing.T) {
+	a := New()
+	k := NewKey()
+	s := Grab[int](a, k, 10)
+	for i := range s {
+		s[i] = 7
+	}
+	z := GrabZeroed[int](a, k, 10)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("z[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestGrabAppendKeep(t *testing.T) {
+	a := New()
+	k := NewKey()
+	s := GrabAppend[int](a, k)
+	for i := 0; i < 500; i++ {
+		s = append(s, i)
+	}
+	Keep(a, k, s)
+	s2 := GrabAppend[int](a, k)
+	if cap(s2) < 500 {
+		t.Fatalf("Keep did not retain grown capacity: cap=%d", cap(s2))
+	}
+	if len(s2) != 0 {
+		t.Fatalf("GrabAppend returned non-empty slice: len=%d", len(s2))
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	a := New()
+	k := NewKey()
+	b := Buckets[int](a, k, 4)
+	if len(b) != 4 {
+		t.Fatalf("len = %d, want 4", len(b))
+	}
+	b[2] = append(b[2], 1, 2, 3)
+	b2 := Buckets[int](a, k, 4)
+	if len(b2[2]) != 0 {
+		t.Fatal("bucket not reset to zero length")
+	}
+	if cap(b2[2]) < 3 {
+		t.Fatal("bucket capacity not retained")
+	}
+	// Growing the world keeps existing buckets.
+	b3 := Buckets[int](a, k, 8)
+	if len(b3) != 8 {
+		t.Fatalf("len = %d, want 8", len(b3))
+	}
+	if cap(b3[2]) < 3 {
+		t.Fatal("bucket capacity lost on outer growth")
+	}
+}
+
+func TestDistinctKeysAndTypes(t *testing.T) {
+	a := New()
+	k1, k2 := NewKey(), NewKey()
+	if k1 == k2 {
+		t.Fatal("NewKey returned duplicate keys")
+	}
+	i := Grab[int](a, k1, 4)
+	f := Grab[float64](a, k2, 4)
+	i[0], f[0] = 1, 2.5
+	if i[0] != 1 || f[0] != 2.5 {
+		t.Fatal("slots interfere")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a key with a different type must panic")
+		}
+	}()
+	Grab[string](a, k1, 1)
+}

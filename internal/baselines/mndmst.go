@@ -121,8 +121,8 @@ func MNDMST(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Options)
 			res := localmst.Run(work, isLocal, localmst.Config{Pool: pool, HashDedup: true})
 			mst = append(mst, res.MSTEdges...)
 			work = res.Remaining
-			for v, l := range res.Labels {
-				if v != l {
+			for i, v := range res.Verts {
+				if l := res.Roots[i]; v != l {
 					cum[v] = l
 				}
 			}

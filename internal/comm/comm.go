@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kamsta/internal/arena"
 )
 
 // CostModel holds the machine parameters of the α-β model.
@@ -98,6 +100,12 @@ type World struct {
 	pes       []chan *worldJob
 	cancelled atomic.Bool
 	obs       Observer
+
+	// arenas holds each rank's scratch arena. Owned by the world (not the
+	// per-job Comm) so the algorithms' per-round working memory survives
+	// across rounds AND across jobs on a persistent machine; see
+	// Comm.Scratch.
+	arenas []*arena.Arena
 }
 
 // deposit is one PE's contribution to a collective, padded so adjacent
@@ -153,6 +161,10 @@ func NewWorld(p int, opts ...Option) *World {
 		boards:  [2][]deposit{make([]deposit, p), make([]deposit, p)},
 		phases:  make(map[string]*PhaseTime),
 		clocks:  make([]float64, p),
+		arenas:  make([]*arena.Arena, p),
+	}
+	for i := range w.arenas {
+		w.arenas[i] = arena.New()
 	}
 	for _, o := range opts {
 		o(w)
@@ -305,6 +317,11 @@ func (c *Comm) P() int { return c.w.p }
 // Threads reports the number of intra-PE threads (for dividing parallel
 // compute charges).
 func (c *Comm) Threads() int { return c.threads }
+
+// Scratch returns this PE's scratch arena: world-owned, grow-only working
+// memory recycled across Borůvka rounds and across jobs. Only the goroutine
+// running this rank's share of the current job may use it.
+func (c *Comm) Scratch() *arena.Arena { return c.w.arenas[c.rank] }
 
 // Clock returns this PE's current modeled time in seconds.
 func (c *Comm) Clock() float64 { return c.clock }

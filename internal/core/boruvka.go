@@ -1,6 +1,7 @@
 package core
 
 import (
+	"kamsta/internal/arena"
 	"kamsta/internal/comm"
 	"kamsta/internal/graph"
 	"kamsta/internal/par"
@@ -91,19 +92,21 @@ func distributedRounds(c *comm.Comm, work *[]graph.Edge, l **graph.Layout,
 		c.PhaseBegin(PhaseContract)
 		labels := contractComponents(c, *work, *l, mins, opt, mst)
 		if rec != nil {
-			pairs := make([]labelPair, 0, len(labels))
-			for v, lbl := range labels {
-				if v != lbl {
+			a := c.Scratch()
+			pairs := arena.GrabAppend[labelPair](a, kRecPairs)
+			for i, v := range labels.verts {
+				if lbl := labels.labels[i]; v != lbl {
 					pairs = append(pairs, labelPair{V: v, L: lbl})
 				}
 			}
+			arena.Keep(a, kRecPairs, pairs)
 			rec.record(c, pairs, opt)
 		}
 		c.PhaseEnd()
 
 		c.PhaseBegin(PhaseLabels)
 		ghost := exchangeLabels(c, *work, *l, labels, opt)
-		relabeled := relabel(c, *work, *l, labels, ghost, pool, true)
+		relabeled := relabel(c, *work, *l, labels, ghost, pool, true, c.Scratch())
 		c.PhaseEnd()
 
 		c.PhaseBegin(PhaseRedistribute)

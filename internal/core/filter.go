@@ -1,44 +1,65 @@
 package core
 
 import (
-	"sort"
+	"fmt"
+	"slices"
 
 	"kamsta/internal/alltoall"
+	"kamsta/internal/arena"
 	"kamsta/internal/comm"
 	"kamsta/internal/graph"
 	"kamsta/internal/par"
 	"kamsta/internal/rng"
 )
 
+// Arena keys of the Filter-Borůvka working set.
+var (
+	kDistTbl   = arena.NewKey() // []graph.VID: dense owned slice of P
+	kResCur    = arena.NewKey() // []graph.VID: resolve cursors
+	kResDone   = arena.NewKey() // []bool: resolve completion flags
+	kResTgt    = arena.NewKey() // []graph.VID: distinct pending targets
+	kResSendQ  = arena.NewKey() // [][]graph.VID buckets (resolve queries)
+	kResSendR  = arena.NewKey() // [][]labelPair buckets (resolve replies)
+	kResAns    = arena.NewKey() // []labelPair: sorted answers
+	kFilterVs  = arena.NewKey() // []graph.VID: distinct endpoints of a segment
+	kFilterTmp = arena.NewKey() // []graph.Edge: filter map stage
+	kFilterOut = arena.NewKey() // []graph.Edge: filter pack stage
+)
+
 // distArray is Filter-Borůvka's distributed component-representative array
-// P (§V): conceptually P[v] holds a representative for every vertex label,
-// 1D-partitioned over the PEs by label range. Only non-identity entries are
-// stored. Contractions recorded over time form shallow trees; resolve
-// follows them to the roots with batched query rounds (the paper contracts
-// them with O(log log n) pointer-doubling rounds at the end — we resolve on
-// demand at each filter step, which needs the same machinery).
+// P (§V): P[v] holds a representative for every vertex label, 1D-partitioned
+// over the PEs by label range. Each PE stores its owned range as a dense
+// slice — Θ(n/p) words, the paper's own array representation — with label 0
+// (reserved, vertices are 1-based) marking identity entries. Contractions
+// recorded over time form shallow trees; resolve follows them to the roots
+// with batched query rounds (the paper contracts them with O(log log n)
+// pointer-doubling rounds at the end — we resolve on demand at each filter
+// step, which needs the same machinery).
 type distArray struct {
-	n  uint64 // label space is [1, n]
-	m  map[graph.VID]graph.VID
-	lo uint64 // owned label range [lo, hi)
-	hi uint64
+	n   uint64      // label space is [1, n]
+	tbl []graph.VID // owned range [lo, hi), tbl[v-lo]; 0 = identity
+	lo  uint64
+	hi  uint64
 }
 
 // newDistArray creates P over the label space [1, maxLabel], identity
-// everywhere.
+// everywhere. The dense slice is arena-backed: recycled across jobs, zeroed
+// per job.
 func newDistArray(c *comm.Comm, maxLabel uint64) *distArray {
 	p := uint64(c.P())
 	r := uint64(c.Rank())
 	n := maxLabel + 1
-	return &distArray{
+	d := &distArray{
 		n:  n,
-		m:  make(map[graph.VID]graph.VID),
 		lo: r * n / p,
 		hi: (r + 1) * n / p,
 	}
+	d.tbl = arena.GrabZeroed[graph.VID](c.Scratch(), kDistTbl, int(d.hi-d.lo))
+	return d
 }
 
-// owner returns the PE owning label v.
+// owner returns the PE owning label v. Monotone non-decreasing in v, so
+// sorted labels fill all-to-all buckets in rank order.
 func (d *distArray) owner(c *comm.Comm, v graph.VID) int {
 	p := uint64(c.P())
 	j := v * p / d.n
@@ -54,7 +75,7 @@ func (d *distArray) owner(c *comm.Comm, v graph.VID) int {
 // record pushes contraction pairs (v → root) to their owners. Collective:
 // all PEs must call together (with possibly empty pair sets).
 func (d *distArray) record(c *comm.Comm, pairs []labelPair, opt Options) {
-	send := make([][]labelPair, c.P())
+	send := arena.Buckets[labelPair](c.Scratch(), kRecSend, c.P())
 	for _, lp := range pairs {
 		o := d.owner(c, lp.V)
 		send[o] = append(send[o], lp)
@@ -62,60 +83,77 @@ func (d *distArray) record(c *comm.Comm, pairs []labelPair, opt Options) {
 	recv := alltoall.Exchange(c, opt.A2A, send)
 	for i := range recv {
 		for _, lp := range recv[i] {
-			d.m[lp.V] = lp.L
+			d.tbl[lp.V-d.lo] = lp.L
 		}
 	}
 }
 
-// resolve returns the fully-resolved representative for every queried
-// label, following chains across PEs in batched rounds. Collective.
-func (d *distArray) resolve(c *comm.Comm, vs []graph.VID, opt Options) map[graph.VID]graph.VID {
-	r := make(map[graph.VID]graph.VID, len(vs))
-	done := make(map[graph.VID]bool, len(vs))
-	for _, v := range vs {
-		r[v] = v
+// lookup returns the recorded representative of owned label v (identity if
+// none recorded).
+func (d *distArray) lookup(v graph.VID) graph.VID {
+	if next := d.tbl[v-d.lo]; next != 0 {
+		return next
 	}
+	return v
+}
+
+// resolve returns the fully-resolved representative for every queried
+// label, following chains across PEs in batched rounds. vs must be sorted
+// ascending and duplicate-free; the result is aligned with vs and is
+// arena-backed (valid until the next resolve on this PE). Collective.
+func (d *distArray) resolve(c *comm.Comm, vs []graph.VID, opt Options) []graph.VID {
+	a := c.Scratch()
+	cur := arena.Grab[graph.VID](a, kResCur, len(vs))
+	copy(cur, vs)
+	done := arena.GrabZeroed[bool](a, kResDone, len(vs))
 	for iter := 0; ; iter++ {
-		// Distinct pending targets.
-		targetSet := make(map[graph.VID]struct{})
-		for v, cur := range r {
-			if !done[v] {
-				targetSet[cur] = struct{}{}
+		// Distinct pending targets, ascending: owners are monotone in the
+		// label, so the buckets fill in rank order and every PE's query
+		// sequence — and with it the reply concatenation below — is sorted.
+		tgt := arena.GrabAppend[graph.VID](a, kResTgt)
+		for i, v := range cur {
+			if !done[i] {
+				tgt = append(tgt, v)
 			}
 		}
-		send := make([][]graph.VID, c.P())
-		for t := range targetSet {
+		arena.Keep(a, kResTgt, tgt)
+		slices.Sort(tgt)
+		tgt = slices.Compact(tgt)
+		send := arena.Buckets[graph.VID](a, kResSendQ, c.P())
+		for _, t := range tgt {
 			o := d.owner(c, t)
 			send[o] = append(send[o], t)
 		}
 		recvQ := alltoall.Exchange(c, opt.A2A, send)
-		sendR := make([][]labelPair, c.P())
+		sendR := arena.Buckets[labelPair](a, kResSendR, c.P())
 		for from := range recvQ {
 			for _, t := range recvQ[from] {
-				next, ok := d.m[t]
-				if !ok {
-					next = t
-				}
-				sendR[from] = append(sendR[from], labelPair{V: t, L: next})
+				sendR[from] = append(sendR[from], labelPair{V: t, L: d.lookup(t)})
 			}
 		}
 		recvR := alltoall.Exchange(c, opt.A2A, sendR)
-		ans := make(map[graph.VID]graph.VID, len(targetSet))
+		ans := arena.GrabAppend[labelPair](a, kResAns)
 		for i := range recvR {
-			for _, lp := range recvR[i] {
-				ans[lp.V] = lp.L
-			}
+			ans = append(ans, recvR[i]...)
 		}
+		arena.Keep(a, kResAns, ans)
+		if !slices.IsSortedFunc(ans, lessPairV) {
+			slices.SortFunc(ans, lessPairV)
+		}
+		at := ghostTable{pairs: ans}
 		progress := false
-		for v, cur := range r {
-			if done[v] {
+		for i, v := range cur {
+			if done[i] {
 				continue
 			}
-			next := ans[cur]
-			if next == cur {
-				done[v] = true
+			next, ok := at.get(v)
+			if !ok {
+				panic(fmt.Sprintf("core: distributed array resolution: no answer for label %d", v))
+			}
+			if next == v {
+				done[i] = true
 			} else {
-				r[v] = next
+				cur[i] = next
 				progress = true
 			}
 		}
@@ -126,7 +164,7 @@ func (d *distArray) resolve(c *comm.Comm, vs []graph.VID, opt Options) map[graph
 			panic("core: distributed array resolution failed to converge")
 		}
 	}
-	return r
+	return cur
 }
 
 // segment is one pending edge set of the Filter-Borůvka recursion.
@@ -280,7 +318,7 @@ func pivotSelect(c *comm.Comm, edges []graph.Edge, opt Options) (graph.Edge, boo
 	if len(all) == 0 {
 		return graph.Edge{}, false
 	}
-	sort.Slice(all, func(i, j int) bool { return graph.LessWeight(all[i], all[j]) })
+	slices.SortFunc(all, graph.CmpWeight)
 	return all[len(all)/2], true
 }
 
@@ -300,7 +338,9 @@ func weightClassLess(a, b graph.Edge) bool {
 // partitionAtPivot splits edges into (≤ pivot, > pivot) under the weight-
 // class order, preserving local sortedness (stable filters of a sorted
 // sequence stay sorted). Both directed copies of an edge share the weight
-// class, so the symmetric invariant is preserved on both sides.
+// class, so the symmetric invariant is preserved on both sides. The halves
+// are owned (not arena-backed): they live on the recursion stack across an
+// unbounded number of rounds.
 func partitionAtPivot(edges []graph.Edge, pivot graph.Edge, pool *par.Pool) (light, heavy []graph.Edge) {
 	light = par.Filter(pool, edges, func(e graph.Edge) bool { return !weightClassLess(pivot, e) })
 	heavy = par.Filter(pool, edges, func(e graph.Edge) bool { return weightClassLess(pivot, e) })
@@ -313,22 +353,25 @@ func partitionAtPivot(edges []graph.Edge, pivot graph.Edge, pool *par.Pool) (lig
 func filterSegment(c *comm.Comm, edges []graph.Edge, P *distArray,
 	pool *par.Pool, opt Options) ([]graph.Edge, *graph.Layout) {
 
-	distinct := make(map[graph.VID]struct{}, len(edges))
+	a := c.Scratch()
+	// Distinct endpoints, sorted: the dense stand-in for the former hash
+	// set, and the rename table the relabeling below binary-searches.
+	vs := arena.GrabAppend[graph.VID](a, kFilterVs)
 	for _, e := range edges {
-		distinct[e.U] = struct{}{}
-		distinct[e.V] = struct{}{}
+		vs = append(vs, e.U, e.V)
 	}
-	vs := make([]graph.VID, 0, len(distinct))
-	for v := range distinct {
-		vs = append(vs, v)
-	}
+	arena.Keep(a, kFilterVs, vs)
+	slices.Sort(vs)
+	vs = slices.Compact(vs)
 	reps := P.resolve(c, vs, opt)
-	out := par.Map(pool, edges, func(e graph.Edge) graph.Edge {
-		e.U = reps[e.U]
-		e.V = reps[e.V]
+	apply := func(e graph.Edge) graph.Edge {
+		e.U = reps[lookupVID(vs, e.U)]
+		e.V = reps[lookupVID(vs, e.V)]
 		return e
-	})
-	out = par.Filter(pool, out, func(e graph.Edge) bool { return e.U != e.V })
+	}
+	out := par.MapInto(pool, arena.Grab[graph.Edge](a, kFilterTmp, len(edges)), edges, apply)
+	out = par.FilterInto(pool, arena.Grab[graph.Edge](a, kFilterOut, len(edges)), out,
+		func(e graph.Edge) bool { return e.U != e.V })
 	c.ChargeCompute(len(edges))
 	return redistribute(c, out, opt)
 }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"kamsta/internal/comm"
+	"kamsta/internal/dsort"
+	"kamsta/internal/gen"
+	"kamsta/internal/graph"
+	"kamsta/internal/par"
+)
+
+// Hot-path microbenchmarks for the per-round vertex bookkeeping. They run on
+// a 1-PE world so the numbers isolate the local work (table upkeep, lookup,
+// allocation) of one Borůvka round rather than the simulated wire. One
+// warm-up call before the timer puts the arena in steady state — the regime
+// every round after the first runs in.
+var benchSpec = gen.Spec{Family: gen.GNM, N: 1 << 12, M: 1 << 15, Seed: 42}
+
+func benchWorld(f func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool)) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		edges, layout := gen.Build(c, benchSpec, dsort.Options{})
+		f(c, edges, layout, par.NewPool(1))
+	})
+}
+
+func BenchmarkMinEdges(b *testing.B) {
+	benchWorld(func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) {
+		minEdges(c, edges, l, pool)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			minEdges(c, edges, l, pool)
+		}
+	})
+}
+
+func BenchmarkContractComponents(b *testing.B) {
+	benchWorld(func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) {
+		opt := Options{}.withDefaults()
+		mins := minEdges(c, edges, l, pool)
+		var mst []graph.Edge
+		contractComponents(c, edges, l, mins, opt, &mst)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mst = mst[:0]
+			contractComponents(c, edges, l, mins, opt, &mst)
+		}
+	})
+}
+
+func BenchmarkRelabelFilter(b *testing.B) {
+	benchWorld(func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) {
+		opt := Options{}.withDefaults()
+		mins := minEdges(c, edges, l, pool)
+		var mst []graph.Edge
+		labels := contractComponents(c, edges, l, mins, opt, &mst)
+		ghost := exchangeLabels(c, edges, l, labels, opt)
+		relabel(c, edges, l, labels, ghost, pool, true, c.Scratch())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			relabel(c, edges, l, labels, ghost, pool, true, c.Scratch())
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"kamsta/internal/alltoall"
@@ -10,7 +11,7 @@ import (
 )
 
 func sortSlice(edges []graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool { return graph.LessLex(edges[i], edges[j]) })
+	slices.SortFunc(edges, graph.CmpLex)
 }
 
 // inputCopy is the compressed copy of this PE's original input chunk plus

@@ -57,16 +57,22 @@ func localPreprocess(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
 	c.ChargeCompute(res.Work)
 
 	// Strip identity labels — only contracted vertices need broadcasting.
-	labels := make(map[graph.VID]graph.VID, len(res.Labels))
-	for v, lbl := range res.Labels {
-		if v != lbl {
-			labels[v] = lbl
+	// res.Verts is ascending, so the stripped table stays a valid dense
+	// rename table.
+	labels := denseLabels{
+		verts:  make([]graph.VID, 0, len(res.Verts)),
+		labels: make([]graph.VID, 0, len(res.Verts)),
+	}
+	for i, v := range res.Verts {
+		if lbl := res.Roots[i]; v != lbl {
+			labels.verts = append(labels.verts, v)
+			labels.labels = append(labels.labels, lbl)
 		}
 	}
 	if rec != nil {
-		pairs := make([]labelPair, 0, len(labels))
-		for v, lbl := range labels {
-			pairs = append(pairs, labelPair{V: v, L: lbl})
+		pairs := make([]labelPair, 0, labels.len())
+		for i, v := range labels.verts {
+			pairs = append(pairs, labelPair{V: v, L: labels.labels[i]})
 		}
 		rec.record(c, pairs, opt)
 	}
@@ -75,8 +81,10 @@ func localPreprocess(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
 	// but other PEs' edges pointing at my contracted vertices do not. Push
 	// labels along cut edges as in §IV-B; note the push must use the
 	// ORIGINAL edges (whose reverse copies still exist at the receivers).
+	// relabel gets a nil arena: its result lives beyond this call (it may
+	// become the rounds' working edge set), so it must own its memory.
 	ghost := exchangeLabels(c, edges, l, labels, opt)
-	work := relabel(c, res.Remaining, l, nil, ghost, pool, false)
+	work := relabel(c, res.Remaining, l, denseLabels{}, ghost, pool, false, nil)
 
 	// Re-establish the sorted distributed sequence.
 	localSortEdges(work)

@@ -2,13 +2,36 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kamsta/internal/alltoall"
+	"kamsta/internal/arena"
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
 	"kamsta/internal/graph"
 	"kamsta/internal/par"
+)
+
+// Arena keys of the per-round dense tables and send buckets. One set of
+// keys per process; every PE's arena has its own storage behind them. A key
+// is re-grabbed once per round, so a slot's previous round's contents are
+// dead by the time it is reused (see the lifecycle notes in DESIGN.md §8).
+var (
+	kRanges     = arena.NewKey() // []graph.VertexRange: per-source runs
+	kMins       = arena.NewKey() // []minEdge: minimum-edge selection
+	kVerts      = arena.NewKey() // []graph.VID: dense rename table
+	kParent     = arena.NewKey() // []parentEntry: pointer-doubling state
+	kEmit       = arena.NewKey() // []int32: candidate MST edge per vertex
+	kLabels     = arena.NewKey() // []graph.VID: component labels
+	kSendQ      = arena.NewKey() // [][]query buckets
+	kSendR      = arena.NewKey() // [][]reply buckets
+	kSendLbl    = arena.NewKey() // [][]labelPair buckets (exchangeLabels)
+	kGhost      = arena.NewKey() // []labelPair: sorted ghost label table
+	kRelabelTmp = arena.NewKey() // []graph.Edge: relabel map stage
+	kRelabelOut = arena.NewKey() // []graph.Edge: relabel filter stage
+	kRecPairs   = arena.NewKey() // []labelPair: contraction records for P
+	kRecSend    = arena.NewKey() // [][]labelPair buckets (distArray.record)
+	kDirect     = arena.NewKey() // []int32: O(1) window-indexed rename table
 )
 
 // minEdge pairs a local vertex with its lightest incident edge's index in
@@ -23,9 +46,13 @@ type minEdge struct {
 // roots and are contracted only in the base case. Because the edge sequence
 // is symmetric and sorted, a non-shared vertex's full neighborhood is its
 // contiguous source range, so this is a communication-free segmented min.
+// The result is in ascending vertex order (ranges are sorted), which is what
+// makes the dense tables of contractComponents index-ordered.
 func minEdges(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) []minEdge {
-	ranges := graph.LocalRanges(edges)
-	out := make([]minEdge, len(ranges))
+	a := c.Scratch()
+	ranges := graph.AppendLocalRanges(arena.GrabAppend[graph.VertexRange](a, kRanges), edges)
+	arena.Keep(a, kRanges, ranges)
+	out := arena.Grab[minEdge](a, kMins, len(ranges))
 	pool.For(len(ranges), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			r := ranges[k]
@@ -43,7 +70,7 @@ func minEdges(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool)
 		}
 	})
 	c.ChargeCompute(len(edges))
-	// Compact away the shared vertices.
+	// Compact away the shared vertices (in place; writes trail reads).
 	kept := out[:0]
 	for _, me := range out {
 		if me.idx >= 0 {
@@ -64,6 +91,115 @@ type labelPair struct {
 	V, L graph.VID
 }
 
+// denseLabels is the per-round component labeling: verts is the ascending
+// set of this PE's non-shared local vertices and labels is aligned with it.
+// It replaces the former map[VID]VID — lookups are index-based, and
+// iteration is in index order, which makes every derived message sequence
+// deterministic.
+//
+// When the vertex IDs span a window not much larger than their count — the
+// §II-B consecutive-ID guarantee makes this the common case in early
+// rounds — direct holds an O(1) window-indexed rename table; otherwise
+// lookups binary-search (or gallop over) verts.
+type denseLabels struct {
+	verts  []graph.VID
+	labels []graph.VID
+	base   graph.VID
+	direct []int32 // direct[v-base] = index into verts, -1 = absent; may be nil
+}
+
+// directWindow returns the size of the direct rename table for verts, or 0
+// when the ID span exceeds 4·|verts|+1024 — too sparse, so lookups fall
+// back to searching.
+func directWindow(verts []graph.VID) int {
+	if len(verts) == 0 {
+		return 0
+	}
+	span := verts[len(verts)-1] - verts[0] + 1
+	if span <= uint64(4*len(verts)+1024) {
+		return int(span)
+	}
+	return 0
+}
+
+// get returns the label of v, if v is in the table.
+func (d denseLabels) get(v graph.VID) (graph.VID, bool) {
+	if d.direct != nil {
+		if v < d.base || v >= d.base+graph.VID(len(d.direct)) {
+			return 0, false
+		}
+		if i := d.direct[v-d.base]; i >= 0 {
+			return d.labels[i], true
+		}
+		return 0, false
+	}
+	if i, ok := slices.BinarySearch(d.verts, v); ok {
+		return d.labels[i], true
+	}
+	return 0, false
+}
+
+func (d denseLabels) len() int { return len(d.verts) }
+
+// ghostTable resolves ghost vertices to their new labels: pairs sorted
+// ascending by vertex, looked up by binary search. It replaces the former
+// ghost map.
+type ghostTable struct {
+	pairs []labelPair
+}
+
+func (g ghostTable) get(v graph.VID) (graph.VID, bool) {
+	i, ok := slices.BinarySearchFunc(g.pairs, v, func(p labelPair, v graph.VID) int {
+		switch {
+		case p.V < v:
+			return -1
+		case p.V > v:
+			return 1
+		}
+		return 0
+	})
+	if !ok {
+		return 0, false
+	}
+	return g.pairs[i].L, true
+}
+
+func (g ghostTable) len() int { return len(g.pairs) }
+
+// lookupVID returns the index of v in the ascending verts, or -1.
+func lookupVID(verts []graph.VID, v graph.VID) int {
+	if i, ok := slices.BinarySearch(verts, v); ok {
+		return i
+	}
+	return -1
+}
+
+// gallopSearch returns the position of the first element ≥ v in xs[from:]
+// (as an absolute index) and whether it equals v, probing exponentially from
+// `from`. For an ascending query sequence with a moving base this makes a
+// scan of k lookups over an n-table cost O(k·log(n/k)) instead of
+// O(k·log n) — the lookup pattern of relabeling a sorted edge range.
+func gallopSearch(xs []graph.VID, v graph.VID, from int) (pos int, ok bool) {
+	n := len(xs)
+	if from >= n {
+		return n, false
+	}
+	if xs[from] >= v {
+		return from, xs[from] == v
+	}
+	lo, step := from, 1
+	for lo+step < n && xs[lo+step] < v {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step + 1
+	if hi > n {
+		hi = n
+	}
+	i, found := slices.BinarySearch(xs[lo+1:hi], v)
+	return lo + 1 + i, found
+}
+
 // contractComponents converts the pseudo-trees induced by the minimum edges
 // into rooted stars by distributed pointer doubling (§IV-B) and returns the
 // component root label of every non-shared local vertex, appending the
@@ -72,17 +208,30 @@ type labelPair struct {
 // contention the paper observes at high-degree vertices: a pointer to a
 // shared vertex is resolved locally from the replicated layout, with no
 // message to its (hot) home PE.
+//
+// All state is dense: mins arrives in ascending vertex order, so verts is a
+// sorted rename table and parent/emit are index-aligned arrays. Vertices are
+// processed in index order every round, so the query traffic — which chains
+// resolve locally versus remotely, and hence the per-round all-to-all
+// volumes — is a pure function of the graph. The former map iteration here
+// was the source of the run-to-run modeled-clock variance at larger
+// instances: hash order decided how many pointer chases were short-cut
+// through already-advanced local entries, changing message bytes per round.
 func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins []minEdge,
-	opt Options, mst *[]graph.Edge) map[graph.VID]graph.VID {
+	opt Options, mst *[]graph.Edge) denseLabels {
 
 	p := c.P()
-	// Local parent table for this PE's non-shared vertices.
-	parent := make(map[graph.VID]*parentEntry, len(mins))
-	emit := make(map[graph.VID]int, len(mins)) // v -> candidate MST edge index
-	for _, me := range mins {
+	a := c.Scratch()
+	n := len(mins)
+	// Dense tables for this PE's non-shared vertices.
+	verts := arena.Grab[graph.VID](a, kVerts, n)
+	parent := arena.Grab[parentEntry](a, kParent, n)
+	emit := arena.Grab[int32](a, kEmit, n) // emit[i] = candidate MST edge index, -1 = none
+	for i, me := range mins {
 		e := edges[me.idx]
-		parent[me.v] = &parentEntry{cur: e.V}
-		emit[me.v] = me.idx
+		verts[i] = me.v
+		parent[i] = parentEntry{cur: e.V}
+		emit[i] = int32(me.idx)
 	}
 
 	// Round 0 handles 2-cycles: u and parent[u]=v point at each other when
@@ -105,12 +254,17 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 	round := 0
 	for {
 		// Resolve what can be resolved locally; build queries for the rest.
-		sendQ := make([][]query, p)
+		// Index order means a chase through an entry updated earlier in THIS
+		// pass sees the advanced pointer — the same chaining the map version
+		// performed, now in a fixed, deterministic order.
+		sendQ := arena.Buckets[query](a, kSendQ, p)
 		pending := 0
-		for u, pe := range parent {
+		for i := range parent {
+			pe := &parent[i]
 			if pe.done {
 				continue
 			}
+			u := verts[i]
 			v := pe.cur
 			switch {
 			case v == u:
@@ -119,14 +273,15 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 				// Shared vertices are roots by fiat — no communication.
 				pe.done = true
 			default:
-				if q, ok := parent[v]; ok {
+				if j := lookupVID(verts, v); j >= 0 {
 					// Target is on this PE: step locally.
+					q := &parent[j]
 					if round == 0 && q.cur == u {
 						// Local 2-cycle.
 						if u < v {
 							pe.cur = u
 							pe.done = true
-							delete(emit, u)
+							emit[i] = -1
 						} else {
 							pe.done = true // cur stays v, v is root
 						}
@@ -164,11 +319,12 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 		}
 
 		recvQ := alltoall.Exchange(c, opt.A2A, sendQ)
-		sendR := make([][]reply, p)
+		sendR := arena.Buckets[reply](a, kSendR, p)
 		for from := range recvQ {
 			for _, q := range recvQ[from] {
 				r := reply{Asker: q.Asker, Target: q.Target}
-				if pe, ok := parent[q.Target]; ok {
+				if j := lookupVID(verts, q.Target); j >= 0 {
+					pe := &parent[j]
 					r.Cur = pe.cur
 					r.Done = pe.done || pe.cur == q.Target
 				} else {
@@ -180,8 +336,12 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 		recvR := alltoall.Exchange(c, opt.A2A, sendR)
 		for from := range recvR {
 			for _, r := range recvR[from] {
-				pe := parent[r.Asker]
-				if pe == nil || pe.done {
+				i := lookupVID(verts, r.Asker)
+				if i < 0 {
+					continue
+				}
+				pe := &parent[i]
+				if pe.done {
 					continue
 				}
 				switch {
@@ -196,7 +356,7 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 					if u < v {
 						pe.cur = u
 						pe.done = true
-						delete(emit, u)
+						emit[i] = -1
 					} else {
 						pe.done = true // v stays our root; v's side resolves itself
 					}
@@ -220,41 +380,64 @@ func contractComponents(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mins 
 	}
 
 	// Emit MST edges (every minimum edge except the root's copy in each
-	// 2-cycle) and collect labels.
-	labels := make(map[graph.VID]graph.VID, len(parent))
-	for u, pe := range parent {
-		labels[u] = pe.cur
+	// 2-cycle) and collect labels, both in index order. Ascending vertex
+	// order IS ascending edge-index order — a vertex's minimum edge lies in
+	// its own source range and ranges are sorted — so the emission sequence
+	// equals the sorted order the map version had to re-establish with an
+	// explicit sort over the surviving indices.
+	labels := arena.Grab[graph.VID](a, kLabels, n)
+	for i := range parent {
+		labels[i] = parent[i].cur
+		if e := emit[i]; e >= 0 {
+			*mst = append(*mst, edges[e])
+		}
 	}
-	emitIdx := make([]int, 0, len(emit))
-	for _, idx := range emit {
-		emitIdx = append(emitIdx, idx)
+	c.ChargeCompute(n)
+	lab := denseLabels{verts: verts, labels: labels}
+	if span := directWindow(verts); span > 0 {
+		lab.base = verts[0]
+		direct := arena.Grab[int32](a, kDirect, span)
+		for i := range direct {
+			direct[i] = -1
+		}
+		for i, v := range verts {
+			direct[v-lab.base] = int32(i)
+		}
+		lab.direct = direct
 	}
-	sort.Ints(emitIdx)
-	for _, idx := range emitIdx {
-		*mst = append(*mst, edges[idx])
-	}
-	c.ChargeCompute(len(parent))
-	return labels
+	return lab
 }
 
 // exchangeLabels implements EXCHANGELABELS (§IV-B): for every cut edge
 // (u, v) with contracted local source u, the new label of u is pushed to
 // the home PE of the reverse edge (v, u), deduplicated per (PE, u) pair.
 // Shared endpoints need no messages: both sides know they are roots.
-// The returned map resolves ghost vertices to their new labels.
+// The returned table resolves ghost vertices to their new labels.
+//
+// Deduplication needs no hash set: within one source vertex's sorted edge
+// range the reverse-edge probes (v, u, W, TB) are ascending, so the owner
+// sequence is non-decreasing and duplicates per (owner, u) are adjacent —
+// remembering the last owner suffices.
 func exchangeLabels(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
-	labels map[graph.VID]graph.VID, opt Options) map[graph.VID]graph.VID {
+	lab denseLabels, opt Options) ghostTable {
 
 	p := c.P()
-	type dedupKey struct {
-		pe int
-		v  graph.VID
-	}
-	sent := make(map[dedupKey]struct{})
-	send := make([][]labelPair, p)
+	a := c.Scratch()
+	send := arena.Buckets[labelPair](a, kSendLbl, p)
+	var (
+		curU      graph.VID
+		lbl       graph.VID
+		has       bool
+		lastOwner = -1
+		started   bool
+	)
 	for _, e := range edges {
-		lbl, ok := labels[e.U]
-		if !ok {
+		if !started || e.U != curU {
+			curU, started = e.U, true
+			lbl, has = lab.get(e.U)
+			lastOwner = -1
+		}
+		if !has {
 			continue // shared source: label unchanged, receiver knows
 		}
 		// Destination side: find the reverse edge's home. Probing with the
@@ -263,56 +446,133 @@ func exchangeLabels(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
 		if owner == c.Rank() {
 			continue // reverse edge is ours; relabel resolves locally
 		}
-		k := dedupKey{owner, e.U}
-		if _, dup := sent[k]; dup {
+		if owner == lastOwner {
 			continue
 		}
-		sent[k] = struct{}{}
+		lastOwner = owner
 		send[owner] = append(send[owner], labelPair{V: e.U, L: lbl})
 	}
 	recv := alltoall.Exchange(c, opt.A2A, send)
-	ghost := make(map[graph.VID]graph.VID)
+	ghost := arena.GrabAppend[labelPair](a, kGhost)
 	for i := range recv {
-		for _, lp := range recv[i] {
-			ghost[lp.V] = lp.L
-		}
+		ghost = append(ghost, recv[i]...)
+	}
+	arena.Keep(a, kGhost, ghost)
+	// Rank-ordered arrival is already ascending by vertex (non-shared
+	// sources of different PEs are disjoint and rank-ordered); re-sort
+	// defensively if an exchange strategy ever reorders.
+	if !slices.IsSortedFunc(ghost, lessPairV) {
+		slices.SortFunc(ghost, lessPairV)
 	}
 	c.ChargeCompute(len(edges))
-	return ghost
+	return ghostTable{pairs: ghost}
+}
+
+func lessPairV(a, b labelPair) int {
+	switch {
+	case a.V < b.V:
+		return -1
+	case a.V > b.V:
+		return 1
+	}
+	return 0
 }
 
 // relabel implements RELABEL (§IV-C): rewrite endpoints to component roots
-// and drop self-loops. In strict mode (the distributed rounds, where every
+// and drop self-loops. edges must be sorted lexicographically (every caller
+// passes a redistribute/preprocess output, which is) — the scan exploits
+// that order. In strict mode (the distributed rounds, where every
 // non-shared vertex has a label) an unknown non-shared endpoint is a
 // protocol bug and panics loudly; lenient mode (preprocessing, where only
 // contracted vertices have labels) keeps unknown labels unchanged.
+//
+// With a non-nil arena the two stages run in recycled scratch and the
+// returned slice is arena-backed: valid until the NEXT relabel on the same
+// PE, which is fine for the rounds (the result is consumed by redistribute
+// within the round). Callers that keep the result across rounds — local
+// preprocessing — pass a nil arena and get owned memory.
 func relabel(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
-	labels, ghost map[graph.VID]graph.VID, pool *par.Pool, strict bool) []graph.Edge {
+	lab denseLabels, ghost ghostTable, pool *par.Pool, strict bool, a *arena.Arena) []graph.Edge {
 
 	resolve := func(v graph.VID) graph.VID {
-		if lbl, ok := labels[v]; ok {
+		if lbl, ok := lab.get(v); ok {
 			return lbl
 		}
-		if lbl, ok := ghost[v]; ok {
+		if lbl, ok := ghost.get(v); ok {
 			return lbl
 		}
 		if strict && !l.IsShared(v) {
 			first, last := l.SharedSpan(v)
 			panic(fmt.Sprintf("core: relabel: rank %d: no label for non-shared vertex %d (span %d..%d, home %d, labels=%d ghost=%d, localEdges=%d)",
-				c.Rank(), v, first, last, l.HomePE(v), len(labels), len(ghost), len(edges)))
+				c.Rank(), v, first, last, l.HomePE(v), lab.len(), ghost.len(), len(edges)))
 		}
 		return v // shared vertices keep their label this round
 	}
-	out := par.Map(pool, edges, func(e graph.Edge) graph.Edge {
-		nu, nv := resolve(e.U), resolve(e.V)
-		if nu != e.U || nv != e.V {
-			e.U, e.V = nu, nv
+	// Each block walks its edges exploiting the sorted order: the source
+	// label is resolved once per run of equal U, and the ascending V values
+	// within a run gallop through the label table with a moving lower bound
+	// instead of restarting a full binary search per edge. A run split
+	// across block boundaries just re-resolves its source — harmless.
+	var tmp []graph.Edge
+	if a != nil {
+		tmp = arena.Grab[graph.Edge](a, kRelabelTmp, len(edges))
+	} else {
+		tmp = make([]graph.Edge, len(edges))
+	}
+	pool.For(len(edges), func(lo, hi int) {
+		i := lo
+		for i < hi {
+			u := edges[i].U
+			nu := resolve(u)
+			vbase := 0
+			for ; i < hi && edges[i].U == u; i++ {
+				e := edges[i]
+				var nv graph.VID
+				if lab.direct != nil {
+					if lbl, ok := lab.get(e.V); ok {
+						nv = lbl
+					} else {
+						nv = resolveNonLocal(c, l, ghost, e.V, strict, lab, len(edges))
+					}
+				} else if pos, ok := gallopSearch(lab.verts, e.V, vbase); ok {
+					vbase = pos
+					nv = lab.labels[pos]
+				} else {
+					vbase = pos
+					nv = resolveNonLocal(c, l, ghost, e.V, strict, lab, len(edges))
+				}
+				if nu != e.U || nv != e.V {
+					e.U, e.V = nu, nv
+				}
+				tmp[i] = e
+			}
 		}
-		return e
 	})
-	out = par.Filter(pool, out, func(e graph.Edge) bool { return e.U != e.V })
+	keep := func(e graph.Edge) bool { return e.U != e.V }
+	var out []graph.Edge
+	if a != nil {
+		out = par.FilterInto(pool, arena.Grab[graph.Edge](a, kRelabelOut, len(edges)), tmp, keep)
+	} else {
+		out = par.Filter(pool, tmp, keep)
+	}
 	c.ChargeCompute(len(edges))
 	return out
+}
+
+// resolveNonLocal handles the slow path of relabel's V resolution: a vertex
+// without a local label is a ghost or shared (or, in strict mode, a
+// protocol bug).
+func resolveNonLocal(c *comm.Comm, l *graph.Layout, ghost ghostTable,
+	v graph.VID, strict bool, lab denseLabels, m int) graph.VID {
+	if lbl, ok := ghost.get(v); ok {
+		return lbl
+	}
+	if strict && !l.IsShared(v) {
+		first, last := l.SharedSpan(v)
+		panic(fmt.Sprintf("core: relabel: rank %d: no label for non-shared vertex %d (span %d..%d, home %d, labels=%d ghost=%d, localEdges=%d)",
+			c.Rank(), v, first, last, l.HomePE(v), lab.len(), ghost.len(), m))
+	}
+	return v
 }
 
 // redistribute implements REDISTRIBUTE (§IV-C): sort the relabeled edges

@@ -105,6 +105,29 @@ func LessWeight(a, b Edge) bool {
 	return a.ID < b.ID
 }
 
+// CmpLex adapts LessLex to the slices.SortFunc contract (a total order, so
+// distinct edges never compare equal).
+func CmpLex(a, b Edge) int {
+	switch {
+	case LessLex(a, b):
+		return -1
+	case LessLex(b, a):
+		return 1
+	}
+	return 0
+}
+
+// CmpWeight adapts LessWeight to the slices.SortFunc contract.
+func CmpWeight(a, b Edge) int {
+	switch {
+	case LessWeight(a, b):
+		return -1
+	case LessWeight(b, a):
+		return 1
+	}
+	return 0
+}
+
 // SameWeightClass reports whether two edges are copies of the same logical
 // undirected edge (equal weight and original endpoints).
 func SameWeightClass(a, b Edge) bool {
@@ -132,18 +155,25 @@ type VertexRange struct {
 }
 
 // LocalRanges returns the per-source-vertex runs of a lexicographically
-// sorted local edge slice.
+// sorted local edge slice. The ranges are in ascending source order, which
+// makes their V fields a sorted rename table: position in the slice is the
+// dense local index of the vertex.
 func LocalRanges(edges []Edge) []VertexRange {
-	var out []VertexRange
+	return AppendLocalRanges(nil, edges)
+}
+
+// AppendLocalRanges is LocalRanges appending into dst (arena-friendly: pass
+// a recycled zero-length slice to keep round setup allocation-free).
+func AppendLocalRanges(dst []VertexRange, edges []Edge) []VertexRange {
 	for lo := 0; lo < len(edges); {
 		hi := lo + 1
 		for hi < len(edges) && edges[hi].U == edges[lo].U {
 			hi++
 		}
-		out = append(out, VertexRange{V: edges[lo].U, Lo: lo, Hi: hi})
+		dst = append(dst, VertexRange{V: edges[lo].U, Lo: lo, Hi: hi})
 		lo = hi
 	}
-	return out
+	return dst
 }
 
 // IsSorted reports whether edges are in lexicographic order.

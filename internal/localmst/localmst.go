@@ -18,7 +18,7 @@
 package localmst
 
 import (
-	"sort"
+	"slices"
 
 	"kamsta/internal/graph"
 	"kamsta/internal/par"
@@ -55,9 +55,13 @@ type Result struct {
 	// MSTEdges are the identified MST edges. Their U/V fields are working
 	// labels; TB and ID still identify the original edge.
 	MSTEdges []graph.Edge
-	// Labels maps every eligible (isLocal) vertex to its component root
-	// (identity for frozen roots).
-	Labels map[graph.VID]graph.VID
+	// Verts lists every eligible (isLocal) vertex in ascending order, and
+	// Roots is aligned with it: Roots[i] is the component root label of
+	// Verts[i] (identity for frozen roots). The dense pair replaces the
+	// former map so callers iterate deterministically and look labels up by
+	// binary search.
+	Verts []graph.VID
+	Roots []graph.VID
 	// Remaining holds the surviving edges, endpoints relabeled to component
 	// roots, self-loops removed, parallel edges reduced to the lightest,
 	// sorted lexicographically.
@@ -93,7 +97,7 @@ func Run(edges []graph.Edge, isLocal func(graph.VID) bool, cfg Config) Result {
 	work = st.contract(work, cfg, &res)
 
 	res.Remaining = removeParallel(work, cfg)
-	res.Labels = st.labels()
+	res.Verts, res.Roots = st.labels()
 	return res
 }
 
@@ -106,20 +110,17 @@ type state struct {
 }
 
 func newState(edges []graph.Edge, isLocal func(graph.VID) bool) *state {
-	seen := make(map[graph.VID]struct{})
+	verts := make([]graph.VID, 0, 2*len(edges))
 	for _, e := range edges {
 		if isLocal(e.U) {
-			seen[e.U] = struct{}{}
+			verts = append(verts, e.U)
 		}
 		if isLocal(e.V) {
-			seen[e.V] = struct{}{}
+			verts = append(verts, e.V)
 		}
 	}
-	verts := make([]graph.VID, 0, len(seen))
-	for v := range seen {
-		verts = append(verts, v)
-	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	slices.Sort(verts)
+	verts = slices.Compact(verts)
 	st := &state{
 		verts:   verts,
 		parent:  make([]int32, len(verts)),
@@ -134,17 +135,8 @@ func newState(edges []graph.Edge, isLocal func(graph.VID) bool) *state {
 
 // idx returns the dense index of v, or -1 if v is not eligible.
 func (st *state) idx(v graph.VID) int32 {
-	lo, hi := 0, len(st.verts)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if st.verts[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(st.verts) && st.verts[lo] == v {
-		return int32(lo)
+	if i, ok := slices.BinarySearch(st.verts, v); ok {
+		return int32(i)
 	}
 	return -1
 }
@@ -170,13 +162,13 @@ func (st *state) rootLabel(v graph.VID) graph.VID {
 	return st.verts[st.root(i)]
 }
 
-// labels materializes the final vertex → root mapping.
-func (st *state) labels() map[graph.VID]graph.VID {
-	out := make(map[graph.VID]graph.VID, len(st.verts))
-	for i, v := range st.verts {
-		out[v] = st.verts[st.root(int32(i))]
+// labels materializes the final (ascending vertex, root label) table.
+func (st *state) labels() (verts, roots []graph.VID) {
+	roots = make([]graph.VID, len(st.verts))
+	for i := range st.verts {
+		roots[i] = st.verts[st.root(int32(i))]
 	}
-	return out
+	return st.verts, roots
 }
 
 // contract runs Borůvka rounds on work until no component can contract,
@@ -353,7 +345,7 @@ func splitAtMedianWeight(edges []graph.Edge) (light, heavy []graph.Edge) {
 	for i := 0; i < len(edges); i += step {
 		sample = append(sample, edges[i])
 	}
-	sort.Slice(sample, func(i, j int) bool { return graph.LessWeight(sample[i], sample[j]) })
+	slices.SortFunc(sample, graph.CmpWeight)
 	pivot := sample[len(sample)/2]
 	light = make([]graph.Edge, 0, len(edges)/2)
 	heavy = make([]graph.Edge, 0, len(edges)/2)
@@ -377,7 +369,7 @@ func removeParallel(edges []graph.Edge, cfg Config) []graph.Edge {
 		return nil
 	}
 	if !cfg.HashDedup {
-		sort.Slice(edges, func(i, j int) bool { return graph.LessLex(edges[i], edges[j]) })
+		slices.SortFunc(edges, graph.CmpLex)
 		out := edges[:0]
 		for i, e := range edges {
 			if i > 0 && e.U == edges[i-1].U && e.V == edges[i-1].V {
@@ -395,7 +387,7 @@ func removeParallel(edges []graph.Edge, cfg Config) []graph.Edge {
 	for i := 0; i < len(edges); i += step {
 		sample = append(sample, edges[i])
 	}
-	sort.Slice(sample, func(i, j int) bool { return graph.LessWeight(sample[i], sample[j]) })
+	slices.SortFunc(sample, graph.CmpWeight)
 	pivot := sample[len(sample)/4]
 
 	type key struct{ U, V graph.VID }
@@ -418,12 +410,12 @@ func removeParallel(edges []graph.Edge, cfg Config) []graph.Edge {
 			kept = append(kept, e)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return graph.LessLex(kept[i], kept[j]) })
+	slices.SortFunc(kept, graph.CmpLex)
 	out := make([]graph.Edge, 0, len(light)+len(kept))
 	for _, e := range light {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return graph.LessLex(out[i], out[j]) })
+	slices.SortFunc(out, graph.CmpLex)
 	// Merge the two sorted parts, dropping heavy duplicates.
 	merged := make([]graph.Edge, 0, len(out)+len(kept))
 	i, j := 0, 0

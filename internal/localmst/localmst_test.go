@@ -1,6 +1,7 @@
 package localmst
 
 import (
+	"slices"
 	"testing"
 
 	"kamsta/internal/graph"
@@ -109,7 +110,7 @@ func TestDisconnected(t *testing.T) {
 
 func TestEmptyInput(t *testing.T) {
 	got := Run(nil, allLocal, Config{})
-	if len(got.MSTEdges) != 0 || len(got.Remaining) != 0 || len(got.Labels) != 0 {
+	if len(got.MSTEdges) != 0 || len(got.Remaining) != 0 || len(got.Verts) != 0 {
 		t.Fatalf("empty input gave %+v", got)
 	}
 }
@@ -125,16 +126,16 @@ func TestLabelsFormComponents(t *testing.T) {
 		uf.Union(int(e.U), int(e.V))
 	}
 	rootOf := map[int]graph.VID{}
-	for v := 1; v <= n; v++ {
-		lbl, ok := got.Labels[graph.VID(v)]
-		if !ok {
-			continue
-		}
-		r := uf.Find(v)
+	for i, v := range got.Verts {
+		lbl := got.Roots[i]
+		r := uf.Find(int(v))
 		if prev, seen := rootOf[r]; seen && prev != lbl {
 			t.Fatalf("component of %d has two labels: %d and %d", v, prev, lbl)
 		}
 		rootOf[r] = lbl
+	}
+	if !slices.IsSorted(got.Verts) {
+		t.Fatal("Verts not ascending")
 	}
 }
 

@@ -192,8 +192,7 @@ func PrefixSum(p *Pool, xs, out []int) int {
 // preserving order. It runs in two parallel passes (count, then pack).
 func Filter[T any](p *Pool, xs []T, keep func(T) bool) []T {
 	n := len(xs)
-	t := p.Threads()
-	if t == 1 || n < 2*grainSize {
+	if p.Threads() == 1 || n < 2*grainSize {
 		out := make([]T, 0, n/2+1)
 		for _, v := range xs {
 			if keep(v) {
@@ -202,6 +201,15 @@ func Filter[T any](p *Pool, xs []T, keep func(T) bool) []T {
 		}
 		return out
 	}
+	return filterTwoPass(p, xs, keep, func(total int) []T { return make([]T, total) })
+}
+
+// filterTwoPass is the shared parallel count-then-pack body of Filter and
+// FilterInto; alloc provides the destination once the surviving count is
+// known.
+func filterTwoPass[T any](p *Pool, xs []T, keep func(T) bool, alloc func(total int) []T) []T {
+	n := len(xs)
+	t := p.Threads()
 	if t > n/grainSize {
 		t = n / grainSize
 	}
@@ -235,7 +243,7 @@ func Filter[T any](p *Pool, xs []T, keep func(T) bool) []T {
 		offsets[w] = total
 		total += counts[w]
 	}
-	out := make([]T, total)
+	out := alloc(total)
 	for w := 0; w < t; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
@@ -262,13 +270,37 @@ func Filter[T any](p *Pool, xs []T, keep func(T) bool) []T {
 
 // Map applies f to every element of xs in parallel, returning a new slice.
 func Map[T, U any](p *Pool, xs []T, f func(T) U) []U {
-	out := make([]U, len(xs))
+	return MapInto(p, make([]U, len(xs)), xs, f)
+}
+
+// MapInto is Map writing into dst, which must have capacity at least
+// len(xs) and must not alias xs; it returns dst[:len(xs)]. Used with
+// arena-backed destinations to keep per-round transforms allocation-free.
+func MapInto[T, U any](p *Pool, dst []U, xs []T, f func(T) U) []U {
+	dst = dst[:len(xs)]
 	p.For(len(xs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i] = f(xs[i])
+			dst[i] = f(xs[i])
 		}
 	})
-	return out
+	return dst
+}
+
+// FilterInto is Filter packing into dst, which must have capacity at least
+// len(xs) and must not alias xs; it returns the packed prefix of dst,
+// preserving order.
+func FilterInto[T any](p *Pool, dst []T, xs []T, keep func(T) bool) []T {
+	n := len(xs)
+	if p.Threads() == 1 || n < 2*grainSize {
+		out := dst[:0]
+		for _, v := range xs {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	return filterTwoPass(p, xs, keep, func(total int) []T { return dst[:total] })
 }
 
 // None marks an empty MinIndex slot.

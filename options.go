@@ -82,6 +82,18 @@ func WithObserver(obs Observer) RunOption {
 	return func(rs *runSettings) { rs.obs = obs }
 }
 
+// AlgorithmNames returns the supported algorithm names, sorted, as one
+// comma-separated string — the single source of truth shared by CLI flag
+// help text and ParseAlgorithm's error message.
+func AlgorithmNames() string {
+	known := make([]string, 0, len(Algorithms()))
+	for _, a := range Algorithms() {
+		known = append(known, string(a))
+	}
+	sort.Strings(known)
+	return strings.Join(known, ", ")
+}
+
 // ParseAlgorithm resolves a case-insensitive algorithm name, with an error
 // listing the valid names for unknown input.
 func ParseAlgorithm(name string) (Algorithm, error) {
@@ -90,12 +102,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	known := make([]string, 0, len(Algorithms()))
-	for _, a := range Algorithms() {
-		known = append(known, string(a))
-	}
-	sort.Strings(known)
-	return "", fmt.Errorf("kamsta: unknown algorithm %q (known: %s)", name, strings.Join(known, ", "))
+	return "", fmt.Errorf("kamsta: unknown algorithm %q (known: %s)", name, AlgorithmNames())
 }
 
 // ParseAlgorithmList resolves a comma-separated list of algorithm names
