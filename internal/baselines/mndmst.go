@@ -1,13 +1,12 @@
 package baselines
 
 import (
-	"sort"
-
 	"kamsta/internal/alltoall"
 	"kamsta/internal/comm"
 	"kamsta/internal/graph"
 	"kamsta/internal/localmst"
 	"kamsta/internal/par"
+	"kamsta/internal/radix"
 )
 
 // labelPair carries one contraction record (vertex → component root).
@@ -50,7 +49,7 @@ func MNDMST(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Options)
 		send[dest] = append(send[dest], e)
 	}
 	mine := flatten(alltoall.Exchange(c, opt.A2A, send))
-	sort.Slice(mine, func(i, j int) bool { return graph.LessLex(mine[i], mine[j]) })
+	radix.Sort(mine, graph.KeyLex, graph.LessLex)
 	c.ChargeCompute(len(mine))
 
 	// Vertex ownership after the reassignment: the first source vertex per

@@ -20,11 +20,12 @@ package baselines
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"kamsta/internal/alltoall"
 	"kamsta/internal/comm"
 	"kamsta/internal/graph"
+	"kamsta/internal/radix"
 )
 
 // Result is a baseline MSF outcome.
@@ -159,7 +160,7 @@ func SparseMatrix(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Op
 		for r, e := range best {
 			local = append(local, cand{Root: r, E: e, Rank: int32(c.Rank())})
 		}
-		sort.Slice(local, func(i, j int) bool { return local[i].Root < local[j].Root })
+		radix.Sort(local, func(c cand) uint64 { return c.Root }, func(a, b cand) bool { return a.Root < b.Root })
 		all := comm.AllgatherConcat(c, local)
 		if len(all) == 0 {
 			break
@@ -177,7 +178,7 @@ func SparseMatrix(c *comm.Comm, edges []graph.Edge, layout *graph.Layout, opt Op
 		for r := range win {
 			roots = append(roots, r)
 		}
-		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		slices.Sort(roots)
 		merged := false
 		for _, r := range roots {
 			cd := win[r]
@@ -221,7 +222,7 @@ func finishResult(c *comm.Comm, mst []graph.Edge, rounds int) Result {
 		local.N++
 	}
 	g := comm.Allreduce(c, local, func(a, b agg) agg { return agg{a.W + b.W, a.N + b.N} })
-	sort.Slice(mst, func(i, j int) bool { return graph.LessLex(mst[i], mst[j]) })
+	radix.Sort(mst, graph.KeyLex, graph.LessLex)
 	return Result{MSTEdges: mst, TotalWeight: g.W, NumEdges: g.N, Rounds: rounds}
 }
 

@@ -237,7 +237,16 @@ func Allgather[T any](c *Comm, x T) []T {
 // depositors are still inside the barrier), so callers may mutate xs as
 // soon as the call returns.
 func AllgatherConcat[T any](c *Comm, xs []T) []T {
-	var out []T
+	return AllgatherConcatInto(c, nil, xs)
+}
+
+// AllgatherConcatInto is AllgatherConcat appending the concatenation into
+// dst (arena-friendly: pass a recycled zero-length slice to keep the
+// caller-side result allocation-free; the combine-side staging buffer is
+// collective-internal). Modeled cost and wire behaviour are identical to
+// AllgatherConcat.
+func AllgatherConcatInto[T any](c *Comm, dst []T, xs []T) []T {
+	out := dst
 	c.exchange(mkTag(opAllgatherConcat, 0), xs, func(boards []deposit) any {
 		total := 0
 		for i := range boards {
@@ -249,11 +258,9 @@ func AllgatherConcat[T any](c *Comm, xs []T) []T {
 		}
 		return cat
 	}, func(res any, _ []deposit) {
-		src := res.([]T)
-		out = make([]T, len(src))
-		copy(out, src)
+		out = append(out, res.([]T)...)
 	})
-	c.ChargeComm(log2Ceil(c.P()), len(out)*sizeof.Of[T]())
+	c.ChargeComm(log2Ceil(c.P()), (len(out)-len(dst))*sizeof.Of[T]())
 	c.stats.Collectives++
 	return out
 }

@@ -225,6 +225,44 @@ func TestAllgatherConcat(t *testing.T) {
 	}
 }
 
+// TestAllgatherConcatInto checks the arena-destination variant: the result
+// is appended after dst's existing contents, a recycled buffer grows only
+// while the working set does, and the modeled charge equals the plain
+// AllgatherConcat.
+func TestAllgatherConcatInto(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	clocks := make([]float64, 2)
+	w.Run(func(c *Comm) {
+		xs := []int{c.Rank(), c.Rank()}
+		dst := make([]int, 1, 16)
+		dst[0] = -1
+		got := AllgatherConcatInto(c, dst, xs)
+		if len(got) != 1+2*p || got[0] != -1 {
+			t.Fatalf("rank %d: got %v", c.Rank(), got)
+		}
+		for r := 0; r < p; r++ {
+			if got[1+2*r] != r || got[2+2*r] != r {
+				t.Fatalf("rank %d: concat misordered: %v", c.Rank(), got)
+			}
+		}
+		if c.Rank() == 0 {
+			clocks[0] = c.Clock()
+		}
+	})
+	w2 := NewWorld(p)
+	w2.Run(func(c *Comm) {
+		xs := []int{c.Rank(), c.Rank()}
+		AllgatherConcat(c, xs)
+		if c.Rank() == 0 {
+			clocks[1] = c.Clock()
+		}
+	})
+	if clocks[0] != clocks[1] {
+		t.Errorf("Into variant charged %v, plain %v", clocks[0], clocks[1])
+	}
+}
+
 func TestAlltoallRouting(t *testing.T) {
 	for _, p := range worldSizes {
 		w := NewWorld(p)

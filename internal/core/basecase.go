@@ -4,9 +4,39 @@ import (
 	"math"
 	"sort"
 
+	"kamsta/internal/arena"
 	"kamsta/internal/comm"
 	"kamsta/internal/graph"
 )
+
+// Arena keys of the base case's replicated working set. Like the per-round
+// tables, these recycle across base-case rounds, invocations (Filter-
+// Borůvka calls the base case once per recursion leaf) and jobs.
+var (
+	kBaseLocal  = arena.NewKey() // []graph.VID: distinct local sources
+	kBaseVerts  = arena.NewKey() // []graph.VID: replicated dense rename table
+	kBaseWork   = arena.NewKey() // []dEdge: local edges with dense endpoints
+	kBaseVec    = arena.NewKey() // []cand: per-round allreduce input vector
+	kBaseParent = arena.NewKey() // []int32: replicated contraction forest
+	kBasePairs  = arena.NewKey() // []labelPair: contraction records for P
+)
+
+// dEdge is a base-case working edge: dense endpoints packed beside the
+// original.
+type dEdge struct {
+	u, v int32
+	e    graph.Edge
+}
+
+// cand is the base case's allreduce element: the lightest known edge into a
+// vertex.
+type cand struct {
+	W    graph.Weight
+	TB   uint64
+	Dst  int32
+	Rank int32
+	Idx  int32 // index into the winner's local work slice
+}
 
 // baseCase finishes the MST computation once the global number of vertices
 // fits on one PE (§IV-D, following Adler et al.): vertex labels are
@@ -17,11 +47,12 @@ import (
 // edge. When rec is non-nil, every contraction is recorded in the
 // distributed representative array (Filter-Borůvka's P).
 func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Edge, rec *distArray, opt Options) {
+	a := c.Scratch()
 	// Dense remap: gather the distinct live labels. Each PE contributes its
 	// distinct sources, skipping a first run continued from the previous
 	// non-empty PE; the rank-ordered concatenation of sorted chunks is
 	// globally sorted.
-	var local []graph.VID
+	local := arena.GrabAppend[graph.VID](a, kBaseLocal)
 	for lo := 0; lo < len(edges); {
 		hi := lo + 1
 		for hi < len(edges) && edges[hi].U == edges[lo].U {
@@ -30,6 +61,7 @@ func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Ed
 		local = append(local, edges[lo].U)
 		lo = hi
 	}
+	arena.Keep(a, kBaseLocal, local)
 	if len(local) > 0 {
 		for i := c.Rank() - 1; i >= 0; i-- {
 			if l.Counts[i] > 0 {
@@ -40,7 +72,8 @@ func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Ed
 			}
 		}
 	}
-	verts := comm.AllgatherConcat(c, local)
+	verts := comm.AllgatherConcatInto(c, arena.GrabAppend[graph.VID](a, kBaseVerts), local)
+	arena.Keep(a, kBaseVerts, verts)
 	n := len(verts)
 	if n == 0 {
 		return
@@ -51,24 +84,12 @@ func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Ed
 	}
 
 	// Working copy with dense endpoints packed beside the edge.
-	type dEdge struct {
-		u, v int32
-		e    graph.Edge
-	}
-	work := make([]dEdge, len(edges))
+	work := arena.Grab[dEdge](a, kBaseWork, len(edges))
 	for i, e := range edges {
 		work[i] = dEdge{u: dense(e.U), v: dense(e.V), e: e}
 	}
 	c.ChargeCompute(len(edges) * log2ceilInt(n+1))
 
-	// cand is the allreduce element: the lightest known edge into a vertex.
-	type cand struct {
-		W    graph.Weight
-		TB   uint64
-		Dst  int32
-		Rank int32
-		Idx  int32 // index into the winner's local work slice
-	}
 	empty := cand{W: math.MaxUint32, TB: math.MaxUint64}
 	less := func(a, b cand) bool {
 		if a.W != b.W {
@@ -80,9 +101,9 @@ func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Ed
 		return a.Rank < b.Rank // deterministic winner among equal copies
 	}
 
-	parent := make([]int32, n)
+	parent := arena.Grab[int32](a, kBaseParent, n)
 	for round := 0; ; round++ {
-		vec := make([]cand, n)
+		vec := arena.Grab[cand](a, kBaseVec, n)
 		for i := range vec {
 			vec[i] = empty
 		}
@@ -145,12 +166,13 @@ func baseCase(c *comm.Comm, edges []graph.Edge, l *graph.Layout, mst *[]graph.Ed
 		}
 		c.ChargeCompute(n)
 		if rec != nil {
-			pairs := make([]labelPair, 0, n)
+			pairs := arena.GrabAppend[labelPair](a, kBasePairs)
 			for i := 0; i < n; i++ {
 				if parent[i] != int32(i) {
 					pairs = append(pairs, labelPair{V: verts[i], L: verts[parent[i]]})
 				}
 			}
+			arena.Keep(a, kBasePairs, pairs)
 			rec.record(c, pairs, opt)
 		}
 		// Relabel the local edges and drop self-loops.

@@ -8,6 +8,7 @@ import (
 	"kamsta/internal/gen"
 	"kamsta/internal/graph"
 	"kamsta/internal/par"
+	"kamsta/internal/rng"
 )
 
 // Hot-path microbenchmarks for the per-round vertex bookkeeping. They run on
@@ -22,6 +23,79 @@ func benchWorld(f func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *
 	w.Run(func(c *comm.Comm) {
 		edges, layout := gen.Build(c, benchSpec, dsort.Options{})
 		f(c, edges, layout, par.NewPool(1))
+	})
+}
+
+// shuffleEdges returns a deterministically shuffled copy: the sorters'
+// real inputs (raw generator output, freshly relabeled rounds) are
+// unsorted, while gen.Build hands back sorted data — benchmarking that
+// directly would only measure the already-sorted fast paths.
+func shuffleEdges(edges []graph.Edge, seed uint64) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	copy(out, edges)
+	r := rng.New(seed)
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// BenchmarkDsortP1 isolates the local phase of the distributed sorter (the
+// dominant allocator of every job before PR 5): one PE, the full benchSpec
+// edge set, (U,V)-keyed radix local sort, arena-backed output. Steady-state
+// allocs/op must be zero — asserted by TestDsortSteadyStateAllocsFloor.
+func BenchmarkDsortP1(b *testing.B) {
+	benchWorld(func(c *comm.Comm, edges []graph.Edge, l *graph.Layout, pool *par.Pool) {
+		in := shuffleEdges(edges, 99)
+		ord := dsort.ByKey(graph.LessLex, graph.KeyLex)
+		dsort.Sort(c, in, ord, dsort.Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dsort.Sort(c, in, ord, dsort.Options{})
+		}
+	})
+}
+
+// BenchmarkDsortSampleSortP8 runs the full distributed sample sort on 8 PEs
+// (2^13 unsorted edges per PE): what remains in allocs/op is the
+// collective-internal floor (wire frames, staged copies), not per-call
+// vertex/edge buffers.
+func BenchmarkDsortSampleSortP8(b *testing.B) {
+	w := comm.NewWorld(8)
+	w.Run(func(c *comm.Comm) {
+		edges, _ := gen.Build(c, gen.Spec{Family: gen.GNM, N: 1 << 12, M: 1 << 15, Seed: 42}, dsort.Options{})
+		local := shuffleEdges(edges[:min(len(edges), 1<<13)], uint64(c.Rank()))
+		ord := dsort.ByKey(graph.LessLex, graph.KeyLex)
+		dsort.Sort(c, local, ord, dsort.Options{Alg: dsort.SampleSort})
+		if c.Rank() == 0 {
+			b.ReportAllocs()
+			b.ResetTimer()
+		}
+		comm.Barrier(c)
+		for i := 0; i < b.N; i++ {
+			dsort.Sort(c, local, ord, dsort.Options{Alg: dsort.SampleSort})
+		}
+	})
+}
+
+// TestDsortSteadyStateAllocsFloor pins the tentpole's de-allocation claim:
+// after warm-up, a 1-PE sort (no collectives, so no substrate floor)
+// performs ZERO heap allocations per call — every buffer, including the
+// returned chunk, lives in the world-owned arena.
+func TestDsortSteadyStateAllocsFloor(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		edges, _ := gen.Build(c, benchSpec, dsort.Options{})
+		ord := dsort.ByKey(graph.LessLex, graph.KeyLex)
+		dsort.Sort(c, edges, ord, dsort.Options{}) // warm the arena
+		allocs := testing.AllocsPerRun(5, func() {
+			dsort.Sort(c, edges, ord, dsort.Options{})
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state p=1 dsort.Sort allocates %v times per call, want 0", allocs)
+		}
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"kamsta/internal/graph"
 	"kamsta/internal/localmst"
 	"kamsta/internal/par"
+	"kamsta/internal/radix"
 )
 
 // localPreprocess implements LOCALPREPROCESSING (§IV-A): contract edges
@@ -98,8 +99,9 @@ func localPreprocess(c *comm.Comm, edges []graph.Edge, l *graph.Layout,
 	return redistribute(c, work, opt)
 }
 
-// localSortEdges sorts a local edge slice lexicographically in place.
+// localSortEdges sorts a local edge slice lexicographically in place with
+// the (U, V)-keyed radix pass (one-shot scratch: preprocessing runs once
+// per job, outside the steady-state rounds).
 func localSortEdges(edges []graph.Edge) {
-	// insertion-friendly wrapper over the stdlib sort
-	sortSlice(edges)
+	radix.Sort(edges, graph.KeyLex, graph.LessLex)
 }

@@ -578,9 +578,11 @@ func resolveNonLocal(c *comm.Comm, l *graph.Layout, ghost ghostTable,
 // redistribute implements REDISTRIBUTE (§IV-C): sort the relabeled edges
 // lexicographically with the distributed sorter, optionally reduce parallel
 // edges to their lightest representative, rebalance, and rebuild the
-// replicated layout with an allgather.
+// replicated layout with an allgather. The result is arena-backed (dsort's
+// output slot): it is the round's working edge set and is consumed before
+// the next round's redistribute re-sorts.
 func redistribute(c *comm.Comm, edges []graph.Edge, opt Options) ([]graph.Edge, *graph.Layout) {
-	sorted := dsort.Sort(c, edges, graph.LessLex, opt.Sort)
+	sorted := dsort.Sort(c, edges, dsort.ByKey(graph.LessLex, graph.KeyLex), opt.Sort)
 	if opt.DedupParallel {
 		sorted = dedupSorted(c, sorted)
 		sorted = dsort.Rebalance(c, sorted)

@@ -11,13 +11,42 @@
 // gathered random sample (the paper sorts the samples with the hypercube
 // algorithm; gathering them gives identical splitters, a documented
 // simplification).
+//
+// # Keys and local sorting
+//
+// The sorter is built around sortable integer keys (Order): when the caller
+// supplies a Key — a uint64 extraction that is order-consistent with the
+// comparator, like graph.KeyLex/graph.KeyWeight — every local sort runs as
+// an LSD radix pass (internal/radix) instead of a comparison sort, and the
+// p received runs are merged with a winner tree (O(log p) per element
+// instead of the former O(p) head scan). Without a key the local sorts fall
+// back to slices.SortFunc. The modeled compute charges remain the paper's
+// comparison-sort model (n·log n), so the modeled clock is independent of
+// which local algorithm runs.
+//
+// # Memory ownership
+//
+// Every per-call buffer — the local working copy, sample staging, splitter
+// and send frames, the merge output, Rebalance frames and the returned
+// chunk itself — lives in the world-owned per-PE scratch arena
+// (comm.Comm.Scratch), in slots keyed per element type. Steady-state sorts
+// therefore allocate nothing beyond the substrate's collective-internal
+// floor. The flip side is a lifetime contract: the slice returned by Sort
+// or Rebalance is valid only until the NEXT dsort collective with the same
+// element type on the same world; callers that retain a result across later
+// sorts (e.g. gen.Finish, whose output lives for a whole job of re-sorting
+// rounds) must copy it into owned memory.
 package dsort
 
 import (
-	"sort"
+	"math/bits"
+	"slices"
+	"sync"
 
 	"kamsta/internal/alltoall"
+	"kamsta/internal/arena"
 	"kamsta/internal/comm"
+	"kamsta/internal/radix"
 	"kamsta/internal/rng"
 )
 
@@ -63,16 +92,96 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Sort globally sorts the union of all PEs' local data under less and
-// returns this PE's balanced, contiguous chunk. less must define a strict
-// weak order; for fully deterministic splits it should be a total order.
-func Sort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+// Key extracts a uint64 sort key from an element. It must be
+// order-consistent with the Order's comparator: Key(a) < Key(b) implies
+// less(a, b). Equal keys are finished by the comparator, so a key may
+// encode only a prefix of the order.
+type Key[T any] func(T) uint64
+
+// Order bundles the comparator that defines the global sort order with an
+// optional integer key that accelerates the local phases.
+type Order[T any] struct {
+	// Less is the strict weak order to sort by; for fully deterministic
+	// splits it should be a total order.
+	Less func(a, b T) bool
+	// Key, when non-nil, enables radix local sorts. See Key for the
+	// consistency contract.
+	Key Key[T]
+}
+
+// ByLess builds a comparator-only Order.
+func ByLess[T any](less func(a, b T) bool) Order[T] { return Order[T]{Less: less} }
+
+// ByKey builds an Order with a radix key.
+func ByKey[T any](less func(a, b T) bool, key Key[T]) Order[T] {
+	return Order[T]{Less: less, Key: key}
+}
+
+// typeKeys is the per-element-type set of arena slot keys backing one
+// instantiation of the sorter. Keys are process-wide; the storage behind
+// them is per-PE (each arena owns its slots).
+type typeKeys struct {
+	local     arena.Key // []T: local working copy (sample sort)
+	samples   arena.Key // []T: splitter sample staging
+	all       arena.Key // []T: gathered global sample
+	split     arena.Key // []T: selected splitters
+	send      arena.Key // [][]T: sample-sort bucket frame
+	merge     arena.Key // []T: k-way merge output
+	mergeTree arena.Key // []int32: winner-tree nodes
+	mergeHead arena.Key // []int32: per-run cursors
+	out       arena.Key // []T: Rebalance output (the returned chunk)
+	rebSend   arena.Key // [][]T: Rebalance bucket frame
+	rebBounds arena.Key // []int: Rebalance cumulative targets
+	hcLocal   arena.Key // []T: hypercube working set
+	hcLow     arena.Key // []T: partition low side
+	hcHigh    arena.Key // []T: partition high side
+	hcSamples arena.Key // []T: pivot sample staging
+	hcMembers arena.Key // []int: subcube member ranks
+	rxPairs   arena.Key // []radix.KV: radix (key, index) pairs
+	rxTmp     arena.Key // []radix.KV: radix ping-pong buffer
+	rxPerm    arena.Key // []T: radix gather buffer
+}
+
+var (
+	keysMu     sync.Mutex
+	keysByType = map[any]*typeKeys{}
+)
+
+// keysFor returns the arena key set of element type T, allocating it on
+// first use. The map is keyed by a nil *T — interface identity carries the
+// type without reflection, and boxing a nil pointer does not allocate.
+func keysFor[T any]() *typeKeys {
+	id := any((*T)(nil))
+	keysMu.Lock()
+	defer keysMu.Unlock()
+	ks := keysByType[id]
+	if ks == nil {
+		ks = &typeKeys{
+			local: arena.NewKey(), samples: arena.NewKey(), all: arena.NewKey(),
+			split: arena.NewKey(), send: arena.NewKey(), merge: arena.NewKey(),
+			mergeTree: arena.NewKey(), mergeHead: arena.NewKey(), out: arena.NewKey(),
+			rebSend: arena.NewKey(), rebBounds: arena.NewKey(),
+			hcLocal: arena.NewKey(), hcLow: arena.NewKey(), hcHigh: arena.NewKey(),
+			hcSamples: arena.NewKey(), hcMembers: arena.NewKey(),
+			rxPairs: arena.NewKey(), rxTmp: arena.NewKey(), rxPerm: arena.NewKey(),
+		}
+		keysByType[id] = ks
+	}
+	return ks
+}
+
+// Sort globally sorts the union of all PEs' local data under ord and
+// returns this PE's balanced, contiguous chunk. The result is arena-backed:
+// valid until the next dsort collective with the same element type on this
+// world (see the package ownership notes); data itself is not mutated.
+func Sort[T any](c *comm.Comm, data []T, ord Order[T], opt Options) []T {
 	opt = opt.withDefaults()
 	p := c.P()
+	ks := keysFor[T]()
 	if p == 1 {
-		out := make([]T, len(data))
+		out := arena.Grab[T](c.Scratch(), ks.out, len(data))
 		copy(out, data)
-		localSort(c, out, less)
+		localSort(c, ks, out, ord)
 		return out
 	}
 	total := comm.Allreduce(c, len(data), func(a, b int) int { return a + b })
@@ -89,16 +198,37 @@ func Sort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []
 	}
 	switch alg {
 	case HypercubeQS:
-		return hypercubeQuicksort(c, data, less, opt)
+		return hypercubeQuicksort(c, ks, data, ord, opt)
 	default:
-		return sampleSort(c, data, less, opt)
+		return sampleSort(c, ks, data, ord, opt)
 	}
 }
 
-// localSort sorts in place and charges the modeled n·log n comparison cost.
-func localSort[T any](c *comm.Comm, data []T, less func(a, b T) bool) {
+// sortBuf sorts a local buffer in place without charging modeled time:
+// radix when a key is available, pdqsort otherwise.
+func sortBuf[T any](c *comm.Comm, ks *typeKeys, data []T, ord Order[T]) {
 	n := len(data)
-	sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+	if n < 2 {
+		return
+	}
+	if ord.Key != nil && uint64(n) < 1<<32 {
+		a := c.Scratch()
+		pairs := arena.Grab[radix.KV](a, ks.rxPairs, n)
+		tmp := arena.Grab[radix.KV](a, ks.rxTmp, n)
+		perm := arena.Grab[T](a, ks.rxPerm, n)
+		radix.SortScratch(data, ord.Key, ord.Less, pairs, tmp, perm)
+		return
+	}
+	slices.SortFunc(data, radix.CmpOf(ord.Less))
+}
+
+// localSort is sortBuf plus the modeled n·log n comparison charge — the
+// paper's cost model for the local phase, kept independent of whether the
+// radix or the comparison path ran so modeled clocks do not depend on the
+// presence of a key.
+func localSort[T any](c *comm.Comm, ks *typeKeys, data []T, ord Order[T]) {
+	n := len(data)
+	sortBuf(c, ks, data, ord)
 	if n > 1 {
 		c.ChargeCompute(n * log2ceil(n))
 	}
@@ -116,26 +246,32 @@ func log2ceil(n int) int {
 }
 
 // sampleSort: local sort → sample → gathered splitter selection → bucket
-// partition → all-to-all delivery → p-way merge → rebalance.
-func sampleSort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+// partition → all-to-all delivery → winner-tree p-way merge → rebalance.
+func sampleSort[T any](c *comm.Comm, ks *typeKeys, data []T, ord Order[T], opt Options) []T {
 	p, rank := c.P(), c.Rank()
-	local := make([]T, len(data))
+	a := c.Scratch()
+	less := ord.Less
+	local := arena.Grab[T](a, ks.local, len(data))
 	copy(local, data)
-	localSort(c, local, less)
+	localSort(c, ks, local, ord)
 
-	// Sample uniformly at random from the local data.
+	// Sample uniformly at random from the local data. The samples slot is
+	// deposited to AllgatherConcat, which reads it only in the pre-release
+	// combine — reusable as soon as the call returns.
 	r := rng.New(opt.Seed).Split(uint64(rank))
 	ns := opt.Oversample
-	samples := make([]T, 0, ns)
+	samples := arena.GrabAppend[T](a, ks.samples)
 	for i := 0; i < ns && len(local) > 0; i++ {
 		samples = append(samples, local[r.Intn(len(local))])
 	}
-	all := comm.AllgatherConcat(c, samples)
-	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	arena.Keep(a, ks.samples, samples)
+	all := comm.AllgatherConcatInto(c, arena.GrabAppend[T](a, ks.all), samples)
+	arena.Keep(a, ks.all, all)
+	sortBuf(c, ks, all, ord)
 	c.ChargeCompute(len(all) * log2ceil(len(all)+1))
 
 	// p-1 splitters at the sample quantiles.
-	splitters := make([]T, 0, p-1)
+	splitters := arena.GrabAppend[T](a, ks.split)
 	for i := 1; i < p; i++ {
 		if len(all) == 0 {
 			break
@@ -146,15 +282,17 @@ func sampleSort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Optio
 		}
 		splitters = append(splitters, all[idx])
 	}
+	arena.Keep(a, ks.split, splitters)
 
-	// Partition the sorted local data at the splitters.
-	send := make([][]T, p)
+	// Partition the sorted local data at the splitters. The buckets are
+	// subslices of local; the exchange stages them into its wire frames at
+	// deposit time and local is not re-grabbed before the next Sort.
+	send := arena.Grab[[]T](a, ks.send, p)
 	lo := 0
 	for b := 0; b < p; b++ {
 		hi := len(local)
 		if b < len(splitters) {
-			s := splitters[b]
-			hi = lo + sort.Search(len(local)-lo, func(i int) bool { return !less(local[lo+i], s) })
+			hi = lo + lowerBound(local[lo:], splitters[b], less)
 		}
 		send[b] = local[lo:hi]
 		lo = hi
@@ -162,71 +300,126 @@ func sampleSort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Optio
 	c.ChargeCompute(len(local))
 
 	recv := alltoall.Exchange(c, opt.A2A, send)
-	merged := kwayMerge(recv, less)
+	merged := kwayMerge(c, ks, recv, less)
 	c.ChargeCompute(len(merged) * log2ceil(p+1))
 	return Rebalance(c, merged)
 }
 
-// kwayMerge merges already-sorted runs; the runs are in splitter order so a
-// simple sequential merge over the run heads suffices (p is moderate).
-func kwayMerge[T any](runs [][]T, less func(a, b T) bool) []T {
+// kwayMerge merges the already-sorted received runs with a winner tree:
+// O(log p) comparisons per element. Ties across runs go to the
+// lowest run index — the same winner the former O(p) head scan picked — so
+// the output sequence is unchanged for any input.
+func kwayMerge[T any](c *comm.Comm, ks *typeKeys, runs [][]T, less func(a, b T) bool) []T {
+	a := c.Scratch()
 	total := 0
 	for _, r := range runs {
 		total += len(r)
 	}
-	out := make([]T, 0, total)
-	heads := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		for i, r := range runs {
-			if heads[i] >= len(r) {
-				continue
-			}
-			if best < 0 || less(r[heads[i]], runs[best][heads[best]]) {
-				best = i
-			}
+	out := arena.Grab[T](a, ks.merge, total)
+	if total == 0 {
+		return out
+	}
+	k := len(runs)
+	K := 1
+	for K < k {
+		K <<= 1
+	}
+	heads := arena.Grab[int32](a, ks.mergeHead, k)
+	for i := range heads {
+		heads[i] = 0
+	}
+	// tree[1] is the overall winner; tree[K+i] the leaf of run i (-1 for
+	// padding leaves and exhausted runs).
+	tree := arena.Grab[int32](a, ks.mergeTree, 2*K)
+	winner := func(x, y int32) int32 {
+		if x < 0 {
+			return y
 		}
-		out = append(out, runs[best][heads[best]])
-		heads[best]++
+		if y < 0 {
+			return x
+		}
+		if less(runs[y][heads[y]], runs[x][heads[x]]) {
+			return y
+		}
+		return x
+	}
+	for i := 0; i < K; i++ {
+		if i < k && len(runs[i]) > 0 {
+			tree[K+i] = int32(i)
+		} else {
+			tree[K+i] = -1
+		}
+	}
+	for i := K - 1; i >= 1; i-- {
+		tree[i] = winner(tree[2*i], tree[2*i+1])
+	}
+	for pos := 0; pos < total; pos++ {
+		w := tree[1]
+		out[pos] = runs[w][heads[w]]
+		heads[w]++
+		if int(heads[w]) == len(runs[w]) {
+			tree[K+int(w)] = -1
+		}
+		for i := (K + int(w)) / 2; i >= 1; i /= 2 {
+			tree[i] = winner(tree[2*i], tree[2*i+1])
+		}
 	}
 	return out
 }
+
+// hqsLoadProbe, when non-nil, observes the hypercube recursion's load after
+// every level's pair exchange as (rank, level, localLen). Tests use it to
+// assert that duplicate-heavy inputs stay balanced mid-recursion.
+var hqsLoadProbe func(rank, level, n int)
 
 // hypercubeQuicksort recursively halves the hypercube: in every dimension
 // the group agrees on a pivot from gathered samples, partners exchange the
 // halves that belong on the other side, and the recursion descends into the
 // subcube. Terminates with a local sort and a global rebalance.
-func hypercubeQuicksort[T any](c *comm.Comm, data []T, less func(a, b T) bool, opt Options) []T {
+//
+// Keys equal to the pivot alternate sides, first tie high: under a total
+// order at most one element in the world compares equal to the pivot, so
+// the exchange is byte-for-byte what the former all-ties-high partition
+// produced — but under duplicate-heavy weak orders (all-equal keys are
+// legal) each PE now splits its tie class evenly instead of collapsing the
+// whole input onto the high subcube.
+func hypercubeQuicksort[T any](c *comm.Comm, ks *typeKeys, data []T, ord Order[T], opt Options) []T {
 	p, rank := c.P(), c.Rank()
-	local := make([]T, len(data))
+	a := c.Scratch()
+	less := ord.Less
+	local := arena.Grab[T](a, ks.hcLocal, len(data))
 	copy(local, data)
 	r := rng.New(opt.Seed ^ 0x9E37).Split(uint64(rank))
 
 	groupSize := p
 	base := 0 // first rank of my current subcube
+	level := 0
 	for groupSize > 1 {
 		half := groupSize / 2
-		members := make([]int, groupSize)
+		members := arena.Grab[int](a, ks.hcMembers, groupSize)
 		for i := range members {
 			members[i] = base + i
 		}
 		// Pivot: median of a few samples per group member. The sample set
 		// is a reference-typed GroupAllreduce deposit: its Items array is
-		// freshly built here and never mutated afterwards, which is the
+		// written only here and next re-grabbed after the level's pair
+		// exchange — one collective later — which satisfies the
 		// immutable-until-next-collective contract comm places on deposited
 		// values containing references.
 		type sampleSet struct{ Items []T }
-		mySamples := sampleSet{}
+		items := arena.GrabAppend[T](a, ks.hcSamples)
 		for i := 0; i < 3 && len(local) > 0; i++ {
-			mySamples.Items = append(mySamples.Items, local[r.Intn(len(local))])
+			items = append(items, local[r.Intn(len(local))])
 		}
+		arena.Keep(a, ks.hcSamples, items)
+		mySamples := sampleSet{Items: items}
 		gathered := comm.GroupAllreduce(c, members, mySamples, func(a, b sampleSet) sampleSet {
 			merged := make([]T, 0, len(a.Items)+len(b.Items))
 			merged = append(merged, a.Items...)
 			merged = append(merged, b.Items...)
 			return sampleSet{Items: merged}
 		})
-		sort.Slice(gathered.Items, func(i, j int) bool { return less(gathered.Items[i], gathered.Items[j]) })
+		slices.SortFunc(gathered.Items, radix.CmpOf(less))
 
 		inLow := rank < base+half
 		partner := rank + half
@@ -238,16 +431,27 @@ func hypercubeQuicksort[T any](c *comm.Comm, data []T, less func(a, b T) bool, o
 			comm.PairExchange(c, partner, []T(nil))
 		} else {
 			pivot := gathered.Items[len(gathered.Items)/2]
-			// local is unsorted between rounds: partition by scan.
-			lowPart := make([]T, 0, len(local)/2)
-			highPart := make([]T, 0, len(local)/2)
+			// local is unsorted between rounds: partition by scan,
+			// alternating pivot-equal keys (first tie high).
+			lowPart := arena.GrabAppend[T](a, ks.hcLow)
+			highPart := arena.GrabAppend[T](a, ks.hcHigh)
+			tieHigh := true
 			for _, x := range local {
-				if less(x, pivot) {
+				switch {
+				case less(x, pivot):
 					lowPart = append(lowPart, x)
-				} else {
+				case less(pivot, x):
 					highPart = append(highPart, x)
+				case tieHigh:
+					highPart = append(highPart, x)
+					tieHigh = false
+				default:
+					lowPart = append(lowPart, x)
+					tieHigh = true
 				}
 			}
+			arena.Keep(a, ks.hcLow, lowPart)
+			arena.Keep(a, ks.hcHigh, highPart)
 			c.ChargeCompute(len(local))
 			var keep, give []T
 			if inLow {
@@ -255,22 +459,57 @@ func hypercubeQuicksort[T any](c *comm.Comm, data []T, less func(a, b T) bool, o
 			} else {
 				keep, give = highPart, lowPart
 			}
+			// give is staged into the wire at deposit time; got is an owned
+			// copy, so the partition slots are free again after this call.
 			got := comm.PairExchange(c, partner, give)
-			local = append(keep, got...)
+			local = arena.Grab[T](a, ks.hcLocal, len(keep)+len(got))
+			copy(local, keep)
+			copy(local[len(keep):], got)
+		}
+		if hqsLoadProbe != nil {
+			hqsLoadProbe(rank, level, len(local))
 		}
 		if !inLow {
 			base += half
 		}
 		groupSize = half
+		level++
 	}
-	localSort(c, local, less)
+	localSort(c, ks, local, ord)
 	return Rebalance(c, local)
+}
+
+// lowerBound returns the first index in s whose element is not below x —
+// the splitter boundary binary search.
+func lowerBound[T any](s []T, x T, less func(a, b T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(s[mid], x) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// rebalanceBound returns floor(j·total/p) — the first global position owned
+// by PE j — via 128-bit intermediate arithmetic, so the boundaries stay
+// exact even when total·p would overflow int64 (the former (g*p)/total
+// formulation silently wrapped for total·p ≥ 2⁶³).
+func rebalanceBound(j, total, p int) int {
+	hi, lo := bits.Mul64(uint64(j), uint64(total))
+	q, _ := bits.Div64(hi, lo, uint64(p))
+	return int(q)
 }
 
 // Rebalance redistributes globally ordered data (PE i's chunk entirely
 // before PE i+1's) so every PE ends with ⌈total/p⌉ or ⌊total/p⌋ elements,
 // preserving the global order. It is also the final step of REDISTRIBUTE
-// (§IV-C).
+// (§IV-C). The result is arena-backed under the same lifetime contract as
+// Sort; data may alias a previous dsort result (the send frames are staged
+// into the wire before the output slot is re-grabbed).
 func Rebalance[T any](c *comm.Comm, data []T) []T {
 	p := c.P()
 	if p == 1 {
@@ -282,16 +521,22 @@ func Rebalance[T any](c *comm.Comm, data []T) []T {
 	if total == 0 {
 		return nil
 	}
-	// Target boundaries: PE j owns global positions [j*total/p, (j+1)*total/p).
-	send := make([][]T, p)
+	a := c.Scratch()
+	ks := keysFor[T]()
+	// Per-PE cumulative targets, computed once: PE j owns global positions
+	// [bounds[j], bounds[j+1]).
+	bounds := arena.Grab[int](a, ks.rebBounds, p+1)
+	for j := 0; j <= p; j++ {
+		bounds[j] = rebalanceBound(j, total, p)
+	}
+	send := arena.GrabZeroed[[]T](a, ks.rebSend, p)
+	j := 0
 	for i := 0; i < myCount; {
 		g := before + i // global position of data[i]
-		j := min((g*p)/total, p-1)
-		// advance j until g falls in j's window (integer-division care)
-		for g >= (j+1)*total/p {
+		for g >= bounds[j+1] {
 			j++
 		}
-		hi := (j+1)*total/p - before
+		hi := bounds[j+1] - before
 		if hi > myCount {
 			hi = myCount
 		}
@@ -299,9 +544,16 @@ func Rebalance[T any](c *comm.Comm, data []T) []T {
 		i = hi
 	}
 	recv := comm.Alltoall(c, send)
-	out := make([]T, 0, total/p+1)
-	for i := 0; i < p; i++ {
-		out = append(out, recv[i]...)
+	n := 0
+	for i := range recv {
+		n += len(recv[i])
+	}
+	// Grabbed only after the exchange staged the send frames: data may
+	// alias this very slot (e.g. Rebalance of a deduplicated Sort result).
+	out := arena.Grab[T](a, ks.out, n)
+	pos := 0
+	for i := range recv {
+		pos += copy(out[pos:], recv[i])
 	}
 	return out
 }

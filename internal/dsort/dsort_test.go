@@ -25,8 +25,16 @@ func makeLocal(p, rank, per int, seed uint64) []int {
 	return out
 }
 
+// intKey is the full-order radix key for the non-negative test ints.
+func intKey(v int) uint64 { return uint64(v) }
+
 // runSort executes Sort on a p-PE world and returns the per-rank outputs.
+// It runs the keyed (radix) path; runSortOrd selects the order explicitly.
 func runSort(t *testing.T, p, per int, opt Options) ([][]int, []int) {
+	return runSortOrd(t, p, per, opt, ByKey(intLess, intKey))
+}
+
+func runSortOrd(t *testing.T, p, per int, opt Options, ord Order[int]) ([][]int, []int) {
 	t.Helper()
 	w := comm.NewWorld(p)
 	outs := make([][]int, p)
@@ -37,7 +45,7 @@ func runSort(t *testing.T, p, per int, opt Options) ([][]int, []int) {
 	sort.Ints(want)
 	w.Run(func(c *comm.Comm) {
 		local := makeLocal(p, c.Rank(), per, 5)
-		outs[c.Rank()] = Sort(c, local, intLess, opt)
+		outs[c.Rank()] = Sort(c, local, ord, opt)
 		if !IsGloballySorted(c, outs[c.Rank()], intLess) {
 			t.Errorf("p=%d: IsGloballySorted=false after Sort", p)
 		}
@@ -82,6 +90,23 @@ func TestHypercubeQuicksort(t *testing.T) {
 	}
 }
 
+// TestComparatorOnlyOrder runs both sorters through the keyless fallback
+// path; results must match the keyed runs bit for bit.
+func TestComparatorOnlyOrder(t *testing.T) {
+	for _, alg := range []Algorithm{SampleSort, HypercubeQS} {
+		outs, want := runSortOrd(t, 8, 300, Options{Alg: alg}, ByLess(intLess))
+		checkSorted(t, 8, outs, want)
+		keyed, _ := runSort(t, 8, 300, Options{Alg: alg})
+		for r := range outs {
+			for i := range outs[r] {
+				if outs[r][i] != keyed[r][i] {
+					t.Fatalf("alg %d rank %d pos %d: keyed %d != keyless %d", alg, r, i, keyed[r][i], outs[r][i])
+				}
+			}
+		}
+	}
+}
+
 func TestHypercubeFallsBackOnOddWorld(t *testing.T) {
 	outs, want := runSort(t, 6, 50, Options{Alg: HypercubeQS})
 	checkSorted(t, 6, outs, want)
@@ -103,7 +128,7 @@ func TestSortWithGridAlltoall(t *testing.T) {
 func TestSortEmptyInput(t *testing.T) {
 	w := comm.NewWorld(4)
 	w.Run(func(c *comm.Comm) {
-		out := Sort(c, nil, intLess, Options{})
+		out := Sort(c, nil, ByKey(intLess, intKey), Options{})
 		if len(out) != 0 {
 			t.Errorf("rank %d: sorted empty input to %d elements", c.Rank(), len(out))
 		}
@@ -117,7 +142,7 @@ func TestSortSingleElementTotal(t *testing.T) {
 		if c.Rank() == 2 {
 			local = []int{42}
 		}
-		out := Sort(c, local, intLess, Options{})
+		out := Sort(c, local, ByLess(intLess), Options{})
 		n := comm.Allreduce(c, len(out), func(a, b int) int { return a + b })
 		if n != 1 {
 			t.Errorf("total elements %d want 1", n)
@@ -132,7 +157,7 @@ func TestSortAllEqualKeys(t *testing.T) {
 		for i := range local {
 			local[i] = 7
 		}
-		out := Sort(c, local, intLess, Options{Alg: SampleSort})
+		out := Sort(c, local, ByKey(intLess, intKey), Options{Alg: SampleSort})
 		total := comm.Allreduce(c, len(out), func(a, b int) int { return a + b })
 		if total != 800 {
 			t.Errorf("lost elements: total %d want 800", total)
@@ -154,7 +179,7 @@ func TestSortAlreadySorted(t *testing.T) {
 		for i := range local {
 			local[i] = c.Rank()*100 + i
 		}
-		outs[c.Rank()] = Sort(c, local, intLess, Options{Alg: SampleSort})
+		outs[c.Rank()] = Sort(c, local, ByKey(intLess, intKey), Options{Alg: SampleSort})
 	})
 	k := 0
 	for _, o := range outs {
@@ -176,7 +201,7 @@ func TestSortReverseSorted(t *testing.T) {
 		for i := range local {
 			local[i] = 10000 - (c.Rank()*100 + i)
 		}
-		outs[c.Rank()] = Sort(c, local, intLess, Options{Alg: SampleSort})
+		outs[c.Rank()] = Sort(c, local, ByKey(intLess, intKey), Options{Alg: SampleSort})
 	})
 	var got []int
 	for _, o := range outs {
@@ -200,12 +225,12 @@ func TestSortStructsByCustomOrder(t *testing.T) {
 		for i := range local {
 			local[i] = kv{K: r.Intn(100), V: c.Rank()}
 		}
-		outs[c.Rank()] = Sort(c, local, func(a, b kv) bool {
+		outs[c.Rank()] = Sort(c, local, ByLess(func(a, b kv) bool {
 			if a.K != b.K {
 				return a.K < b.K
 			}
 			return a.V < b.V
-		}, Options{Alg: SampleSort})
+		}), Options{Alg: SampleSort})
 	})
 	prev := kv{-1, -1}
 	for _, o := range outs {
@@ -300,7 +325,7 @@ func BenchmarkSampleSort8x10k(b *testing.B) {
 	w.Run(func(c *comm.Comm) {
 		local := makeLocal(8, c.Rank(), 10000, 1)
 		for i := 0; i < b.N; i++ {
-			Sort(c, local, intLess, Options{Alg: SampleSort})
+			Sort(c, local, ByKey(intLess, intKey), Options{Alg: SampleSort})
 		}
 	})
 }
@@ -310,7 +335,7 @@ func BenchmarkHypercube8x500(b *testing.B) {
 	w.Run(func(c *comm.Comm) {
 		local := makeLocal(8, c.Rank(), 500, 1)
 		for i := 0; i < b.N; i++ {
-			Sort(c, local, intLess, Options{Alg: HypercubeQS})
+			Sort(c, local, ByKey(intLess, intKey), Options{Alg: HypercubeQS})
 		}
 	})
 }

@@ -141,7 +141,7 @@ func Finish(c *comm.Comm, raw []graph.Edge, sortOpt dsort.Options) ([]graph.Edge
 			kept = append(kept, e)
 		}
 	}
-	sorted := dsort.Sort(c, kept, graph.LessLex, sortOpt)
+	sorted := dsort.Sort(c, kept, dsort.ByKey(graph.LessLex, graph.KeyLex), sortOpt)
 
 	// Remove duplicates: runs of equal (U,V) are consecutive after the
 	// lexicographic sort and the lightest copy leads each run.
@@ -185,7 +185,12 @@ func Finish(c *comm.Comm, raw []graph.Edge, sortOpt dsort.Options) ([]graph.Edge
 	for i := range dedup {
 		dedup[i].ID = uint64(offset + i)
 	}
-	balanced := dsort.Rebalance(c, dedup)
+	rebalanced := dsort.Rebalance(c, dedup)
+	// The result outlives every later dsort call of the job (the rounds
+	// re-sort the working set repeatedly), so it must own its memory —
+	// dsort results are arena-backed and valid only until the next sort.
+	balanced := make([]graph.Edge, len(rebalanced))
+	copy(balanced, rebalanced)
 	layout := graph.BuildLayout(c, balanced)
 	return balanced, layout
 }

@@ -105,6 +105,25 @@ func LessWeight(a, b Edge) bool {
 	return a.ID < b.ID
 }
 
+// KeyLex packs the current endpoints (U, V) into one uint64 radix key that
+// is order-consistent with LessLex: KeyLex(a) < KeyLex(b) implies
+// LessLex(a, b), and edges with equal keys (same U and V — parallel copies)
+// are finished by the comparator on (W, TB, ID). Relies on the same
+// invariant as the TB packing: every vertex label — original or component
+// root, which is always itself an original label — is below 2^32, enforced
+// at edge creation by MakeTB.
+func KeyLex(e Edge) uint64 {
+	return e.U<<32 | e.V
+}
+
+// KeyWeight packs (W, high half of TB) into one uint64 radix key that is
+// order-consistent with LessWeight: the order continues inside TB's low
+// half, so equal keys (same weight, same canonical min endpoint) are
+// finished by the comparator.
+func KeyWeight(e Edge) uint64 {
+	return uint64(e.W)<<32 | e.TB>>32
+}
+
 // CmpLex adapts LessLex to the slices.SortFunc contract (a total order, so
 // distinct edges never compare equal).
 func CmpLex(a, b Edge) int {

@@ -1,0 +1,152 @@
+// Package radix provides the serial LSD radix sort behind the distributed
+// sorter's local phases (and the sequential ground-truth algorithms): data
+// is ordered by a uint64 key extracted once per element, with any remaining
+// equal-key runs finished by a comparator.
+//
+// The key contract is order consistency, not completeness: Key(a) < Key(b)
+// must imply less(a, b). Elements whose keys collide are left to less, so a
+// key may encode only a prefix of the order (e.g. graph.KeyLex packs the
+// (U, V) endpoints and leaves (W, TB, ID) to the comparator). The sort is
+// performed on (key, index) pairs — 16 bytes moved per pass instead of the
+// full element — followed by one gather permutation of the elements, and
+// counting passes whose byte is constant across all keys are skipped
+// entirely, so narrow key distributions (a 14-bit vertex range, a 8-bit
+// weight) pay only for the bytes that vary.
+package radix
+
+import "slices"
+
+// KV is one sort item: the element's extracted key and its original index.
+// Exported so callers can provide recycled scratch to SortScratch.
+type KV struct {
+	K uint64
+	I uint32
+}
+
+// insertionMax is the equal-key run length up to which the comparator
+// finish uses insertion sort (no allocation); longer runs fall back to
+// slices.SortFunc.
+const insertionMax = 32
+
+// Sort sorts data by key (ties finished with less), allocating its own
+// scratch. For hot paths with recycled buffers use SortScratch.
+func Sort[T any](data []T, key func(T) uint64, less func(a, b T) bool) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	if uint64(n) >= 1<<32 { // indices are uint32
+		slices.SortFunc(data, CmpOf(less))
+		return
+	}
+	SortScratch(data, key, less, make([]KV, n), make([]KV, n), make([]T, n))
+}
+
+// SortScratch sorts data by key (ties finished with less) using the caller's
+// scratch buffers; pairs, tmp and perm must each have length len(data),
+// which must be below 2^32. The scratch contents are overwritten.
+func SortScratch[T any](data []T, key func(T) uint64, less func(a, b T) bool, pairs, tmp []KV, perm []T) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	if len(pairs) != n || len(tmp) != n || len(perm) != n {
+		panic("radix: scratch length mismatch")
+	}
+	// Extract keys, folding in an already-sorted check (the pattern pdqsort
+	// detects; common for re-sorts of nearly-static data).
+	k0 := key(data[0])
+	pairs[0] = KV{K: k0}
+	orAll, andAll := k0, k0
+	prevK := k0
+	sorted := true
+	for i := 1; i < n; i++ {
+		k := key(data[i])
+		pairs[i] = KV{K: k, I: uint32(i)}
+		orAll |= k
+		andAll &= k
+		if sorted && (k < prevK || (k == prevK && less(data[i], data[i-1]))) {
+			sorted = false
+		}
+		prevK = k
+	}
+	if sorted {
+		return
+	}
+	if orAll == andAll {
+		// Every key equal: the radix passes are no-ops; hand the whole
+		// slice to the comparator.
+		finishRun(data, less)
+		return
+	}
+	// LSD counting passes over the bytes that vary. Each pass is stable, so
+	// equal keys keep their original relative order throughout.
+	src, dst := pairs, tmp
+	varying := orAll ^ andAll
+	for shift := 0; shift < 64; shift += 8 {
+		if (varying>>shift)&0xFF == 0 {
+			continue
+		}
+		var cnt [256]int
+		for _, p := range src {
+			cnt[(p.K>>shift)&0xFF]++
+		}
+		pos := 0
+		for b := 0; b < 256; b++ {
+			c := cnt[b]
+			cnt[b] = pos
+			pos += c
+		}
+		for _, p := range src {
+			b := (p.K >> shift) & 0xFF
+			dst[cnt[b]] = p
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	// Gather the elements into key order, then finish equal-key runs with
+	// the comparator (stability left them in original order, not sorted
+	// order).
+	for j, p := range src {
+		perm[j] = data[p.I]
+	}
+	copy(data, perm)
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && src[hi].K == src[lo].K {
+			hi++
+		}
+		if hi-lo > 1 {
+			finishRun(data[lo:hi], less)
+		}
+		lo = hi
+	}
+}
+
+// finishRun comparator-sorts one equal-key run: insertion sort for short
+// runs, pdqsort beyond insertionMax.
+func finishRun[T any](run []T, less func(a, b T) bool) {
+	if len(run) <= insertionMax {
+		for i := 1; i < len(run); i++ {
+			for j := i; j > 0 && less(run[j], run[j-1]); j-- {
+				run[j], run[j-1] = run[j-1], run[j]
+			}
+		}
+		return
+	}
+	slices.SortFunc(run, CmpOf(less))
+}
+
+// CmpOf adapts a strict order to the slices.SortFunc contract — the shared
+// comparator bridge for every keyless fallback path.
+func CmpOf[T any](less func(a, b T) bool) func(a, b T) int {
+	return func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,134 @@
+package radix
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func intKey(v int) uint64   { return uint64(v) }
+func intLess(a, b int) bool { return a < b }
+func checkInts(t *testing.T, got, want []int) {
+	t.Helper()
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 4096} {
+		data := make([]int, n)
+		for i := range data {
+			data[i] = r.Intn(1 << 20)
+		}
+		want := slices.Clone(data)
+		sort.Ints(want)
+		Sort(data, intKey, intLess)
+		checkInts(t, data, want)
+	}
+}
+
+func TestSortAllEqualKeys(t *testing.T) {
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = 7
+	}
+	Sort(data, intKey, intLess)
+	for _, v := range data {
+		if v != 7 {
+			t.Fatalf("corrupted: %d", v)
+		}
+	}
+}
+
+// TestPrefixKeyFinishedByComparator exercises the order-consistency
+// contract: the key encodes only the high field, the comparator breaks the
+// rest.
+func TestPrefixKeyFinishedByComparator(t *testing.T) {
+	type kv struct{ Hi, Lo int }
+	r := rand.New(rand.NewSource(2))
+	data := make([]kv, 3000)
+	for i := range data {
+		data[i] = kv{Hi: r.Intn(8), Lo: r.Intn(1 << 16)} // long equal-key runs
+	}
+	less := func(a, b kv) bool {
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	}
+	want := slices.Clone(data)
+	slices.SortFunc(want, CmpOf(less))
+	Sort(data, func(x kv) uint64 { return uint64(x.Hi) }, less)
+	if !slices.Equal(data, want) {
+		t.Fatal("prefix-key sort differs from comparator sort")
+	}
+}
+
+func TestSortFullWidthKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := make([]uint64, 5000)
+	for i := range data {
+		data[i] = r.Uint64() // all 8 bytes vary
+	}
+	want := slices.Clone(data)
+	slices.Sort(want)
+	Sort(data, func(v uint64) uint64 { return v }, func(a, b uint64) bool { return a < b })
+	if !slices.Equal(data, want) {
+		t.Fatal("full-width key sort differs")
+	}
+}
+
+func TestSortScratchReuse(t *testing.T) {
+	pairs := make([]KV, 100)
+	tmp := make([]KV, 100)
+	perm := make([]int, 100)
+	r := rand.New(rand.NewSource(4))
+	for round := 0; round < 5; round++ {
+		data := make([]int, 100)
+		for i := range data {
+			data[i] = r.Intn(1000)
+		}
+		want := slices.Clone(data)
+		sort.Ints(want)
+		SortScratch(data, intKey, intLess, pairs, tmp, perm)
+		checkInts(t, data, want)
+	}
+}
+
+func TestSortScratchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on scratch length mismatch")
+		}
+	}()
+	SortScratch([]int{3, 1, 2}, intKey, intLess, make([]KV, 2), make([]KV, 3), make([]int, 3))
+}
+
+func TestSortStableWithinEqualKeysBeforeFinish(t *testing.T) {
+	// A comparator that declares ties (weak order): equal-key elements must
+	// come out in SOME deterministic order and the multiset must survive.
+	type rec struct{ K, Tag int }
+	data := make([]rec, 200)
+	for i := range data {
+		data[i] = rec{K: i % 3, Tag: i}
+	}
+	Sort(data, func(x rec) uint64 { return uint64(x.K) }, func(a, b rec) bool { return a.K < b.K })
+	seen := map[int]bool{}
+	for i := 1; i < len(data); i++ {
+		if data[i].K < data[i-1].K {
+			t.Fatal("keys out of order")
+		}
+	}
+	for _, x := range data {
+		if seen[x.Tag] {
+			t.Fatal("element duplicated")
+		}
+		seen[x.Tag] = true
+	}
+	if len(seen) != 200 {
+		t.Fatal("element lost")
+	}
+}

@@ -12,9 +12,10 @@ package seqmst
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 
 	"kamsta/internal/graph"
+	"kamsta/internal/radix"
 	"kamsta/internal/unionfind"
 )
 
@@ -29,11 +30,14 @@ type Result struct {
 
 // sortCanonical puts MSF edges into a deterministic order for comparison.
 func sortCanonical(edges []graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].TB != edges[j].TB {
-			return edges[i].TB < edges[j].TB
+	slices.SortFunc(edges, func(a, b graph.Edge) int {
+		if a.TB != b.TB {
+			if a.TB < b.TB {
+				return -1
+			}
+			return 1
 		}
-		return graph.LessWeight(edges[i], edges[j])
+		return graph.CmpWeight(a, b)
 	})
 }
 
@@ -85,7 +89,7 @@ func UndirectedFromDirected(directed []graph.Edge) []graph.Edge {
 func Kruskal(n int, edges []graph.Edge) Result {
 	sorted := make([]graph.Edge, len(edges))
 	copy(sorted, edges)
-	sort.Slice(sorted, func(i, j int) bool { return graph.LessWeight(sorted[i], sorted[j]) })
+	radix.Sort(sorted, graph.KeyWeight, graph.LessWeight)
 	uf := unionfind.New(n + 1)
 	var picked []graph.Edge
 	for _, e := range sorted {
@@ -135,7 +139,7 @@ func filterKruskalRec(edges []graph.Edge, uf *unionfind.UF, picked *[]graph.Edge
 }
 
 func kruskalInto(edges []graph.Edge, uf *unionfind.UF, picked *[]graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool { return graph.LessWeight(edges[i], edges[j]) })
+	slices.SortFunc(edges, graph.CmpWeight)
 	for _, e := range edges {
 		if e.U == e.V {
 			continue

@@ -36,7 +36,7 @@ package kamsta
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"time"
 
 	"kamsta/internal/baselines"
@@ -44,6 +44,7 @@ import (
 	"kamsta/internal/core"
 	"kamsta/internal/gen"
 	"kamsta/internal/graph"
+	"kamsta/internal/radix"
 	"kamsta/internal/seqmst"
 )
 
@@ -109,7 +110,7 @@ func canonicalEdgeLess(a, b InputEdge) bool {
 
 // sortMSTEdges puts a Report's forest into the canonical order.
 func sortMSTEdges(es []InputEdge) {
-	sort.Slice(es, func(i, j int) bool { return canonicalEdgeLess(es[i], es[j]) })
+	slices.SortFunc(es, radix.CmpOf(canonicalEdgeLess))
 }
 
 // Config controls a one-shot computation (the ComputeMSF* helpers). It
