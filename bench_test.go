@@ -277,7 +277,10 @@ func BenchmarkMachineRepeatedSmallInstances(b *testing.B) {
 	src := kamsta.FromEdges(edges)
 	for _, p := range []int{8, 32} {
 		b.Run(fmt.Sprintf("reused-machine/p=%d", p), func(b *testing.B) {
-			m := kamsta.NewMachine(kamsta.MachineConfig{PEs: p})
+			m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: p})
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer m.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

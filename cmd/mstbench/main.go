@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"kamsta"
 	"kamsta/internal/bench"
@@ -61,28 +65,46 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT cancels ctx: the in-flight job unwinds at its next collective
+	// boundary, the sweep stops, and the command exits with a one-line
+	// message instead of a panic trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *input != "" {
-		if err := bench.RunFile(os.Stdout, *input, *informat, algs, scale); err != nil {
-			fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
-			os.Exit(1)
+		if err := bench.RunFile(ctx, os.Stdout, *input, *informat, algs, scale); err != nil {
+			fail(err)
 		}
 		return
 	}
-	runners := bench.Experiments()
 	if *experiment == "all" {
 		for _, name := range bench.ExperimentNames() {
-			runners[name](os.Stdout, scale)
+			if err := bench.RunExperiment(ctx, name, os.Stdout, scale); err != nil {
+				fail(err)
+			}
 			fmt.Println()
 		}
 		return
 	}
-	run, ok := runners[*experiment]
-	if !ok {
+	if _, ok := bench.Experiments()[*experiment]; !ok {
 		fmt.Fprintf(os.Stderr, "mstbench: unknown experiment %q (have %s)\n",
 			*experiment, strings.Join(bench.ExperimentNames(), ", "))
 		os.Exit(2)
 	}
-	run(os.Stdout, scale)
+	if err := bench.RunExperiment(ctx, *experiment, os.Stdout, scale); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints one line and exits non-zero; an interrupt gets its own
+// message so ^C doesn't read like a harness failure.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mstbench: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
+	os.Exit(1)
 }
 
 // parseAlgs resolves the -alg list before any world is started; unknown

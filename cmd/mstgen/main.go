@@ -16,11 +16,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
@@ -52,6 +56,9 @@ func main() {
 	format := flag.String("format", "auto", "output format: kamsta, edgelist, gr, metis, auto (by -o extension)")
 	flag.Parse()
 
+	if *pes < 1 || *pes > 1<<12 {
+		fail("bad -p %d: need between 1 and %d PEs", *pes, 1<<12)
+	}
 	var spec gen.Spec
 	if *realworld != "" {
 		var err error
@@ -71,12 +78,24 @@ func main() {
 		fail("%v", err)
 	}
 
+	// SIGINT cancels generation at the next collective boundary: the world
+	// unwinds cleanly and the command exits without a panic trace.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	chunks := make([][]graph.Edge, *pes)
 	w := comm.NewWorld(*pes)
-	w.Run(func(c *comm.Comm) {
+	err = w.RunJob(ctx, nil, func(c *comm.Comm) {
 		edges, _ := gen.Build(c, spec, dsort.Options{})
 		chunks[c.Rank()] = edges
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mstgen: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
+		fail("generating: %v", err)
+	}
 	var all []graph.Edge
 	for _, ch := range chunks {
 		all = append(all, ch...)

@@ -13,11 +13,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"kamsta"
 )
@@ -44,13 +47,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mstverify: bad -alg: %v\n", err)
 		os.Exit(2)
 	}
-	v := newVerifier(peList, *threads)
+	// SIGINT cancels the shared ctx: the in-flight job unwinds at its next
+	// collective boundary and the sweep stops with a one-line message.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	v, err := newVerifier(ctx, peList, *threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
+		os.Exit(2)
+	}
 	defer v.Close()
 	if *input != "" {
 		v.runFile(*input, *format, algs)
 		return
 	}
 	v.run(*n, *m, *seeds, algs)
+}
+
+// checkInterrupt turns a context-cancellation error into a clean exit; any
+// other error is left for the caller's FAIL accounting.
+func checkInterrupt(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mstverify: interrupted")
+		os.Exit(130)
+	}
 }
 
 // parseAlgs resolves the -alg list before any world is started; unknown
@@ -75,18 +96,24 @@ func parseAlgs(s string) ([]kamsta.Algorithm, error) {
 // verifier holds one persistent Machine per PE count, reused for every
 // (family, seed, algorithm) data point of the sweep.
 type verifier struct {
+	ctx      context.Context
 	peList   []int
 	machines map[int]*kamsta.Machine
 }
 
-func newVerifier(peList []int, threads int) *verifier {
-	v := &verifier{peList: peList, machines: make(map[int]*kamsta.Machine)}
+func newVerifier(ctx context.Context, peList []int, threads int) (*verifier, error) {
+	v := &verifier{ctx: ctx, peList: peList, machines: make(map[int]*kamsta.Machine)}
 	for _, p := range peList {
 		if v.machines[p] == nil {
-			v.machines[p] = kamsta.NewMachine(kamsta.MachineConfig{PEs: p, Threads: threads})
+			m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: p, Threads: threads})
+			if err != nil {
+				v.Close()
+				return nil, err
+			}
+			v.machines[p] = m
 		}
 	}
-	return v
+	return v, nil
 }
 
 func (v *verifier) Close() {
@@ -97,7 +124,7 @@ func (v *verifier) Close() {
 
 // oracle computes the sequential Kruskal reference on the first machine.
 func (v *verifier) oracle(src kamsta.Source) (*kamsta.Report, error) {
-	return v.machines[v.peList[0]].Compute(context.Background(), src,
+	return v.machines[v.peList[0]].Compute(v.ctx, src,
 		kamsta.WithAlgorithm(kamsta.AlgKruskal))
 }
 
@@ -107,6 +134,7 @@ func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
 	src := kamsta.FromFileFormat(path, format)
 	want, err := v.oracle(src)
 	if err != nil {
+		checkInterrupt(err)
 		fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", path, err)
 		os.Exit(1)
 	}
@@ -115,9 +143,10 @@ func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
 	failures, checks := 0, 0
 	for _, alg := range algs {
 		for _, p := range v.peList {
-			got, err := v.machines[p].Compute(context.Background(), src, kamsta.WithAlgorithm(alg))
+			got, err := v.machines[p].Compute(v.ctx, src, kamsta.WithAlgorithm(alg))
 			checks++
 			if err != nil {
+				checkInterrupt(err)
 				fmt.Printf("FAIL %-14s p=%-3d: %v\n", alg, p, err)
 				failures++
 				continue
@@ -156,15 +185,17 @@ func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) {
 			spec := fam.spec(seed)
 			want, err := v.oracle(kamsta.FromSpec(spec))
 			if err != nil {
+				checkInterrupt(err)
 				fmt.Fprintf(os.Stderr, "mstverify: oracle failed on %s: %v\n", fam.name, err)
 				os.Exit(1)
 			}
 			for _, alg := range algs {
 				for _, p := range v.peList {
-					got, err := v.machines[p].Compute(context.Background(), kamsta.FromSpec(spec),
+					got, err := v.machines[p].Compute(v.ctx, kamsta.FromSpec(spec),
 						kamsta.WithAlgorithm(alg))
 					checks++
 					if err != nil {
+						checkInterrupt(err)
 						fmt.Printf("FAIL %-8s %-14s p=%-3d seed=%d: %v\n", fam.name, alg, p, seed, err)
 						failures++
 						continue

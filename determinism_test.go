@@ -29,7 +29,7 @@ func TestModeledClockDeterminism(t *testing.T) {
 		{Family: GNM, N: 1 << 12, M: 1 << 15, Seed: 9},
 	}
 	algs := []Algorithm{AlgBoruvka, AlgFilterBoruvka}
-	m := NewMachine(MachineConfig{PEs: 8})
+	m := newTestMachine(t, MachineConfig{PEs: 8})
 	defer m.Close()
 	for _, spec := range specs {
 		for _, alg := range algs {

@@ -80,7 +80,10 @@ func main() {
 		}
 	}
 
-	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 6})
+	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer m.Close()
 	rep, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
 		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))

@@ -78,7 +78,10 @@ func main() {
 	// A service would hold this Machine for many images; the deadline
 	// shows the cancellation contract — an overrunning job is abandoned
 	// cooperatively with ctx.Err() and the machine stays usable.
-	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer m.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

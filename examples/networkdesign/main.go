@@ -43,7 +43,10 @@ func main() {
 		}
 	}
 
-	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 8, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer m.Close()
 	rep, err := m.Compute(context.Background(), kamsta.FromEdges(edges),
 		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka)) // dense input: the filter shines
@@ -98,7 +101,10 @@ func main() {
 	// Same computation on a wider simulated machine (machine width is a
 	// Machine property, so a new width means a new Machine): the modeled
 	// time illustrates the scaling the benchmarks measure systematically.
-	m32 := kamsta.NewMachine(kamsta.MachineConfig{PEs: 32})
+	m32, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer m32.Close()
 	wide, err := m32.Compute(context.Background(), kamsta.FromEdges(edges),
 		kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))

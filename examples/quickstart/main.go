@@ -23,7 +23,10 @@ func main() {
 	}
 
 	// One Machine, many jobs: the PE goroutines park between Computes.
-	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 4, Threads: 2})
+	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 4, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer m.Close()
 
 	rounds := 0

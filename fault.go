@@ -1,0 +1,110 @@
+package kamsta
+
+import (
+	"fmt"
+
+	"kamsta/internal/comm"
+)
+
+// FaultKind classifies a contained job failure (re-exported from the
+// machine simulation; see comm.FaultKind).
+type FaultKind = comm.FaultKind
+
+// The fault kinds a JobError reports.
+const (
+	// FaultPanic is a recovered PE panic: an algorithm bug, SPMD
+	// divergence, or an injected fault. All PEs unwound the same superstep
+	// together and the machine stays usable.
+	FaultPanic = comm.FaultPanic
+	// FaultStall means no collective completed within the job's stall
+	// timeout (WithStallTimeout); the world was torn down and rebuilt.
+	FaultStall = comm.FaultStall
+	// FaultLostPE means a PE goroutine died without completing its job;
+	// the world was torn down and rebuilt.
+	FaultLostPE = comm.FaultLostPE
+)
+
+// JobError is the structured report of a job that failed inside the
+// simulated machine — a contained PE panic, a stalled collective, or a
+// lost PE goroutine. The process never crashes for a job-scoped failure:
+// Compute returns a *JobError, and the Machine either verifies its world
+// clean for reuse or rebuilds it transparently before the next job
+// (Rebuilt records which).
+type JobError struct {
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Rank is the faulting PE, or -1 when no single rank is responsible
+	// (stalls).
+	Rank int
+	// Superstep is the faulting PE's collective count at the fault; for
+	// stalls, the stalled superstep's job-relative index.
+	Superstep int
+	// Phase is the innermost algorithm phase open on the faulting PE when
+	// it faulted ("" if none).
+	Phase string
+	// Round is the last distributed round the faulting PE entered (0
+	// before the first round).
+	Round int
+	// PanicValue and Stack capture a FaultPanic's recovered value and the
+	// faulting goroutine's stack at the panic site.
+	PanicValue any
+	Stack      string
+	// Arrived and Missing diagnose a FaultStall: the ranks that reached
+	// the stalled superstep's barrier and the ranks that never did.
+	Arrived []int
+	Missing []int
+	// Faults is the total number of faults the job recorded (> 1 when
+	// several PEs faulted in the same superstep); this JobError describes
+	// the first.
+	Faults int
+	// Rebuilt reports that the fault left the world unusable (or failing
+	// its health probe) and the Machine transparently rebuilt it. The
+	// machine is healthy again either way; Rebuilt only records the cost.
+	Rebuilt bool
+
+	cause *comm.JobError
+}
+
+// Error formats the fault for humans; the fields carry the structure.
+func (e *JobError) Error() string {
+	var msg string
+	switch e.Kind {
+	case FaultStall:
+		msg = fmt.Sprintf("kamsta: job stalled at superstep %d: ranks %v reached the barrier, ranks %v did not",
+			e.Superstep, e.Arrived, e.Missing)
+	case FaultLostPE:
+		msg = fmt.Sprintf("kamsta: PE %d lost: goroutine exited without completing its job", e.Rank)
+	default:
+		msg = fmt.Sprintf("kamsta: PE %d panicked at superstep %d", e.Rank, e.Superstep)
+		if e.Phase != "" {
+			msg += fmt.Sprintf(" (phase %q, round %d)", e.Phase, e.Round)
+		}
+		msg = fmt.Sprintf("%s: %v", msg, e.PanicValue)
+	}
+	if e.Rebuilt {
+		msg += " [machine rebuilt]"
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying comm.JobError (for errors.As in tests and
+// tooling that works below the public API).
+func (e *JobError) Unwrap() error { return e.cause }
+
+// toJobError lifts the simulation's fault report into the public error.
+func toJobError(ce *comm.JobError, rebuilt bool) *JobError {
+	return &JobError{
+		Kind:       ce.Kind,
+		Rank:       ce.Rank,
+		Superstep:  ce.Superstep,
+		Phase:      ce.Phase,
+		Round:      ce.Round,
+		PanicValue: ce.PanicValue,
+		Stack:      ce.Stack,
+		Arrived:    ce.Arrived,
+		Missing:    ce.Missing,
+		Faults:     ce.Faults,
+		Rebuilt:    rebuilt,
+		cause:      ce,
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"kamsta"
@@ -127,9 +128,12 @@ func seriesConfig(alg kamsta.Algorithm, threads int, s Scale) kamsta.Config {
 // (PEs, threads, cost model), so a sweep reuses one parked world per shape
 // across all its data points instead of rebuilding the world — spawning p
 // goroutines and allocating all boards — for every measurement. Every
-// experiment owns a pool for its duration and closes it on exit.
+// experiment owns a pool for its duration and closes it on exit. The pool
+// carries the sweep's context: cancelling it (SIGINT in cmd/mstbench)
+// aborts the in-flight job at its next collective and stops the sweep.
 type machinePool struct {
-	ms map[machineKey]*kamsta.Machine
+	ctx context.Context
+	ms  map[machineKey]*kamsta.Machine
 }
 
 type machineKey struct {
@@ -137,12 +141,19 @@ type machineKey struct {
 	cost         comm.CostModel
 }
 
-func newMachinePool() *machinePool {
-	return &machinePool{ms: make(map[machineKey]*kamsta.Machine)}
+func newMachinePool(ctx context.Context) *machinePool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &machinePool{ctx: ctx, ms: make(map[machineKey]*kamsta.Machine)}
 }
 
+// benchFailure carries a measurement error out of the panic-style
+// experiment bodies; RunExperiment's recover turns it back into an error.
+type benchFailure struct{ err error }
+
 // get returns the pooled machine for cfg's shape, creating it on first use.
-func (mp *machinePool) get(cfg kamsta.Config) *kamsta.Machine {
+func (mp *machinePool) get(cfg kamsta.Config) (*kamsta.Machine, error) {
 	key := machineKey{pes: cfg.PEs, threads: cfg.Threads, cost: cfg.Cost}
 	if key.pes <= 0 {
 		key.pes = 4
@@ -152,10 +163,14 @@ func (mp *machinePool) get(cfg kamsta.Config) *kamsta.Machine {
 	}
 	m := mp.ms[key]
 	if m == nil {
-		m = kamsta.NewMachine(kamsta.MachineConfig{PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost})
+		var err error
+		m, err = kamsta.NewMachine(kamsta.MachineConfig{PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost})
+		if err != nil {
+			return nil, err
+		}
 		mp.ms[key] = m
 	}
-	return m
+	return m, nil
 }
 
 // Close releases every pooled machine's parked PE goroutines.
@@ -176,7 +191,7 @@ func (mp *machinePool) measure(spec gen.Spec, cfg kamsta.Config, reps int) *kams
 func (mp *machinePool) measureSource(src kamsta.Source, cfg kamsta.Config, reps int) *kamsta.Report {
 	best, err := mp.measureSourceErr(src, cfg, reps)
 	if err != nil {
-		panic(err)
+		panic(benchFailure{err})
 	}
 	return best
 }
@@ -188,9 +203,12 @@ func (mp *machinePool) measureSourceErr(src kamsta.Source, cfg kamsta.Config, re
 	if reps < 1 {
 		reps = 1
 	}
-	m := mp.get(cfg)
+	m, err := mp.get(cfg)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < reps; i++ {
-		rep, err := m.Compute(context.Background(), src, cfg.RunOptions()...)
+		rep, err := m.Compute(mp.ctx, src, cfg.RunOptions()...)
 		if err != nil {
 			return nil, err
 		}
@@ -232,8 +250,8 @@ func weakSpec(f gen.Family, s Scale, p int) gen.Spec {
 // Fig3 reproduces the weak-scaling throughput experiment: six families ×
 // {boruvka, filterBoruvka, MND-MST, sparseMatrix} × {1, 8} threads,
 // throughput in (directed) input edges per modeled second.
-func Fig3(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Fig3(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.GNM, gen.RHG, gen.RMAT}
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
@@ -262,8 +280,8 @@ func Fig3(w io.Writer, s Scale) {
 // Fig2 reproduces the two-level all-to-all ablation: accumulated component
 // contraction time for one-level (direct) vs two-level (grid) exchanges on
 // GNM weak scaling.
-func Fig2(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Fig2(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	fmt.Fprintf(w, "# Fig. 2 — one-level vs two-level all-to-all, contraction phase, GNM weak scaling\n")
 	tw := table(w)
@@ -288,8 +306,8 @@ func Fig2(w io.Writer, s Scale) {
 // Fig4 reproduces the local-preprocessing ablation on the high-locality
 // families with the denser per-PE setting, including the fastest
 // preprocessing-enabled variant as baseline.
-func Fig4(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Fig4(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.RHG}
 	fmt.Fprintf(w, "# Fig. 4 — disabled local preprocessing, %d vertices and %d undirected edges per PE\n", s.VPerPE, s.DenseEPerPE)
@@ -322,8 +340,8 @@ func Fig4(w io.Writer, s Scale) {
 }
 
 // Fig5 reproduces the strong-scaling experiment on the Table I stand-ins.
-func Fig5(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Fig5(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
 	threads := []int{1, 8}
@@ -352,8 +370,8 @@ func Fig5(w io.Writer, s Scale) {
 
 // Fig6 reproduces the normalized phase breakdown for 3D-RGG, GNM and RMAT
 // across the b1/b8/f1/f8 variants.
-func Fig6(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Fig6(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	families := []gen.Family{gen.RGG3D, gen.GNM, gen.RMAT}
 	variants := []struct {
@@ -411,8 +429,8 @@ func safeFrac(x, total float64) float64 {
 
 // Table1 prints the real-world instance inventory with both the paper's
 // original sizes and the stand-in sizes at the configured scale.
-func Table1(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func Table1(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	fmt.Fprintf(w, "# Table I — real-world instances and their stand-ins (scale 1/%d)\n", s.RealWorldScale)
 	tw := table(w)
@@ -439,8 +457,8 @@ func Table1(w io.Writer, s Scale) {
 // SharedMemory reproduces the §VII-C comparison: the shared-memory baseline
 // (our local MSF with t threads, standing in for MASTIFF) against the
 // distributed algorithms at increasing PE counts on the same instance.
-func SharedMemory(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func SharedMemory(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	fmt.Fprintf(w, "# §VII-C — shared-memory baseline vs distributed algorithms\n")
 	specs := []struct {
@@ -483,8 +501,8 @@ func SharedMemory(w io.Writer, s Scale) {
 // per-PE byte-range reads before running the algorithm. load_s is the
 // modeled time of ingestion + global sort (Report.InputModeledSeconds);
 // modeled_s the algorithm itself.
-func FileBackedTable1(w io.Writer, s Scale) {
-	mp := newMachinePool()
+func FileBackedTable1(ctx context.Context, w io.Writer, s Scale) {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	dir, err := os.MkdirTemp("", "kamsta-bench-")
 	if err != nil {
@@ -523,8 +541,8 @@ func FileBackedTable1(w io.Writer, s Scale) {
 
 // RunFile benchmarks the paper's algorithms on a user-supplied graph file
 // across the configured PE counts (cmd/mstbench -input).
-func RunFile(w io.Writer, path, format string, algs []kamsta.Algorithm, s Scale) error {
-	mp := newMachinePool()
+func RunFile(ctx context.Context, w io.Writer, path, format string, algs []kamsta.Algorithm, s Scale) error {
+	mp := newMachinePool(ctx)
 	defer mp.Close()
 	src := kamsta.FromFileFormat(path, format)
 	fmt.Fprintf(w, "# file-backed run — %s\n", path)
@@ -550,9 +568,41 @@ func RunFile(w io.Writer, path, format string, algs []kamsta.Algorithm, s Scale)
 	return nil
 }
 
+// Experiment is one runnable figure/table reproduction. Cancelling ctx
+// aborts the in-flight job at its next collective boundary; the resulting
+// failure surfaces through RunExperiment.
+type Experiment func(ctx context.Context, w io.Writer, s Scale)
+
+// RunExperiment executes one named experiment, converting measurement
+// failures — including cancellation of ctx — into an error instead of a
+// panic trace.
+func RunExperiment(ctx context.Context, id string, w io.Writer, s Scale) error {
+	run, ok := Experiments()[id]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(ExperimentNames(), ", "))
+	}
+	return runCaptured(func() { run(ctx, w, s) })
+}
+
+// runCaptured converts a benchFailure panic back into the error it wraps;
+// any other panic (a harness bug) propagates.
+func runCaptured(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if bf, ok := r.(benchFailure); ok {
+				err = bf.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
 // Experiments maps experiment ids to runners.
-func Experiments() map[string]func(io.Writer, Scale) {
-	return map[string]func(io.Writer, Scale){
+func Experiments() map[string]Experiment {
+	return map[string]Experiment{
 		"fig2":       Fig2,
 		"fig3":       Fig3,
 		"fig4":       Fig4,

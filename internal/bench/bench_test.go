@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func TestExperimentRunnersProduceOutput(t *testing.T) {
 	}
 	for name, run := range Experiments() {
 		var buf bytes.Buffer
-		run(&buf, tinyScale())
+		run(context.Background(), &buf, tinyScale())
 		out := buf.String()
 		if len(out) < 100 {
 			t.Fatalf("%s: suspiciously short output:\n%s", name, out)
@@ -51,7 +52,7 @@ func TestRunFileBenchmarksAGraphFile(t *testing.T) {
 	s := tinyScale()
 	s.Ps = []int{2}
 	var buf bytes.Buffer
-	if err := RunFile(&buf, path, "auto", nil, s); err != nil {
+	if err := RunFile(context.Background(), &buf, path, "auto", nil, s); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +61,7 @@ func TestRunFileBenchmarksAGraphFile(t *testing.T) {
 			t.Fatalf("RunFile output missing %q:\n%s", want, out)
 		}
 	}
-	if err := RunFile(&buf, filepath.Join(t.TempDir(), "missing.kg"), "auto", nil, s); err == nil {
+	if err := RunFile(context.Background(), &buf, filepath.Join(t.TempDir(), "missing.kg"), "auto", nil, s); err == nil {
 		t.Fatal("RunFile on a missing file should error")
 	}
 }
@@ -71,7 +72,7 @@ func TestFig2ShowsTwoLevelAdvantage(t *testing.T) {
 	s := tinyScale()
 	s.Ps = []int{32}
 	var buf bytes.Buffer
-	Fig2(&buf, s)
+	Fig2(context.Background(), &buf, s)
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	var one, two float64
 	for _, ln := range lines {
@@ -169,7 +170,7 @@ func TestShapeHeadlines(t *testing.T) {
 	// bites once n is large.
 	regime := comm.CostModel{Alpha: 10e-6, Beta: 1e-9, Compute: 2.5e-7}
 	s.BaseCaseCap = 256
-	mp := newMachinePool()
+	mp := newMachinePool(context.Background())
 	defer mp.Close()
 
 	modeled := func(series string, threads int, f gen.Family, n, m uint64) float64 {

@@ -35,6 +35,15 @@ type barrier struct {
 	// cycling through the scheduler; with many PEs per core this keeps the
 	// run queue short while stragglers finish their pre-barrier work.
 	doors [2]atomic.Value // of chan struct{}
+	// poisoned is the barrier's terminal state: once set (Poison), every
+	// current and future Wait returns immediately with poisoned=true and
+	// the counters/epoch are no longer coherent. Poisoning is the hard
+	// fault-containment fallback for situations the cooperative
+	// superstep-verdict protocol cannot resolve — a lost PE goroutine or a
+	// stalled collective — after which the world must be rebuilt.
+	poisoned atomic.Bool
+	// poisonCh is closed by Poison so parties parked on a door wake up.
+	poisonCh chan struct{}
 }
 
 // barrierFan is the tree fan-in: parties per leaf and children per inner
@@ -68,7 +77,7 @@ type barrierNode struct {
 }
 
 func newBarrier(p int) *barrier {
-	b := &barrier{p: p, spin: barrierSpin, yield: barrierYield}
+	b := &barrier{p: p, spin: barrierSpin, yield: barrierYield, poisonCh: make(chan struct{})}
 	if runtime.GOMAXPROCS(0) == 1 {
 		b.spin = 0
 	}
@@ -122,12 +131,19 @@ func newBarrier(p int) *barrier {
 // arriving and publish a combined result for all of them to read after
 // release; this is what lets collectives reduce p deposits once instead of
 // p times (see Comm.preRelease).
-func (b *barrier) Wait(rank int, pre func()) {
+//
+// Wait reports whether the barrier was poisoned: a true return means the
+// round did NOT complete (no combine ran, no coherent release happened)
+// and the caller must unwind its job — the world is broken.
+func (b *barrier) Wait(rank int, pre func()) (poisoned bool) {
+	if b.poisoned.Load() {
+		return true
+	}
 	if b.p <= 1 {
 		if pre != nil {
 			pre()
 		}
-		return
+		return false
 	}
 	e := b.epoch.Load()
 	ni := int32(rank / barrierFan)
@@ -158,12 +174,15 @@ func (b *barrier) Wait(rank int, pre func()) {
 			b.epoch.Add(1)
 			close(door)
 			b.doors[e&1].Store(make(chan struct{}))
-			return
+			return false
 		}
 		ni = n.parent
 	}
 	spins, yields := 0, 0
 	for b.epoch.Load() == e {
+		if b.poisoned.Load() {
+			return true
+		}
 		switch {
 		case spins < b.spin:
 			spins++
@@ -173,13 +192,34 @@ func (b *barrier) Wait(rank int, pre func()) {
 		default:
 			// Park. The door was loaded while the epoch still read e, so
 			// it is this epoch's door (see the completer's ordering) and
-			// its close is guaranteed.
+			// its close is guaranteed — unless the barrier is poisoned, in
+			// which case poisonCh wakes the parked party instead.
 			door := b.doors[e&1].Load().(chan struct{})
 			if b.epoch.Load() != e {
-				return
+				return false
 			}
-			<-door
-			return
+			select {
+			case <-door:
+				return false
+			case <-b.poisonCh:
+				return true
+			}
 		}
 	}
+	return false
 }
+
+// Poison permanently breaks the barrier: every party currently blocked in
+// Wait — spinning, yielding, or parked on a door — returns with
+// poisoned=true, and every future Wait returns immediately the same way.
+// After Poison the counters and epoch are incoherent; the owning world is
+// unusable and must be rebuilt. Idempotent and safe to call from any
+// goroutine (watchdogs, runners of dying PEs).
+func (b *barrier) Poison() {
+	if b.poisoned.CompareAndSwap(false, true) {
+		close(b.poisonCh)
+	}
+}
+
+// Poisoned reports whether the barrier has been poisoned.
+func (b *barrier) Poisoned() bool { return b.poisoned.Load() }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"kamsta/internal/arena"
+	"kamsta/internal/faultinject"
 )
 
 // CostModel holds the machine parameters of the α-β model.
@@ -93,19 +94,40 @@ type World struct {
 	clocks []float64 // final modeled clock per PE, for the last Run
 
 	// pes holds the per-rank job channels of a persistent world (Start);
-	// nil means every Run spawns fresh PE goroutines. cancelled is the
-	// current job's cancellation request, set asynchronously by the
-	// context watcher and turned into a per-superstep verdict by
-	// preRelease. obs is the current job's event observer (rank 0 only).
-	pes       []chan *worldJob
-	cancelled atomic.Bool
-	obs       Observer
+	// nil means every Run spawns fresh PE goroutines. Per-job state
+	// (cancellation request, observer, injector, fault records) lives on
+	// the worldJob, not the world, so an abandoned job's stragglers can
+	// never race the next job's setup.
+	pes []chan *worldJob
+
+	// progress counts completed collective supersteps across the world's
+	// lifetime (incremented once per superstep by the pre-release
+	// combiner); the stall watchdog samples it as the job's heartbeat.
+	// arrived[r] is rank r's superstep arrival high-water mark — how many
+	// barriers it has entered — read by the watchdog to report which ranks
+	// reached a stalled superstep and which did not.
+	progress atomic.Uint64
+	arrived  []arrival
+
+	// broken marks a world whose containment protocol failed — a PE
+	// goroutine was lost, a collective stalled past its deadline, or an
+	// abort drain could not complete. A broken world's barrier is poisoned
+	// and it must not run further jobs; the owner rebuilds it (see the
+	// public Machine API).
+	broken atomic.Bool
 
 	// arenas holds each rank's scratch arena. Owned by the world (not the
 	// per-job Comm) so the algorithms' per-round working memory survives
 	// across rounds AND across jobs on a persistent machine; see
 	// Comm.Scratch.
 	arenas []*arena.Arena
+}
+
+// arrival is one rank's barrier-arrival counter, padded so watchdog reads
+// never contend with neighbouring ranks' stores.
+type arrival struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
 // deposit is one PE's contribution to a collective, padded so adjacent
@@ -118,16 +140,32 @@ type deposit struct {
 }
 
 // combineSlot is one epoch's combined exchange result, padded so the two
-// parities never share a cache line. cancelled publishes the run's
-// cancellation decision for this superstep: it is read once per epoch by the
-// pre-release combiner while every PE is still blocked in the barrier, so
-// all PEs of the superstep observe the same verdict and unwind together.
+// parities never share a cache line. verdict publishes the run's
+// continue/cancel/abort decision for this superstep: it is written once per
+// epoch by the pre-release combiner while every PE is still blocked in the
+// barrier, so all PEs of the superstep observe the same verdict and unwind
+// together.
 type combineSlot struct {
-	clockMax  float64
-	val       any
-	cancelled bool
-	_         [39]byte
+	clockMax float64
+	val      any
+	verdict  uint8
+	_        [39]byte
 }
+
+// Superstep verdicts, published in the combine slot by the pre-release
+// combiner. Exactly one PE reads the asynchronous request flags per
+// superstep; every PE acts on the published verdict, which is what makes
+// the whole world unwind at the same collective.
+const (
+	// verdictRun continues the job.
+	verdictRun uint8 = iota
+	// verdictCancel unwinds the job with the cancellation sentinel (the
+	// job's context expired).
+	verdictCancel
+	// verdictAbort unwinds the job with the abort sentinel (a PE faulted
+	// and requested containment, or a watchdog fired).
+	verdictAbort
+)
 
 // Option configures a World.
 type Option func(*World)
@@ -161,6 +199,7 @@ func NewWorld(p int, opts ...Option) *World {
 		boards:  [2][]deposit{make([]deposit, p), make([]deposit, p)},
 		phases:  make(map[string]*PhaseTime),
 		clocks:  make([]float64, p),
+		arrived: make([]arrival, p),
 		arenas:  make([]*arena.Arena, p),
 	}
 	for i := range w.arenas {
@@ -180,16 +219,18 @@ func (w *World) Cost() CostModel { return w.cost }
 
 // newComm builds rank's PE handle for one job. Only rank 0 carries the
 // job's observer, so every phase/round event fires exactly once.
-func (w *World) newComm(rank int) *Comm {
+func (w *World) newComm(rank int, jb *worldJob) *Comm {
 	c := &Comm{
 		rank:    rank,
 		w:       w,
+		jb:      jb,
+		inj:     jb.inj,
 		threads: w.threads,
 		phases:  make(map[string]*PhaseTime),
 	}
 	c.preFn = c.preRelease
 	if rank == 0 {
-		c.obs = w.obs
+		c.obs = jb.obs
 	}
 	return c
 }
@@ -274,6 +315,7 @@ func (s *Stats) add(o Stats) {
 type Comm struct {
 	rank    int
 	w       *World
+	jb      *worldJob // the job this handle belongs to
 	threads int
 	epoch   uint64 // collective supersteps completed; selects the board buffer
 
@@ -282,6 +324,12 @@ type Comm struct {
 	phases map[string]*PhaseTime
 
 	phaseStack []phaseFrame
+	// round is the last distributed round this PE reported via EmitRound,
+	// kept for fault diagnostics (JobError.Round).
+	round int
+	// inj is the job's fault injector (nil outside chaos runs), checked at
+	// every collective boundary and exposed to graphio via FaultPoint.
+	inj *faultinject.Injector
 
 	// preFn is the preRelease method value, bound once so passing it to the
 	// barrier on every collective does not allocate. pending is the
@@ -461,6 +509,7 @@ const (
 	opAlltoall
 	opPairExchange
 	opGroupAllreduce
+	opJobEnd
 )
 
 var opNames = [...]string{
@@ -478,6 +527,7 @@ var opNames = [...]string{
 	opAlltoall:        "Alltoall",
 	opPairExchange:    "PairExchange",
 	opGroupAllreduce:  "GroupAllreduce",
+	opJobEnd:          "JobEnd",
 }
 
 func mkTag(op uint8, arg int) opTag { return opTag(op) | opTag(arg)<<8 }
@@ -502,6 +552,12 @@ func (t opTag) String() string {
 // closure (if any) to reduce the deposited values once on behalf of
 // everyone. All PEs deposit equivalent closures (SPMD), so it does not
 // matter whose runs.
+//
+// preRelease is also the containment choke point: one read of the job's
+// asynchronous cancel/abort request flags becomes the superstep's verdict,
+// and a panic inside the combine closure is recovered here — recorded as a
+// fault and converted into an abort verdict — so even a faulting reduction
+// operator releases the barrier coherently.
 func (c *Comm) preRelease() {
 	w := c.w
 	par := c.epoch & 1
@@ -514,15 +570,37 @@ func (c *Comm) preRelease() {
 	}
 	res := &w.combined[par]
 	res.clockMax = m
-	// One read of the asynchronous cancellation request becomes the
-	// superstep's verdict: every PE checks res.cancelled after release, so
-	// either all PEs of this superstep unwind or none do.
-	res.cancelled = w.cancelled.Load()
-	if c.pending != nil {
-		res.val = c.pending(boards)
-	} else {
-		res.val = nil
+	verdict := verdictRun
+	if c.jb.abortReq.Load() {
+		verdict = verdictAbort
+	} else if c.jb.cancelReq.Load() {
+		verdict = verdictCancel
 	}
+	res.val = nil
+	if c.pending != nil && verdict == verdictRun {
+		if val, ok := c.runPending(boards); ok {
+			res.val = val
+		} else {
+			verdict = verdictAbort
+		}
+	}
+	res.verdict = verdict
+	w.progress.Add(1)
+}
+
+// runPending executes the collective's combine closure, containing any
+// panic it raises: the fault is recorded against this PE (the closure runs
+// algorithm code) and the superstep becomes an abort, releasing the barrier
+// instead of leaving p-1 PEs blocked behind a dead combiner.
+func (c *Comm) runPending(boards []deposit) (val any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.recordPanicFault(r)
+			c.jb.abortReq.Store(true)
+			val, ok = nil, false
+		}
+	}()
+	return c.pending(boards), true
 }
 
 // exchange runs one collective superstep: it deposits (tag, val, clock) on
@@ -564,22 +642,33 @@ func (c *Comm) exchangeSubset(tag opTag, val any, read func(boards []deposit)) {
 	read(board)
 }
 
-// deposit publishes (tag, val, clock), meets the world at the barrier,
-// checks SPMD agreement and advances the epoch, returning this superstep's
-// board.
+// deposit publishes (tag, val, clock), meets the world at the barrier, acts
+// on the superstep's published verdict, checks SPMD agreement and advances
+// the epoch, returning this superstep's board.
 func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) []deposit {
+	c.faultPoint(faultinject.SiteCollective)
 	w := c.w
 	board := w.boards[c.epoch&1]
 	s := &board[c.rank]
 	s.tag, s.val, s.clock = tag, val, c.clock
 	c.pending = combine
-	w.bar.Wait(c.rank, c.preFn)
+	if c.arrive() {
+		// Poisoned barrier: the world is broken (lost PE or stall) and this
+		// superstep never completed coherently — unwind without reading.
+		panic(jobAborted{})
+	}
 	c.epoch++
-	if w.combined[(c.epoch-1)&1].cancelled {
+	switch w.combined[(c.epoch-1)&1].verdict {
+	case verdictCancel:
 		// The pre-release combiner saw the job's context expire. Every PE
 		// of this superstep reads the same verdict, so the whole world
 		// unwinds here together (recovered in runPE).
 		panic(jobCancelled{})
+	case verdictAbort:
+		// A PE faulted and requested containment; unwind together. Checked
+		// before the SPMD divergence audit because a faulted PE's drain
+		// arrival legitimately deposits a mismatched tag.
+		panic(jobAborted{})
 	}
 	if c.rank == 0 {
 		for i := 1; i < w.p; i++ {
@@ -590,6 +679,68 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 	}
 	return board
 }
+
+// arrive meets the world at this epoch's barrier, bumping this rank's
+// arrival high-water mark (the stall watchdog's per-rank diagnostic), and
+// reports whether the barrier was poisoned — in which case the superstep
+// did NOT complete and no combined slot was written.
+func (c *Comm) arrive() (poisoned bool) {
+	c.w.arrived[c.rank].v.Add(1)
+	return c.w.bar.Wait(c.rank, c.preFn)
+}
+
+// closeOut is the job's final, invisible superstep (tag opJobEnd), run by
+// every PE after its share of the job function returns. It guarantees the
+// containment drain always has a barrier to rejoin: a PE that faults after
+// the job's LAST algorithm collective still finds the rest of the world
+// waiting here, so drainAbort can release it. The raw deposit charges no
+// modeled time, no traffic, and no collective count — a job's metrics are
+// bit-identical with and without it.
+func (c *Comm) closeOut() {
+	c.deposit(mkTag(opJobEnd, 0), nil, nil)
+}
+
+// drainAbort rejoins the world after this PE faulted so the containment
+// verdict can release everyone. SPMD lockstep means every other PE is at —
+// or unconditionally heading to — this PE's current epoch barrier (the
+// close-out superstep guarantees each PE at least one more arrival), so a
+// single arrival completes that barrier; its pre-release combiner then
+// observes the abort request this PE published before draining and issues
+// the verdict that unwinds the world. Reports whether the drain completed
+// (false means the barrier was poisoned — the world is broken and already
+// released, so there is nothing left to drain).
+func (c *Comm) drainAbort() bool {
+	c.pending = nil
+	return !c.arrive()
+}
+
+// faultPoint visits one injection site; a no-op unless the job carries an
+// armed injector whose rule matches. ActPanic raises an InjectedPanic —
+// contained exactly like a real PE panic; ActDelay sleeps, modelling a
+// straggler (pair it with a stall timeout); ActIOError returns the
+// synthetic error for sites that can surface one (collective sites have no
+// error path and ignore it).
+func (c *Comm) faultPoint(site faultinject.Site) error {
+	r := c.inj.Check(site, c.rank)
+	if r == nil {
+		return nil
+	}
+	switch r.Action {
+	case faultinject.ActPanic:
+		panic(faultinject.InjectedPanic{Site: site, Rank: c.rank, Occurrence: r.Occurrence})
+	case faultinject.ActDelay:
+		time.Sleep(r.Delay)
+	case faultinject.ActIOError:
+		return fmt.Errorf("%w at %v site, rank %d, occurrence %d", faultinject.ErrInjected, site, c.rank, r.Occurrence)
+	}
+	return nil
+}
+
+// FaultPoint exposes the job's injection points to the packages that host
+// sites outside comm (graphio's bulk reads). It returns the injected error
+// for ActIOError rules and nil otherwise; panic and delay actions take
+// effect before it returns.
+func (c *Comm) FaultPoint(site faultinject.Site) error { return c.faultPoint(site) }
 
 // syncClocks sets this PE's clock to the maximum entry clock among the
 // given member deposits (BSP barrier semantics for a sub-communicator).

@@ -4,38 +4,59 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"kamsta/internal/faultinject"
 )
 
 // This file is the world's job engine: how an SPMD program is executed on
 // the PEs, how a persistent world keeps its PE goroutines parked between
-// jobs (Start/Close), how a job's context cancels the whole world
-// cooperatively at collective boundaries, and how rank 0 streams progress
-// events to an Observer.
+// jobs (Start/Close), how a job's context cancels — and a fault aborts —
+// the whole world cooperatively at collective boundaries, and how rank 0
+// streams progress events to an Observer.
 //
-// # Cancellation protocol
+// # Cancellation and containment protocol
 //
-// A context cannot interrupt a PE mid-computation — PEs are plain
-// goroutines running algorithm code — but every PE passes through the
-// collective barrier many times per job, and that barrier already has a
-// moment when one PE acts on behalf of a fully blocked world: the
-// pre-release combine (see preRelease). Cancellation therefore works in
-// three steps:
+// Nothing can interrupt a PE mid-computation — PEs are plain goroutines
+// running algorithm code — but every PE passes through the collective
+// barrier many times per job, and that barrier already has a moment when
+// one PE acts on behalf of a fully blocked world: the pre-release combine
+// (see preRelease). Both cancellation and fault containment ride on it:
 //
-//  1. A watcher goroutine turns ctx.Done() into w.cancelled (an atomic
-//     flag) at an arbitrary moment.
-//  2. The pre-release combiner of the next superstep reads the flag ONCE
+//  1. An asynchronous event raises a request flag on the job: the context
+//     watcher sets jb.cancelReq when ctx expires; a PE whose panic was
+//     recovered (or the stall watchdog) records a fault and sets
+//     jb.abortReq.
+//  2. The pre-release combiner of the next superstep reads the flags ONCE
 //     and publishes the verdict in the superstep's combineSlot, while all
 //     PEs are still blocked in the barrier. Reading once is what makes the
-//     decision consistent: had each PE polled the flag itself, two PEs of
+//     decision consistent: had each PE polled the flags itself, two PEs of
 //     the same superstep could disagree and the barrier would deadlock.
 //  3. After release, every PE of the superstep observes the same verdict
-//     and unwinds its job with a jobCancelled panic, recovered at the top
-//     of the PE's job runner. All PEs exit together at the same collective,
-//     no goroutine leaks, and RunJob returns ctx.Err().
+//     and unwinds its job with a sentinel panic (jobCancelled or
+//     jobAborted), recovered at the top of the PE's job runner. All PEs
+//     exit together at the same collective, no goroutine leaks, and RunJob
+//     returns ctx.Err() or the recorded *JobError.
 //
-// A job that performs no further collectives after the flag is set simply
-// completes; cancellation is cooperative and only observed at collective
-// boundaries.
+// A faulting PE has one extra duty: it stopped participating mid-superstep,
+// so after recovery it rejoins the barrier once (drainAbort) to let the
+// verdict release the world. Two pieces make that drain always terminate:
+// SPMD lockstep (every other PE is at, or unconditionally heading to, the
+// faulter's current epoch barrier) and the close-out superstep every PE
+// runs after its job function returns (closeOut) — which guarantees a next
+// barrier even when the fault strikes after the job's last algorithm
+// collective. Because every PE now ends its job at the close-out
+// collective, a cancellation raised after the last ALGORITHM collective is
+// still observed there: a job whose compute finished entirely can return
+// ctx.Err() rather than success, which is within the contract (cancelled
+// jobs report ctx.Err(); whether the final verdict beat the cancel is
+// timing).
+//
+// Faults the cooperative protocol cannot resolve — a PE goroutine lost to
+// runtime.Goexit, or a stall where a stuck PE never reaches the barrier —
+// fall back to poisoning the world (markBroken): the barrier force-releases
+// every waiter, the PEs unwind, and the world reports Broken. A broken
+// world runs no further jobs; the public Machine rebuilds it transparently.
 
 // EventKind discriminates observer events.
 type EventKind uint8
@@ -91,46 +112,123 @@ func (c *Comm) emit(ev Event) {
 }
 
 // EmitRound reports the start of distributed round `round` (1-based) with
-// the global vertex count entering it. Algorithms call it once per round;
-// it charges nothing and is a no-op without an observer.
+// the global vertex count entering it. Algorithms call it once per round on
+// every rank; it charges nothing, feeds fault diagnostics (JobError.Round),
+// and additionally notifies the observer on rank 0.
 func (c *Comm) EmitRound(round, vertices int) {
+	c.round = round
 	c.emit(Event{Kind: EventRound, Round: round, Vertices: vertices})
 }
 
 // jobCancelled unwinds a PE whose job's context expired; recovered in runPE.
 type jobCancelled struct{}
 
-// worldJob is one SPMD program handed to the parked PEs of a persistent
-// world.
+// jobAborted unwinds a PE after a fault elsewhere in the world (abort
+// verdict or poisoned barrier); recovered in runPE.
+type jobAborted struct{}
+
+// worldJob is one SPMD program in flight: the function, the completion
+// group, and ALL per-job mutable state — observer, injector, request flags,
+// outcome counters, fault records. Keeping this state off the World is what
+// makes an ungracefully abandoned job harmless: a zombie PE still holds its
+// own job's worldJob and can never touch the next job's.
 type worldJob struct {
-	f         func(*Comm)
-	wg        *sync.WaitGroup
-	cancelled *atomic.Int32
+	f   func(*Comm)
+	wg  sync.WaitGroup
+	obs Observer
+	inj *faultinject.Injector
+
+	// cancelReq and abortReq are the asynchronous requests the next
+	// pre-release combiner turns into the superstep verdict.
+	cancelReq atomic.Bool
+	abortReq  atomic.Bool
+
+	// nCancelled and nAborted count PEs by unwind path.
+	nCancelled atomic.Int32
+	nAborted   atomic.Int32
+
+	// stalled is closed by the watchdog when it fires (nil without one).
+	stalled chan struct{}
+
+	faultMu sync.Mutex
+	faults  []*JobError
+}
+
+// recordFault appends one structured fault. Several PEs may fault while the
+// world unwinds (e.g. an injected panic on two ranks in one superstep); all
+// are kept, the first becomes the job's error.
+func (jb *worldJob) recordFault(je *JobError) {
+	jb.faultMu.Lock()
+	jb.faults = append(jb.faults, je)
+	jb.faultMu.Unlock()
+}
+
+// primaryError returns the job's first recorded fault (annotated with the
+// total count), or nil.
+func (jb *worldJob) primaryError() error {
+	jb.faultMu.Lock()
+	defer jb.faultMu.Unlock()
+	if len(jb.faults) == 0 {
+		return nil
+	}
+	je := jb.faults[0]
+	je.Faults = len(jb.faults)
+	return je
+}
+
+// JobConfig carries the optional per-job settings of RunJobCfg.
+type JobConfig struct {
+	// Observer receives rank 0's phase/round events.
+	Observer Observer
+	// StallTimeout arms the stall watchdog: if no collective completes for
+	// this long, the job aborts with a FaultStall and the world is poisoned.
+	// Zero disables the watchdog.
+	StallTimeout time.Duration
+	// Inject arms deterministic fault injection for this job (testing
+	// only). Nil injects nothing.
+	Inject *faultinject.Plan
 }
 
 // Run executes f as an SPMD program: every PE runs f with its own Comm
 // handle, and Run returns when all have finished. It may be called
 // repeatedly; statistics accumulate across calls. On a persistent world
 // (Start) the parked PE goroutines execute the job; otherwise one goroutine
-// per PE is spawned for this call only.
+// per PE is spawned for this call only. A job failure (contained PE panic)
+// is re-raised here: Run keeps the crash-loudly contract for callers that
+// opted out of error handling.
 func (w *World) Run(f func(c *Comm)) {
-	_ = w.RunJob(context.Background(), nil, f)
+	if err := w.RunJob(context.Background(), nil, f); err != nil {
+		panic(err)
+	}
 }
 
 // RunJob is Run with a cancellation context and a progress observer (both
-// optional). If ctx expires while the job is running, all PEs abandon the
-// job together at the next collective boundary and RunJob returns ctx.Err();
-// a job that completes before the cancellation is observed returns nil. obs
-// receives rank 0's phase/round events. A World runs one job at a time;
-// serializing concurrent callers is the caller's concern (see the public
-// Machine API).
+// optional); see RunJobCfg.
 func (w *World) RunJob(ctx context.Context, obs Observer, f func(*Comm)) error {
+	return w.RunJobCfg(ctx, JobConfig{Observer: obs}, f)
+}
+
+// RunJobCfg executes f as an SPMD program under the full per-job
+// configuration. If ctx expires while the job is running, all PEs abandon
+// the job together at the next collective boundary and RunJobCfg returns
+// ctx.Err(). If a PE panics, the panic is contained: all PEs unwind the
+// same superstep together and RunJobCfg returns a *JobError describing the
+// fault. If the watchdog (JobConfig.StallTimeout) detects a stalled
+// collective, the world is poisoned and RunJobCfg returns a *JobError with
+// per-rank arrival diagnostics — after which the world reports Broken and
+// must be rebuilt. A World runs one job at a time; serializing concurrent
+// callers is the caller's concern (see the public Machine API).
+func (w *World) RunJobCfg(ctx context.Context, cfg JobConfig, f func(*Comm)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if w.Broken() {
+		return ErrBroken
+	}
+	jb := &worldJob{f: f, obs: cfg.Observer, inj: cfg.Inject.Injector(w.p)}
 	// Arm the watcher only for cancellable contexts; Background costs
 	// nothing.
 	var stop, watcherDone chan struct{}
@@ -141,80 +239,159 @@ func (w *World) RunJob(ctx context.Context, obs Observer, f func(*Comm)) error {
 			defer close(watcherDone)
 			select {
 			case <-done:
-				w.cancelled.Store(true)
+				jb.cancelReq.Store(true)
 			case <-stop:
 			}
 		}()
 	}
-	w.obs = obs
-	cancelledPEs := w.dispatch(f)
-	w.obs = nil
+	var watchStop, watchDone chan struct{}
+	if cfg.StallTimeout > 0 {
+		jb.stalled = make(chan struct{})
+		watchStop = make(chan struct{})
+		watchDone = make(chan struct{})
+		go w.watchdog(jb, cfg.StallTimeout, watchStop, watchDone)
+	}
+	w.dispatch(jb)
+	graceful := true
+	if cfg.StallTimeout > 0 {
+		// With a watchdog armed the job may contain a PE that never reaches
+		// a barrier again; waiting must not inherit that hang. Poisoning
+		// releases every blocked PE immediately, so after a stall the
+		// stragglers unwind within the grace window unless one is truly
+		// stuck in compute — then RunJobCfg returns anyway, leaving the
+		// zombie PE attached to its own worldJob (never this world's next
+		// job) and the world marked broken for rebuild.
+		peDone := make(chan struct{})
+		go func() { jb.wg.Wait(); close(peDone) }()
+		select {
+		case <-peDone:
+		case <-jb.stalled:
+			select {
+			case <-peDone:
+			case <-time.After(cfg.StallTimeout):
+				graceful = false
+			}
+		}
+	} else {
+		jb.wg.Wait()
+	}
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone
+	}
 	if stop != nil {
-		// Join the watcher before clearing the flag: a store racing past
-		// the clear would poison the next job's first superstep.
+		// Join the watcher before returning: a store racing past the job's
+		// end would belong to a dead worldJob and is harmless, but joining
+		// keeps the goroutine accounting exact for leak checks.
 		close(stop)
 		<-watcherDone
 	}
-	w.cancelled.Store(false)
-	// Drop deposit references so the last collective's payloads don't stay
-	// reachable through the world between (or after) jobs, and clear any
-	// published cancellation verdict.
-	for b := range w.boards {
-		for i := range w.boards[b] {
-			w.boards[b][i].val = nil
+	if graceful {
+		// Drop deposit references so the last collective's payloads don't
+		// stay reachable through the world between (or after) jobs, and
+		// clear the published verdicts. Skipped after an ungraceful stall
+		// return: a zombie PE may still write its board slot, and a broken
+		// world is never reused anyway.
+		for b := range w.boards {
+			for i := range w.boards[b] {
+				w.boards[b][i].val = nil
+			}
+			w.combined[b].val = nil
+			w.combined[b].verdict = verdictRun
 		}
-		w.combined[b].val = nil
-		w.combined[b].cancelled = false
 	}
-	if cancelledPEs > 0 {
+	if err := jb.primaryError(); err != nil {
+		return err
+	}
+	if jb.nCancelled.Load() > 0 {
 		return ctx.Err()
 	}
 	return nil
 }
 
-// dispatch hands f to every PE — parked goroutines on a persistent world,
-// freshly spawned ones otherwise — waits for all of them, and reports how
-// many unwound via cancellation (0 or p: the verdict is per-superstep).
-func (w *World) dispatch(f func(*Comm)) int {
-	var wg sync.WaitGroup
-	var cancelled atomic.Int32
-	wg.Add(w.p)
+// dispatch hands the job to every PE — parked goroutines on a persistent
+// world, freshly spawned ones otherwise.
+func (w *World) dispatch(jb *worldJob) {
+	jb.wg.Add(w.p)
 	if w.pes != nil {
-		jb := &worldJob{f: f, wg: &wg, cancelled: &cancelled}
 		for _, ch := range w.pes {
 			ch <- jb
 		}
-	} else {
-		for r := 0; r < w.p; r++ {
-			go func(rank int) {
-				defer wg.Done()
-				if w.runPE(w.newComm(rank), f) {
-					cancelled.Add(1)
-				}
-			}(r)
-		}
+		return
 	}
-	wg.Wait()
-	return int(cancelled.Load())
+	for r := 0; r < w.p; r++ {
+		go w.runJobOnPE(r, jb)
+	}
 }
 
-// runPE runs one PE's share of a job and reports whether it was unwound by
-// cancellation. Metrics of cancelled PEs are discarded — a partial clock is
-// not a makespan. Any other panic (SPMD divergence, algorithm bug)
-// propagates and crashes the program, exactly as before.
-func (w *World) runPE(c *Comm, f func(*Comm)) (cancelled bool) {
+// runJobOnPE runs one PE's share of a job and accounts its outcome. Its
+// deferred watchdog is the last line of containment: if the goroutine is
+// dying without an outcome — runtime.Goexit raised by algorithm code, or a
+// panic that escaped runPE's recovery — the world has permanently lost a
+// party and can never complete another barrier, so it is poisoned to
+// unwind everyone else, and the job still gets its wg.Done and a
+// FaultLostPE record.
+func (w *World) runJobOnPE(rank int, jb *worldJob) {
+	finished := false
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(jobCancelled); ok {
-				cancelled = true
-				return
-			}
-			panic(r)
+		if r := recover(); r != nil || !finished {
+			jb.recordFault(&JobError{Kind: FaultLostPE, Rank: rank, PanicValue: r})
+			jb.abortReq.Store(true)
+			w.markBroken()
+			jb.wg.Done()
 		}
 	}()
-	f(c)
+	switch w.runPE(w.newComm(rank, jb), jb) {
+	case peCancelled:
+		jb.nCancelled.Add(1)
+	case peAborted:
+		jb.nAborted.Add(1)
+	}
+	finished = true
+	jb.wg.Done()
+}
+
+// peOutcome is how one PE's share of a job ended.
+type peOutcome uint8
+
+const (
+	// peDone: the job function and the close-out superstep completed.
+	peDone peOutcome = iota
+	// peCancelled: unwound by the cancellation verdict (ctx expired).
+	peCancelled
+	// peAborted: unwound by the abort verdict, a poisoned barrier, or this
+	// PE's own contained panic.
+	peAborted
+)
+
+// runPE runs one PE's share of a job. Sentinel unwinds (cancel/abort
+// verdicts) just report their outcome; any OTHER panic is a real fault:
+// it is recorded with its location and stack, the abort request is raised,
+// and this PE rejoins the barrier once (drainAbort) so the verdict can
+// release the world. Metrics of cancelled or aborted PEs are discarded — a
+// partial clock is not a makespan.
+func (w *World) runPE(c *Comm, jb *worldJob) (outcome peOutcome) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case jobCancelled:
+			outcome = peCancelled
+		case jobAborted:
+			outcome = peAborted
+		default:
+			c.recordPanicFault(r)
+			jb.abortReq.Store(true)
+			// A false return means the barrier was poisoned while draining:
+			// the world is already broken and released, nothing further to
+			// coordinate.
+			c.drainAbort()
+			outcome = peAborted
+		}
+	}()
+	jb.f(c)
+	c.closeOut()
 	c.flush()
-	return false
+	return peDone
 }
 
 // Start makes the world persistent: one goroutine per PE is spawned now and
@@ -241,16 +418,16 @@ func (w *World) Start() {
 // runs its share, and parks again until Close.
 func (w *World) peLoop(rank int, jobs <-chan *worldJob) {
 	for jb := range jobs {
-		if w.runPE(w.newComm(rank), jb.f) {
-			jb.cancelled.Add(1)
-		}
-		jb.wg.Done()
+		w.runJobOnPE(rank, jb)
 	}
 }
 
 // Close releases a persistent world's parked PE goroutines. Idempotent; a
 // never-started world closes trivially. The world remains usable in
-// spawn-per-run mode afterwards. Must not be called while a job is running.
+// spawn-per-run mode afterwards. Must not be called while a job is running
+// (an abandoned zombie PE of a BROKEN world is fine: it holds only its own
+// job's state, and its channel close is observed whenever it finally
+// parks).
 func (w *World) Close() {
 	if w.pes == nil {
 		return

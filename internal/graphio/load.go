@@ -9,6 +9,7 @@ import (
 
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
+	"kamsta/internal/faultinject"
 	"kamsta/internal/gen"
 	"kamsta/internal/graph"
 )
@@ -124,6 +125,11 @@ func loadKamsta(c *comm.Comm, path string) ([]graph.Edge, error) {
 			return err
 		}
 		lo, hi := byteRange(c.Rank(), c.P(), h.Records)
+		// Chaos-testing hook: an injected read fault here behaves exactly
+		// like a failing disk — the error is agreed on collectively below.
+		if err := c.FaultPoint(faultinject.SiteGraphRead); err != nil {
+			return err
+		}
 		out, err = readKamstaRange(f, h, lo, hi, tracer(c.Rank()))
 		return err
 	}()
@@ -151,6 +157,9 @@ func loadText(c *comm.Comm, path string, gr bool, seed uint64) ([]graph.Edge, er
 			return err
 		}
 		lo, hi := byteRange(c.Rank(), c.P(), uint64(st.Size()))
+		if err := c.FaultPoint(faultinject.SiteGraphRead); err != nil {
+			return err
+		}
 		data, dataOff, err := readLineRange(f, st.Size(), int64(lo), int64(hi), tracer(c.Rank()))
 		if err != nil {
 			return err
@@ -250,7 +259,11 @@ func loadMetis(c *comm.Comm, path string, seed uint64) ([]graph.Edge, error) {
 	var data []byte
 	region := uint64(size - hdrEnd)
 	lo, hi := byteRange(c.Rank(), c.P(), region)
-	data, _, err = readLineRange(f, size, hdrEnd+int64(lo), hdrEnd+int64(hi), tracer(c.Rank()))
+	if ierr := c.FaultPoint(faultinject.SiteGraphRead); ierr != nil {
+		err = ierr
+	} else {
+		data, _, err = readLineRange(f, size, hdrEnd+int64(lo), hdrEnd+int64(hi), tracer(c.Rank()))
+	}
 	if err != nil {
 		s2.Err = err.Error()
 	} else {

@@ -15,7 +15,7 @@
 // Compute runs one job, with cancellation, per-job options and a progress
 // observer:
 //
-//	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
+//	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
 //	defer m.Close()
 //	rep, err := m.Compute(ctx, kamsta.FromSpec(kamsta.GraphSpec{
 //		Family: kamsta.GNM, N: 1 << 14, M: 1 << 17, Seed: 42,
@@ -209,7 +209,10 @@ func ComputeMSFFile(path string, cfg Config) (*Report, error) {
 // wrapper over a transient Machine; callers computing repeatedly should
 // hold a Machine and Compute on it.
 func ComputeMSFSource(src Source, cfg Config) (*Report, error) {
-	m := NewMachine(cfg.MachineConfig())
+	m, err := NewMachine(cfg.MachineConfig())
+	if err != nil {
+		return nil, err
+	}
 	defer m.Close()
 	return m.Compute(context.Background(), src, cfg.RunOptions()...)
 }

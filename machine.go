@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kamsta/internal/baselines"
@@ -40,6 +41,40 @@ func (mc MachineConfig) withDefaults() MachineConfig {
 	return mc
 }
 
+// maxPEs bounds the simulated machine width: each PE is a parked goroutine
+// plus cache-line-padded per-rank state, so a width beyond any plausible
+// simulation is a config bug (a mistyped shift), not a request.
+const maxPEs = 1 << 16
+
+// Validate checks a MachineConfig without applying defaults: zero values
+// are fine (they mean "default"), negative or absurd ones are errors. It is
+// what NewMachine enforces, exposed so services can reject a config before
+// paying for a machine.
+func (mc MachineConfig) Validate() error {
+	if mc.PEs < 0 {
+		return fmt.Errorf("kamsta: MachineConfig.PEs is negative (%d)", mc.PEs)
+	}
+	if mc.PEs > maxPEs {
+		return fmt.Errorf("kamsta: MachineConfig.PEs %d exceeds the maximum %d", mc.PEs, maxPEs)
+	}
+	if mc.Threads < 0 {
+		return fmt.Errorf("kamsta: MachineConfig.Threads is negative (%d)", mc.Threads)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Alpha", mc.Cost.Alpha},
+		{"Beta", mc.Cost.Beta},
+		{"Compute", mc.Cost.Compute},
+	} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) || p.v < 0 {
+			return fmt.Errorf("kamsta: MachineConfig.Cost.%s is not a finite non-negative number (%v)", p.name, p.v)
+		}
+	}
+	return nil
+}
+
 // ErrMachineClosed is returned by Compute on a closed Machine.
 var ErrMachineClosed = errors.New("kamsta: machine is closed")
 
@@ -49,15 +84,23 @@ var ErrMachineClosed = errors.New("kamsta: machine is closed")
 // concurrent use — Compute calls from multiple goroutines queue and run one
 // at a time (the machine is a single resource, like its MPI counterpart).
 //
-//	m := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
+//	m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: 16, Threads: 8})
+//	if err != nil { ... }
 //	defer m.Close()
 //	rep, err := m.Compute(ctx, kamsta.FromSpec(spec), kamsta.WithAlgorithm(kamsta.AlgFilterBoruvka))
 //
+// A Machine survives job-scoped failures: a PE panic is contained and
+// surfaced as a *JobError, a stalled collective (WithStallTimeout) is
+// detected and aborted, and a world left unusable by a fault is rebuilt
+// transparently before the next job — Healthy reports the current state.
 // The one-shot ComputeMSF* helpers remain as wrappers over a transient
 // Machine.
 type Machine struct {
 	cfg   MachineConfig
-	world *comm.World
+	world atomic.Pointer[comm.World]
+
+	// rebuilds counts transparent world rebuilds after faults.
+	rebuilds atomic.Int64
 
 	// sem is the job queue: a 1-slot semaphore acquired for the duration
 	// of each job. Waiting in Compute is abandoned when the caller's
@@ -68,17 +111,22 @@ type Machine struct {
 }
 
 // NewMachine builds a machine and parks its PE goroutines, ready for jobs.
-// Close it when done to release them.
-func NewMachine(cfg MachineConfig) *Machine {
+// Close it when done to release them. Invalid configuration (see
+// MachineConfig.Validate) is an error, not a panic.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
 	w.Start()
-	return &Machine{
+	m := &Machine{
 		cfg:    cfg,
-		world:  w,
 		sem:    make(chan struct{}, 1),
 		closed: make(chan struct{}),
 	}
+	m.world.Store(w)
+	return m, nil
 }
 
 // PEs reports the machine width.
@@ -90,6 +138,25 @@ func (m *Machine) Threads() int { return m.cfg.Threads }
 // Cost reports the machine's α-β cost model.
 func (m *Machine) Cost() comm.CostModel { return m.cfg.Cost }
 
+// Healthy reports whether the machine is open and its world intact. Because
+// a fault's recovery — clean-world verification or a transparent rebuild —
+// completes before Compute returns the *JobError, Healthy is normally true
+// even right after a failed job; false means the machine is closed or a
+// rebuild is in flight on another goroutine.
+func (m *Machine) Healthy() bool {
+	select {
+	case <-m.closed:
+		return false
+	default:
+	}
+	return !m.world.Load().Broken()
+}
+
+// Rebuilds reports how many times the machine has transparently rebuilt its
+// world after a fault (an observability counter: each rebuild re-pays the
+// world setup a persistent machine exists to amortize).
+func (m *Machine) Rebuilds() int64 { return m.rebuilds.Load() }
+
 // Close waits for the in-flight job (if any) and releases the machine's PE
 // goroutines. Jobs queued or submitted after Close return ErrMachineClosed.
 // Close is idempotent and always returns nil (the error return keeps the
@@ -100,7 +167,7 @@ func (m *Machine) Close() error {
 		// Acquire the job slot: from here no new job can start (Compute
 		// re-checks closed after acquiring), so the world is quiescent.
 		m.sem <- struct{}{}
-		m.world.Close()
+		m.world.Load().Close()
 		<-m.sem
 	})
 	return nil
@@ -154,9 +221,66 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 	return m.run(ctx, src, rs)
 }
 
-// run executes one job on the machine's world. The caller holds the job
+// run executes one job on the machine's world, containing job-scoped
+// failures: a *comm.JobError coming back from the simulation is lifted to
+// the public *JobError, the world is restored (verified clean or rebuilt)
+// BEFORE returning so the machine is healthy for the next caller, and
+// WithRetry re-runs the job for transient faults. The caller holds the job
 // slot.
 func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report, error) {
+	for attempt := 0; ; attempt++ {
+		rep, err := m.runOnce(ctx, src, rs)
+		var ce *comm.JobError
+		if !errors.As(err, &ce) {
+			return rep, err
+		}
+		je := toJobError(ce, m.restoreWorld())
+		if attempt >= rs.retries {
+			return nil, je
+		}
+	}
+}
+
+// restoreWorld returns the machine to a runnable state after a contained
+// fault and reports whether a rebuild was needed. A world the fault broke
+// (poisoned barrier: stall, lost PE) is always rebuilt; a world that
+// unwound cooperatively is kept only if a probe job proves it still
+// completes collectives correctly — graceful degradation in one step.
+func (m *Machine) restoreWorld() (rebuilt bool) {
+	w := m.world.Load()
+	if !w.Broken() && m.probeWorld(w) {
+		return false
+	}
+	w.Close()
+	nw := comm.NewWorld(m.cfg.PEs, comm.WithThreads(m.cfg.Threads), comm.WithCost(m.cfg.Cost))
+	nw.Start()
+	m.world.Store(nw)
+	m.rebuilds.Add(1)
+	return true
+}
+
+// probeStallTimeout bounds the post-fault health probe: the probe job is a
+// single tiny collective, so a world that cannot finish it in this long is
+// not clean.
+const probeStallTimeout = 2 * time.Second
+
+// probeWorld verifies a world after a cooperative abort by running one
+// trivial SPMD job: every PE contributes 1 to an Allreduce and rank 0
+// checks the sum. It exercises the full superstep path — deposits, barrier,
+// pre-release combine, verdict — on the state the aborted job left behind.
+func (m *Machine) probeWorld(w *comm.World) bool {
+	got := -1
+	err := w.RunJobCfg(context.Background(), comm.JobConfig{StallTimeout: probeStallTimeout}, func(c *comm.Comm) {
+		n := comm.Allreduce(c, 1, func(a, b int) int { return a + b })
+		if c.Rank() == 0 {
+			got = n
+		}
+	})
+	return err == nil && got == m.cfg.PEs
+}
+
+// runOnce executes one attempt of one job on the machine's current world.
+func (m *Machine) runOnce(ctx context.Context, src Source, rs runSettings) (*Report, error) {
 	if rs.alg == AlgKruskal {
 		if es, ok := src.(edgesSource); ok {
 			return sequentialReport(es.edges) // no world needed
@@ -168,13 +292,13 @@ func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report,
 		return sequentialReport(collected)
 	}
 
-	w := m.world
+	w := m.world.Load()
 	w.ResetMetrics() // this job's makespan, not the machine's history
 	rep := &Report{}
 	shares := make([][]graph.Edge, m.cfg.PEs)
 	var algErr error
 	start := time.Now()
-	err := w.RunJob(ctx, rs.obs, func(c *comm.Comm) {
+	err := w.RunJobCfg(ctx, m.jobConfig(rs), func(c *comm.Comm) {
 		edges, layout, inErr := src.provide(c, rs)
 		if inErr != nil {
 			// provide returns the same error on every PE, so all PEs
@@ -258,13 +382,21 @@ func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report,
 	return rep, nil
 }
 
+// jobConfig resolves one job's simulation-level configuration from its run
+// settings.
+func (m *Machine) jobConfig(rs runSettings) comm.JobConfig {
+	return comm.JobConfig{Observer: rs.obs, StallTimeout: rs.stall, Inject: rs.inject}
+}
+
 // collectCanonical materializes a source inside the machine's world and
 // gathers the canonical (U < V) undirected edges, for the sequential
 // reference path.
 func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettings) ([]InputEdge, error) {
 	var collected []InputEdge
 	var inputErr error
-	err := m.world.RunJob(ctx, nil, func(c *comm.Comm) {
+	cfg := m.jobConfig(rs)
+	cfg.Observer = nil // no algorithm phases to observe on this path
+	err := m.world.Load().RunJobCfg(ctx, cfg, func(c *comm.Comm) {
 		edges, _, err := src.provide(c, rs)
 		if err != nil {
 			if c.Rank() == 0 {

@@ -23,7 +23,7 @@ func TestMachineReuseParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewMachine(cfg.MachineConfig())
+	m := newTestMachine(t, cfg.MachineConfig())
 	defer m.Close()
 	for i := 0; i < 3; i++ {
 		got, err := m.Compute(context.Background(), FromSpec(spec), cfg.RunOptions()...)
@@ -70,7 +70,7 @@ func TestMachineConcurrentCompute(t *testing.T) {
 		}
 		want[i] = rep.TotalWeight
 	}
-	m := NewMachine(MachineConfig{PEs: 4})
+	m := newTestMachine(t, MachineConfig{PEs: 4})
 	defer m.Close()
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -96,6 +96,16 @@ func TestMachineConcurrentCompute(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// newTestMachine builds a Machine or fails the test.
+func newTestMachine(t *testing.T, cfg MachineConfig) *Machine {
+	t.Helper()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 // waitForGoroutines polls until the live goroutine count drops to at most
@@ -127,7 +137,7 @@ func TestMachineCancellationMidRun(t *testing.T) {
 	// observed at one of the following collective boundaries, far from the
 	// end of the job.
 	spec := GraphSpec{Family: GNM, N: 1 << 12, M: 1 << 15, Seed: 5}
-	m := NewMachine(MachineConfig{PEs: 8})
+	m := newTestMachine(t, MachineConfig{PEs: 8})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	rep, err := m.Compute(ctx, FromSpec(spec),
@@ -167,7 +177,7 @@ func TestMachineCancellationMidRun(t *testing.T) {
 // TestMachineComputeQueue: a Compute waiting behind an in-flight job leaves
 // the queue with ctx.Err() when its context expires.
 func TestMachineComputeQueue(t *testing.T) {
-	m := NewMachine(MachineConfig{PEs: 4})
+	m := newTestMachine(t, MachineConfig{PEs: 4})
 	defer m.Close()
 	started := make(chan struct{})
 	var once sync.Once
@@ -192,7 +202,7 @@ func TestMachineComputeQueue(t *testing.T) {
 // TestMachineClosed: Compute on a closed machine fails with
 // ErrMachineClosed; Close is idempotent.
 func TestMachineClosed(t *testing.T) {
-	m := NewMachine(MachineConfig{PEs: 2})
+	m := newTestMachine(t, MachineConfig{PEs: 2})
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +217,7 @@ func TestMachineClosed(t *testing.T) {
 // TestMachineObserverEvents: a job streams balanced phase events and round
 // events with plausible payloads, in nondecreasing modeled time.
 func TestMachineObserverEvents(t *testing.T) {
-	m := NewMachine(MachineConfig{PEs: 4})
+	m := newTestMachine(t, MachineConfig{PEs: 4})
 	defer m.Close()
 	var events []Event
 	_, err := m.Compute(context.Background(),

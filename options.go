@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"kamsta/internal/baselines"
 	"kamsta/internal/comm"
 	"kamsta/internal/core"
+	"kamsta/internal/faultinject"
 )
 
 // Event is one progress notification from a running job: phase begin/end
@@ -42,6 +44,9 @@ type runSettings struct {
 	core     core.Options
 	baseline baselines.Options
 	obs      Observer
+	stall    time.Duration
+	retries  int
+	inject   *faultinject.Plan
 }
 
 // RunOption configures one Compute call on a Machine. Machine-scoped
@@ -80,6 +85,44 @@ func WithBaselineOptions(o baselines.Options) RunOption {
 // WithObserver streams the job's phase and round events to obs.
 func WithObserver(obs Observer) RunOption {
 	return func(rs *runSettings) { rs.obs = obs }
+}
+
+// WithStallTimeout arms a stall watchdog for this job: if no collective
+// completes for d, the job aborts with a *JobError reporting which ranks
+// reached the stalled superstep's barrier and which did not, and the
+// machine rebuilds its world before the next job. Zero (the default)
+// disables detection; pick d comfortably above the longest legitimate gap
+// between collectives (local compute between supersteps counts toward it).
+func WithStallTimeout(d time.Duration) RunOption {
+	return func(rs *runSettings) {
+		if d > 0 {
+			rs.stall = d
+		}
+	}
+}
+
+// WithRetry re-runs a job up to n extra times when it fails with a
+// *JobError (contained panic, stall, lost PE) — the retrying-wrapper shape
+// production services put around a flaky dependency. Each retry runs on a
+// restored machine (clean-verified or rebuilt world) and re-materializes
+// the source. Other errors — bad input, ctx cancellation — are never
+// retried.
+func WithRetry(n int) RunOption {
+	return func(rs *runSettings) {
+		if n > 0 {
+			rs.retries = n
+		}
+	}
+}
+
+// WithFaultInjection arms this job with a deterministic fault-injection
+// plan (see internal/faultinject): seeded rules that panic, delay, or fail
+// a read at chosen ranks and supersteps. It exists for the chaos test
+// suite and for reproducing a containment bug from its seed; the plan type
+// is internal on purpose — production code has no business injecting
+// faults.
+func WithFaultInjection(plan *faultinject.Plan) RunOption {
+	return func(rs *runSettings) { rs.inject = plan }
 }
 
 // AlgorithmNames returns the supported algorithm names, sorted, as one
