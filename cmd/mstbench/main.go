@@ -9,6 +9,14 @@
 //	mstbench -experiment all
 //	mstbench -input g.kg -ps 4,8,16                  # benchmark a graph file
 //	mstbench -input g.kg -alg boruvka,filterBoruvka  # selected algorithms only
+//
+// Observability: -metrics - dumps the substrate and job metrics on exit,
+// -trace trace.json records a Chrome-loadable span trace, -json out.json
+// emits machine-readable benchmark rows (the BENCH_<date>.json schema),
+// and -pprof addr serves live profiles and /metrics over HTTP:
+//
+//	mstbench -metrics - -trace trace.json -input g.kg -ps 8
+//	mstbench -experiment fig6 -json BENCH_$(date +%F).json
 package main
 
 import (
@@ -21,9 +29,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"kamsta"
 	"kamsta/internal/bench"
+	"kamsta/internal/cliobs"
 )
 
 func main() {
@@ -42,11 +52,17 @@ func main() {
 	informat := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
 	algNames := flag.String("alg", "", "comma-separated algorithms for -input runs, from: "+
 		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
+	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file (- for stdout)")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 
 	algs, err := parseAlgs(*algNames)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstbench: bad -alg: %v\n", err)
+		os.Exit(2)
+	}
+	if err := obsFlags.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -58,11 +74,33 @@ func main() {
 		Seed:           *seed,
 		Reps:           *reps,
 		BaseCaseCap:    *cap,
+		Metrics:        obsFlags.Registry,
+		Trace:          obsFlags.Trace,
+	}
+	if *jsonOut != "" {
+		scale.Rec = &bench.Recorder{}
 	}
 	scale.Ps, err = parseInts(*ps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstbench: bad -ps: %v\n", err)
 		os.Exit(2)
+	}
+	// flush writes the -json/-metrics/-trace outputs; every exit path that
+	// has measured something calls it.
+	flush := func() {
+		if scale.Rec != nil {
+			err := writeOut(*jsonOut, func(w *os.File) error {
+				return scale.Rec.WriteJSON(w, scale, time.Now().Format("2006-01-02"))
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mstbench: -json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := obsFlags.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	// SIGINT cancels ctx: the in-flight job unwinds at its next collective
@@ -75,6 +113,7 @@ func main() {
 		if err := bench.RunFile(ctx, os.Stdout, *input, *informat, algs, scale); err != nil {
 			fail(err)
 		}
+		flush()
 		return
 	}
 	if *experiment == "all" {
@@ -84,6 +123,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		flush()
 		return
 	}
 	if _, ok := bench.Experiments()[*experiment]; !ok {
@@ -94,6 +134,23 @@ func main() {
 	if err := bench.RunExperiment(ctx, *experiment, os.Stdout, scale); err != nil {
 		fail(err)
 	}
+	flush()
+}
+
+// writeOut opens path for writing ("-" = stdout), runs emit, and closes.
+func writeOut(path string, emit func(*os.File) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // fail prints one line and exits non-zero; an interrupt gets its own

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"kamsta/internal/cliobs"
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
 	"kamsta/internal/gen"
@@ -54,6 +55,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print instance statistics instead of edges")
 	out := flag.String("o", "", "output file (default: write text to stdout)")
 	format := flag.String("format", "auto", "output format: kamsta, edgelist, gr, metis, auto (by -o extension)")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 
 	if *pes < 1 || *pes > 1<<12 {
@@ -77,6 +79,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if err := obsFlags.Activate(); err != nil {
+		fail("%v", err)
+	}
 
 	// SIGINT cancels generation at the next collective boundary: the world
 	// unwinds cleanly and the command exits without a panic trace.
@@ -84,8 +89,8 @@ func main() {
 	defer stop()
 
 	chunks := make([][]graph.Edge, *pes)
-	w := comm.NewWorld(*pes)
-	err = w.RunJob(ctx, nil, func(c *comm.Comm) {
+	w := comm.NewWorld(*pes, comm.WithMetrics(obsFlags.Registry))
+	err = w.RunJobCfg(ctx, comm.JobConfig{Trace: obsFlags.Trace}, func(c *comm.Comm) {
 		edges, _ := gen.Build(c, spec, dsort.Options{})
 		chunks[c.Rank()] = edges
 	})
@@ -101,6 +106,11 @@ func main() {
 		all = append(all, ch...)
 	}
 
+	defer func() {
+		if err := obsFlags.Flush(); err != nil {
+			fail("%v", err)
+		}
+	}()
 	if *stats {
 		printStats(spec, all)
 		return

@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"kamsta"
+	"kamsta/internal/cliobs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	format := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
 	algNames := flag.String("alg", "", "comma-separated algorithms to check, from: "+
 		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
+	obsFlags := cliobs.Register()
 	flag.Parse()
 
 	peList, err := parseInts(*ps)
@@ -47,22 +49,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mstverify: bad -alg: %v\n", err)
 		os.Exit(2)
 	}
+	if err := obsFlags.Activate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
+		os.Exit(2)
+	}
 	// SIGINT cancels the shared ctx: the in-flight job unwinds at its next
 	// collective boundary and the sweep stops with a one-line message.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	v, err := newVerifier(ctx, peList, *threads)
+	v, err := newVerifier(ctx, peList, *threads, obsFlags)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
 		os.Exit(2)
 	}
 	defer v.Close()
+	var failures int
 	if *input != "" {
-		v.runFile(*input, *format, algs)
-		return
+		failures = v.runFile(*input, *format, algs)
+	} else {
+		failures = v.run(*n, *m, *seeds, algs)
 	}
-	v.run(*n, *m, *seeds, algs)
+	if err := obsFlags.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
 }
 
 // checkInterrupt turns a context-cancellation error into a clean exit; any
@@ -99,13 +113,21 @@ type verifier struct {
 	ctx      context.Context
 	peList   []int
 	machines map[int]*kamsta.Machine
+	trace    *kamsta.Trace
 }
 
-func newVerifier(ctx context.Context, peList []int, threads int) (*verifier, error) {
-	v := &verifier{ctx: ctx, peList: peList, machines: make(map[int]*kamsta.Machine)}
+func newVerifier(ctx context.Context, peList []int, threads int, obsFlags *cliobs.Flags) (*verifier, error) {
+	v := &verifier{
+		ctx:      ctx,
+		peList:   peList,
+		machines: make(map[int]*kamsta.Machine),
+		trace:    obsFlags.Trace,
+	}
 	for _, p := range peList {
 		if v.machines[p] == nil {
-			m, err := kamsta.NewMachine(kamsta.MachineConfig{PEs: p, Threads: threads})
+			m, err := kamsta.NewMachine(kamsta.MachineConfig{
+				PEs: p, Threads: threads, Metrics: obsFlags.Registry,
+			})
 			if err != nil {
 				v.Close()
 				return nil, err
@@ -114,6 +136,14 @@ func newVerifier(ctx context.Context, peList []int, threads int) (*verifier, err
 		}
 	}
 	return v, nil
+}
+
+// opts assembles per-job options, appending the trace sink when active.
+func (v *verifier) opts(ro ...kamsta.RunOption) []kamsta.RunOption {
+	if v.trace != nil {
+		ro = append(ro, kamsta.WithTrace(v.trace))
+	}
+	return ro
 }
 
 func (v *verifier) Close() {
@@ -125,12 +155,14 @@ func (v *verifier) Close() {
 // oracle computes the sequential Kruskal reference on the first machine.
 func (v *verifier) oracle(src kamsta.Source) (*kamsta.Report, error) {
 	return v.machines[v.peList[0]].Compute(v.ctx, src,
-		kamsta.WithAlgorithm(kamsta.AlgKruskal))
+		v.opts(kamsta.WithAlgorithm(kamsta.AlgKruskal))...)
 }
 
 // runFile cross-checks the selected algorithms against Kruskal on a
-// file-backed instance, loaded in parallel at each PE count.
-func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
+// file-backed instance, loaded in parallel at each PE count. Returns the
+// failure count (so main can still flush -metrics/-trace before exiting
+// non-zero).
+func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) int {
 	src := kamsta.FromFileFormat(path, format)
 	want, err := v.oracle(src)
 	if err != nil {
@@ -143,7 +175,7 @@ func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
 	failures, checks := 0, 0
 	for _, alg := range algs {
 		for _, p := range v.peList {
-			got, err := v.machines[p].Compute(v.ctx, src, kamsta.WithAlgorithm(alg))
+			got, err := v.machines[p].Compute(v.ctx, src, v.opts(kamsta.WithAlgorithm(alg))...)
 			checks++
 			if err != nil {
 				checkInterrupt(err)
@@ -161,12 +193,10 @@ func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) {
 		}
 	}
 	fmt.Printf("\n%d checks, %d failures\n", checks, failures)
-	if failures > 0 {
-		os.Exit(1)
-	}
+	return failures
 }
 
-func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) {
+func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) int {
 	fams := []struct {
 		name string
 		spec func(seed uint64) kamsta.GraphSpec
@@ -192,7 +222,7 @@ func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) {
 			for _, alg := range algs {
 				for _, p := range v.peList {
 					got, err := v.machines[p].Compute(v.ctx, kamsta.FromSpec(spec),
-						kamsta.WithAlgorithm(alg))
+						v.opts(kamsta.WithAlgorithm(alg))...)
 					checks++
 					if err != nil {
 						checkInterrupt(err)
@@ -211,9 +241,7 @@ func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) {
 		}
 	}
 	fmt.Printf("\n%d checks, %d failures\n", checks, failures)
-	if failures > 0 {
-		os.Exit(1)
-	}
+	return failures
 }
 
 func parseInts(s string) ([]int, error) {

@@ -26,6 +26,7 @@ package arena
 
 import (
 	"fmt"
+	"reflect"
 	"sync/atomic"
 )
 
@@ -106,6 +107,38 @@ func GrabAppend[T any](a *Arena, k Key) []T {
 func Keep[T any](a *Arena, k Key, s []T) {
 	p := slot[T](a, k)
 	*p = s
+}
+
+// Footprint reports the number of live slots and the total bytes of backing
+// capacity they hold, including the inner buckets of [][]T slots. It walks
+// the slots with reflection — a cold-path accounting method for metrics and
+// diagnostics, never called from algorithm hot paths (the hot paths stay
+// reflection- and allocation-free).
+func (a *Arena) Footprint() (slots int, bytes int64) {
+	for _, s := range a.slots {
+		if s == nil {
+			continue
+		}
+		slots++
+		v := reflect.ValueOf(s).Elem() // *[]T -> []T
+		bytes += sliceBytes(v)
+	}
+	return slots, bytes
+}
+
+// sliceBytes returns the backing-capacity bytes of a slice value, recursing
+// one level into slice-of-slice (the Buckets shape).
+func sliceBytes(v reflect.Value) int64 {
+	et := v.Type().Elem()
+	b := int64(v.Cap()) * int64(et.Size())
+	if et.Kind() == reflect.Slice && v.Cap() > 0 {
+		full := v.Slice(0, v.Cap())
+		for i := 0; i < full.Len(); i++ {
+			inner := full.Index(i)
+			b += int64(inner.Cap()) * int64(inner.Type().Elem().Size())
+		}
+	}
+	return b
 }
 
 // Buckets returns a [][]T of length p in slot k with every bucket reset to

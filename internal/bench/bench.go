@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -48,6 +49,16 @@ type Scale struct {
 	// with 2^17 vertices per core (~1/4 of a PE's vertices); 0 derives the
 	// same ratio from VPerPE.
 	BaseCaseCap int
+
+	// Metrics, when non-nil, registers every pooled machine's job-level and
+	// per-PE substrate series in this registry (cmd/mstbench -metrics).
+	Metrics *kamsta.Metrics
+	// Trace, when non-nil, records the span stream of every measured job
+	// (cmd/mstbench -trace).
+	Trace *kamsta.Trace
+	// Rec, when non-nil, records machine-readable benchmark rows for the
+	// -json emitter and the BENCH_<date>.json trajectory.
+	Rec *Recorder
 }
 
 // baseCap resolves the base-case threshold for this scale.
@@ -134,6 +145,12 @@ func seriesConfig(alg kamsta.Algorithm, threads int, s Scale) kamsta.Config {
 type machinePool struct {
 	ctx context.Context
 	ms  map[machineKey]*kamsta.Machine
+
+	// Observability sinks shared by every measurement of the sweep (all
+	// may be nil; see the Scale fields of the same names).
+	metrics *kamsta.Metrics
+	trace   *kamsta.Trace
+	rec     *Recorder
 }
 
 type machineKey struct {
@@ -141,11 +158,17 @@ type machineKey struct {
 	cost         comm.CostModel
 }
 
-func newMachinePool(ctx context.Context) *machinePool {
+func newMachinePool(ctx context.Context, s Scale) *machinePool {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &machinePool{ctx: ctx, ms: make(map[machineKey]*kamsta.Machine)}
+	return &machinePool{
+		ctx:     ctx,
+		ms:      make(map[machineKey]*kamsta.Machine),
+		metrics: s.Metrics,
+		trace:   s.Trace,
+		rec:     s.Rec,
+	}
 }
 
 // benchFailure carries a measurement error out of the panic-style
@@ -164,7 +187,9 @@ func (mp *machinePool) get(cfg kamsta.Config) (*kamsta.Machine, error) {
 	m := mp.ms[key]
 	if m == nil {
 		var err error
-		m, err = kamsta.NewMachine(kamsta.MachineConfig{PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost})
+		m, err = kamsta.NewMachine(kamsta.MachineConfig{
+			PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost, Metrics: mp.metrics,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +222,10 @@ func (mp *machinePool) measureSource(src kamsta.Source, cfg kamsta.Config, reps 
 }
 
 // measureSourceErr is the error-returning measurement core: reps runs on
-// the pooled machine, keeping the one with minimum modeled time.
+// the pooled machine, keeping the one with minimum modeled time. With a
+// Recorder attached it also records one machine-readable row per
+// measurement, bracketing the reps with process MemStats for the
+// allocation trajectory.
 func (mp *machinePool) measureSourceErr(src kamsta.Source, cfg kamsta.Config, reps int) (*kamsta.Report, error) {
 	var best *kamsta.Report
 	if reps < 1 {
@@ -207,14 +235,53 @@ func (mp *machinePool) measureSourceErr(src kamsta.Source, cfg kamsta.Config, re
 	if err != nil {
 		return nil, err
 	}
+	opts := cfg.RunOptions()
+	if mp.trace != nil {
+		opts = append(opts, kamsta.WithTrace(mp.trace))
+	}
+	var ms0 runtime.MemStats
+	if mp.rec != nil {
+		runtime.ReadMemStats(&ms0)
+	}
 	for i := 0; i < reps; i++ {
-		rep, err := m.Compute(mp.ctx, src, cfg.RunOptions()...)
+		rep, err := m.Compute(mp.ctx, src, opts...)
 		if err != nil {
 			return nil, err
 		}
 		if best == nil || rep.ModeledSeconds < best.ModeledSeconds {
 			best = rep
 		}
+	}
+	if mp.rec != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		alg := cfg.Algorithm
+		if alg == "" {
+			alg = kamsta.AlgBoruvka
+		}
+		pes, threads := cfg.PEs, cfg.Threads
+		if pes <= 0 {
+			pes = 4
+		}
+		if threads <= 0 {
+			threads = 1
+		}
+		mp.rec.add(Row{
+			Instance:            src.Label(),
+			Algorithm:           string(alg),
+			PEs:                 pes,
+			Threads:             threads,
+			Vertices:            best.InputVertices,
+			EdgesDirected:       best.InputEdges,
+			Rounds:              best.Rounds,
+			Reps:                reps,
+			ModeledSeconds:      best.ModeledSeconds,
+			WallSeconds:         best.WallSeconds,
+			InputModeledSeconds: best.InputModeledSeconds,
+			EdgesPerSecond:      best.EdgesPerSecond,
+			AllocsPerRep:        (ms1.Mallocs - ms0.Mallocs) / uint64(reps),
+			AllocBytesPerRep:    (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(reps),
+		})
 	}
 	return best, nil
 }
@@ -251,7 +318,7 @@ func weakSpec(f gen.Family, s Scale, p int) gen.Spec {
 // {boruvka, filterBoruvka, MND-MST, sparseMatrix} × {1, 8} threads,
 // throughput in (directed) input edges per modeled second.
 func Fig3(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.GNM, gen.RHG, gen.RMAT}
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
@@ -281,7 +348,7 @@ func Fig3(ctx context.Context, w io.Writer, s Scale) {
 // contraction time for one-level (direct) vs two-level (grid) exchanges on
 // GNM weak scaling.
 func Fig2(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	fmt.Fprintf(w, "# Fig. 2 — one-level vs two-level all-to-all, contraction phase, GNM weak scaling\n")
 	tw := table(w)
@@ -307,7 +374,7 @@ func Fig2(ctx context.Context, w io.Writer, s Scale) {
 // families with the denser per-PE setting, including the fastest
 // preprocessing-enabled variant as baseline.
 func Fig4(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	families := []gen.Family{gen.Grid2D, gen.RGG2D, gen.RGG3D, gen.RHG}
 	fmt.Fprintf(w, "# Fig. 4 — disabled local preprocessing, %d vertices and %d undirected edges per PE\n", s.VPerPE, s.DenseEPerPE)
@@ -341,7 +408,7 @@ func Fig4(ctx context.Context, w io.Writer, s Scale) {
 
 // Fig5 reproduces the strong-scaling experiment on the Table I stand-ins.
 func Fig5(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	algs := []string{"boruvka", "filterBoruvka", "MND-MST", "sparseMatrix"}
 	threads := []int{1, 8}
@@ -371,7 +438,7 @@ func Fig5(ctx context.Context, w io.Writer, s Scale) {
 // Fig6 reproduces the normalized phase breakdown for 3D-RGG, GNM and RMAT
 // across the b1/b8/f1/f8 variants.
 func Fig6(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	families := []gen.Family{gen.RGG3D, gen.GNM, gen.RMAT}
 	variants := []struct {
@@ -430,7 +497,7 @@ func safeFrac(x, total float64) float64 {
 // Table1 prints the real-world instance inventory with both the paper's
 // original sizes and the stand-in sizes at the configured scale.
 func Table1(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	fmt.Fprintf(w, "# Table I — real-world instances and their stand-ins (scale 1/%d)\n", s.RealWorldScale)
 	tw := table(w)
@@ -458,7 +525,7 @@ func Table1(ctx context.Context, w io.Writer, s Scale) {
 // (our local MSF with t threads, standing in for MASTIFF) against the
 // distributed algorithms at increasing PE counts on the same instance.
 func SharedMemory(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	fmt.Fprintf(w, "# §VII-C — shared-memory baseline vs distributed algorithms\n")
 	specs := []struct {
@@ -502,7 +569,7 @@ func SharedMemory(ctx context.Context, w io.Writer, s Scale) {
 // modeled time of ingestion + global sort (Report.InputModeledSeconds);
 // modeled_s the algorithm itself.
 func FileBackedTable1(ctx context.Context, w io.Writer, s Scale) {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
 	dir, err := os.MkdirTemp("", "kamsta-bench-")
 	if err != nil {
@@ -542,8 +609,11 @@ func FileBackedTable1(ctx context.Context, w io.Writer, s Scale) {
 // RunFile benchmarks the paper's algorithms on a user-supplied graph file
 // across the configured PE counts (cmd/mstbench -input).
 func RunFile(ctx context.Context, w io.Writer, path, format string, algs []kamsta.Algorithm, s Scale) error {
-	mp := newMachinePool(ctx)
+	mp := newMachinePool(ctx, s)
 	defer mp.Close()
+	if s.Rec != nil {
+		s.Rec.SetBenchmark("file")
+	}
 	src := kamsta.FromFileFormat(path, format)
 	fmt.Fprintf(w, "# file-backed run — %s\n", path)
 	tw := table(w)
@@ -551,7 +621,17 @@ func RunFile(ctx context.Context, w io.Writer, path, format string, algs []kamst
 	if len(algs) == 0 {
 		algs = kamsta.DistributedAlgorithms()
 	}
+	// Per algorithm, keep the report at the largest PE count for the
+	// per-phase breakdown printed after the main table.
+	type phaseRep struct {
+		alg kamsta.Algorithm
+		p   int
+		rep *kamsta.Report
+	}
+	var breakdown []phaseRep
 	for _, alg := range algs {
+		var last *kamsta.Report
+		lastP := 0
 		for _, p := range s.Ps {
 			cfg := seriesConfig(alg, 1, s)
 			cfg.PEs = p
@@ -562,9 +642,31 @@ func RunFile(ctx context.Context, w io.Writer, path, format string, algs []kamst
 			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.4e\t%.4e\t%.3f\t%.4e\n",
 				alg, p, rep.InputVertices, rep.InputEdges,
 				rep.InputModeledSeconds, rep.ModeledSeconds, rep.WallSeconds, rep.EdgesPerSecond)
+			if p >= lastP {
+				last, lastP = rep, p
+			}
+		}
+		if last != nil && len(last.Phases) > 0 {
+			breakdown = append(breakdown, phaseRep{alg, lastP, last})
 		}
 	}
 	tw.Flush()
+	for _, br := range breakdown {
+		fmt.Fprintf(w, "\n# phase breakdown — %s, p=%d\n", br.alg, br.p)
+		ptw := table(w)
+		fmt.Fprintln(ptw, "phase\tmodeled_s\twall_s\tmsgs\tbytes\tcollectives")
+		names := make([]string, 0, len(br.rep.Phases))
+		for ph := range br.rep.Phases {
+			names = append(names, ph)
+		}
+		sort.Strings(names)
+		for _, ph := range names {
+			pt := br.rep.Phases[ph]
+			fmt.Fprintf(ptw, "%s\t%.4e\t%.3f\t%d\t%d\t%d\n",
+				ph, pt.Modeled, pt.Wall.Seconds(), pt.Stats.Messages, pt.Stats.Bytes, pt.Stats.Collectives)
+		}
+		ptw.Flush()
+	}
 	return nil
 }
 
@@ -580,6 +682,9 @@ func RunExperiment(ctx context.Context, id string, w io.Writer, s Scale) error {
 	run, ok := Experiments()[id]
 	if !ok {
 		return fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(ExperimentNames(), ", "))
+	}
+	if s.Rec != nil {
+		s.Rec.SetBenchmark(id)
 	}
 	return runCaptured(func() { run(ctx, w, s) })
 }

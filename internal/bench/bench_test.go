@@ -170,7 +170,7 @@ func TestShapeHeadlines(t *testing.T) {
 	// bites once n is large.
 	regime := comm.CostModel{Alpha: 10e-6, Beta: 1e-9, Compute: 2.5e-7}
 	s.BaseCaseCap = 256
-	mp := newMachinePool(context.Background())
+	mp := newMachinePool(context.Background(), s)
 	defer mp.Close()
 
 	modeled := func(series string, threads int, f gen.Family, n, m uint64) float64 {

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Row is one machine-readable measurement: the benchmark that produced it,
+// the instance and machine shape, and the costs. Allocs are process-wide
+// deltas around the measurement (averaged per rep), so they include harness
+// overhead — comparable across commits as a trajectory, not a precise
+// per-job count.
+type Row struct {
+	Benchmark           string  `json:"benchmark"`
+	Instance            string  `json:"instance"`
+	Algorithm           string  `json:"algorithm"`
+	PEs                 int     `json:"pes"`
+	Threads             int     `json:"threads"`
+	Vertices            int     `json:"vertices"`
+	EdgesDirected       int     `json:"edges_directed"`
+	Rounds              int     `json:"rounds"`
+	Reps                int     `json:"reps"`
+	ModeledSeconds      float64 `json:"modeled_seconds"`
+	WallSeconds         float64 `json:"wall_seconds"`
+	InputModeledSeconds float64 `json:"input_modeled_seconds,omitempty"`
+	EdgesPerSecond      float64 `json:"edges_per_second"`
+	AllocsPerRep        uint64  `json:"allocs_per_rep"`
+	AllocBytesPerRep    uint64  `json:"alloc_bytes_per_rep"`
+}
+
+// Recorder accumulates benchmark rows for the -json emitter. Safe for
+// concurrent use (experiments are sequential today, but the recorder does
+// not depend on that).
+type Recorder struct {
+	mu    sync.Mutex
+	bench string
+	rows  []Row
+}
+
+// SetBenchmark names the benchmark for subsequently recorded rows.
+func (r *Recorder) SetBenchmark(name string) {
+	r.mu.Lock()
+	r.bench = name
+	r.mu.Unlock()
+}
+
+// add appends one row, stamping the current benchmark name.
+func (r *Recorder) add(row Row) {
+	r.mu.Lock()
+	row.Benchmark = r.bench
+	r.rows = append(r.rows, row)
+	r.mu.Unlock()
+}
+
+// Rows returns a copy of the recorded rows.
+func (r *Recorder) Rows() []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Row(nil), r.rows...)
+}
+
+// benchDoc is the BENCH_<date>.json schema, version kamsta-bench/v1.
+type benchDoc struct {
+	Schema string `json:"schema"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	OS     string `json:"os"`
+	Arch   string `json:"arch"`
+	CPUs   int    `json:"cpus"`
+	Scale  struct {
+		Ps             []int  `json:"ps"`
+		VPerPE         uint64 `json:"v_per_pe"`
+		EPerPE         uint64 `json:"e_per_pe"`
+		DenseEPerPE    uint64 `json:"dense_e_per_pe"`
+		RealWorldScale uint64 `json:"real_world_scale"`
+		Seed           uint64 `json:"seed"`
+		Reps           int    `json:"reps"`
+		BaseCaseCap    int    `json:"base_case_cap"`
+	} `json:"scale"`
+	Rows []Row `json:"rows"`
+}
+
+// WriteJSON emits the recorded rows in the BENCH_<date>.json schema. date
+// is an ISO date string chosen by the caller (kept out of the Recorder so
+// reruns are reproducible byte-for-byte when the caller pins it).
+func (r *Recorder) WriteJSON(w io.Writer, s Scale, date string) error {
+	doc := benchDoc{
+		Schema: "kamsta-bench/v1",
+		Date:   date,
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Rows:   r.Rows(),
+	}
+	doc.Scale.Ps = s.Ps
+	doc.Scale.VPerPE = s.VPerPE
+	doc.Scale.EPerPE = s.EPerPE
+	doc.Scale.DenseEPerPE = s.DenseEPerPE
+	doc.Scale.RealWorldScale = s.RealWorldScale
+	doc.Scale.Seed = s.Seed
+	doc.Scale.Reps = s.Reps
+	doc.Scale.BaseCaseCap = s.BaseCaseCap
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

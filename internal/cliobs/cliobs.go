@@ -1,0 +1,118 @@
+// Package cliobs wires the observability flags shared by the kamsta
+// commands (mstbench, mstverify, mstgen): -metrics, -trace, and -pprof.
+// Each command registers the flags, activates the sinks after flag.Parse,
+// threads the registry/trace into its machines or worlds, and flushes the
+// collected data on exit.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	// Register the pprof handlers on http.DefaultServeMux; the -pprof
+	// server below serves that mux.
+	_ "net/http/pprof"
+
+	"kamsta/internal/obs"
+)
+
+// Flags holds the observability flag values and, after Activate, the live
+// sinks they configure.
+type Flags struct {
+	MetricsPath string
+	TracePath   string
+	PprofAddr   string
+
+	// Registry is non-nil when -metrics or -pprof asked for one.
+	Registry *obs.Registry
+	// Trace is non-nil when -trace asked for one.
+	Trace *obs.Trace
+}
+
+// Register declares the three flags on the default flag set. Call before
+// flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.MetricsPath, "metrics", "",
+		"write metrics on exit: a path (.json = JSON, else Prometheus text) or - for stdout")
+	flag.StringVar(&f.TracePath, "trace", "",
+		"record a span trace and write it on exit: a path (.json = Chrome trace_event, else text summary) or - for stdout")
+	flag.StringVar(&f.PprofAddr, "pprof", "",
+		"serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Activate builds the sinks the parsed flags ask for and starts the -pprof
+// server. Call once, after flag.Parse and before any machine or world is
+// created.
+func (f *Flags) Activate() error {
+	if f.MetricsPath != "" || f.PprofAddr != "" {
+		f.Registry = obs.NewRegistry()
+	}
+	if f.TracePath != "" {
+		f.Trace = obs.NewTrace()
+	}
+	if f.PprofAddr != "" {
+		ln, err := net.Listen("tcp", f.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", http.DefaultServeMux) // pprof lives here
+		mux.Handle("/metrics", f.Registry.Handler())
+		go func() { _ = http.Serve(ln, mux) }() //nolint:errcheck // best-effort debug server
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s (profiles under /debug/pprof/, metrics at /metrics)\n",
+			ln.Addr())
+	}
+	return nil
+}
+
+// Flush writes the metrics and trace outputs the flags asked for. Call once
+// on the way out, after all jobs have completed.
+func (f *Flags) Flush() error {
+	if f.MetricsPath != "" {
+		if err := writeOut(f.MetricsPath, func(w *os.File) error {
+			if strings.HasSuffix(f.MetricsPath, ".json") {
+				return f.Registry.WriteJSON(w)
+			}
+			return f.Registry.WritePrometheus(w)
+		}); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if f.TracePath != "" {
+		if err := writeOut(f.TracePath, func(w *os.File) error {
+			if strings.HasSuffix(f.TracePath, ".json") {
+				return f.Trace.WriteChromeJSON(w)
+			}
+			return f.Trace.WriteSummary(w)
+		}); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if n := f.Trace.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d spans dropped (ring capacity %d per rank; raise obs.Trace.CapPerRank)\n",
+				n, f.Trace.RingCap())
+		}
+	}
+	return nil
+}
+
+// writeOut opens path for writing ("-" = stdout), runs emit, and closes.
+func writeOut(path string, emit func(*os.File) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -45,6 +45,7 @@ import (
 
 	"kamsta/internal/arena"
 	"kamsta/internal/faultinject"
+	"kamsta/internal/obs"
 )
 
 // CostModel holds the machine parameters of the α-β model.
@@ -121,6 +122,16 @@ type World struct {
 	// across rounds AND across jobs on a persistent machine; see
 	// Comm.Scratch.
 	arenas []*arena.Arena
+
+	// wm holds the world's resolved metric instruments (nil unless built
+	// WithMetrics); see metrics.go for the update discipline.
+	wm *worldMetrics
+
+	// rings holds each rank's span ring for traced jobs, world-owned like
+	// the arenas so tracing a steady-state job allocates nothing: rank r's
+	// ring is created on r's first traced job and recycled afterwards.
+	// Only rank r's PE goroutine touches rings[r].
+	rings []*obs.Ring
 }
 
 // arrival is one rank's barrier-arrival counter, padded so watchdog reads
@@ -201,6 +212,7 @@ func NewWorld(p int, opts ...Option) *World {
 		clocks:  make([]float64, p),
 		arrived: make([]arrival, p),
 		arenas:  make([]*arena.Arena, p),
+		rings:   make([]*obs.Ring, p),
 	}
 	for i := range w.arenas {
 		w.arenas[i] = arena.New()
@@ -232,13 +244,37 @@ func (w *World) newComm(rank int, jb *worldJob) *Comm {
 	if rank == 0 {
 		c.obs = jb.obs
 	}
+	if w.wm != nil {
+		c.m = &w.wm.ranks[rank]
+	}
+	if jb.tr != nil {
+		c.ring = w.ringFor(rank, jb.tr.RingCap())
+		c.traceEpoch = jb.traceEpoch
+	}
 	return c
+}
+
+// ringFor returns rank's span ring, reset for a new job; created on first
+// use (or when the requested capacity changed). Called from the PE's own
+// goroutine only.
+func (w *World) ringFor(rank, capacity int) *obs.Ring {
+	r := w.rings[rank]
+	if r == nil || r.Cap() != capacity {
+		r = obs.NewRing(capacity)
+		w.rings[rank] = r
+	}
+	r.Reset()
+	return r
 }
 
 // PhaseTime is the accumulated cost of one named phase.
 type PhaseTime struct {
 	Modeled float64       // modeled seconds (max over PEs when aggregated)
 	Wall    time.Duration // wall seconds (max over PEs when aggregated)
+	// Stats is the traffic charged during the phase, excluding nested
+	// phases (summed over PEs when aggregated — times take the max because
+	// PEs overlap, traffic sums because every byte is distinct).
+	Stats Stats
 }
 
 // Phases returns the per-phase times, aggregated as the maximum over all
@@ -309,6 +345,16 @@ func (s *Stats) add(o Stats) {
 	s.Collectives += o.Collectives
 }
 
+// minus returns s - o componentwise (for attributing traffic deltas to
+// phases).
+func (s Stats) minus(o Stats) Stats {
+	return Stats{
+		Messages:    s.Messages - o.Messages,
+		Bytes:       s.Bytes - o.Bytes,
+		Collectives: s.Collectives - o.Collectives,
+	}
+}
+
 // Comm is a PE's handle to the machine: its rank, its modeled clock, its
 // phase timers and its traffic counters. A Comm must only be used by the
 // goroutine it was handed to.
@@ -346,14 +392,25 @@ type Comm struct {
 
 	// obs receives phase/round events; set on rank 0 only (see newComm).
 	obs Observer
+
+	// m points at this rank's resolved metric instruments (nil when the
+	// world was built without WithMetrics); ring is this rank's span ring
+	// for a traced job (nil otherwise), with timestamps relative to
+	// traceEpoch. Both are strictly wall-side: nothing they feed is read
+	// by the cost model.
+	m          *rankMetrics
+	ring       *obs.Ring
+	traceEpoch time.Time
 }
 
 type phaseFrame struct {
-	name      string
-	clockAt   float64
-	wallAt    time.Time
-	childTime float64       // modeled time consumed by nested phases
-	childWall time.Duration // wall time consumed by nested phases
+	name       string
+	clockAt    float64
+	wallAt     time.Time
+	statsAt    Stats         // traffic counters at phase entry
+	childTime  float64       // modeled time consumed by nested phases
+	childWall  time.Duration // wall time consumed by nested phases
+	childStats Stats         // traffic consumed by nested phases
 }
 
 // Rank reports this PE's rank in 0..P-1.
@@ -409,16 +466,21 @@ func (c *Comm) ChargeComm(msgs int, bytes int) {
 	c.clock += float64(msgs)*c.w.cost.Alpha + float64(bytes)*c.w.cost.Beta
 	c.stats.Messages += int64(msgs)
 	c.stats.Bytes += int64(bytes)
+	if c.m != nil {
+		c.m.messages.Add(int64(msgs))
+		c.m.bytes.Add(int64(bytes))
+	}
 }
 
 // PhaseBegin opens a named phase. Phases may nest; time spent in nested
 // phases is attributed to the nested phase only.
 func (c *Comm) PhaseBegin(name string) {
-	c.emit(Event{Kind: EventPhaseBegin, Phase: name})
+	c.note(EventPhaseBegin, name, 0, 0)
 	c.phaseStack = append(c.phaseStack, phaseFrame{
 		name:    name,
 		clockAt: c.clock,
 		wallAt:  time.Now(),
+		statsAt: c.stats,
 	})
 }
 
@@ -439,12 +501,14 @@ func (c *Comm) PhaseEnd() {
 	}
 	pt.Modeled += modeled
 	pt.Wall += wall
+	pt.Stats.add(c.stats.minus(fr.statsAt).minus(fr.childStats))
 	if n >= 2 {
 		parent := &c.phaseStack[n-2]
 		parent.childTime += c.clock - fr.clockAt
 		parent.childWall += time.Since(fr.wallAt)
+		parent.childStats.add(c.stats.minus(fr.statsAt))
 	}
-	c.emit(Event{Kind: EventPhaseEnd, Phase: fr.name})
+	c.note(EventPhaseEnd, fr.name, 0, 0)
 }
 
 // Phase runs f inside a named phase.
@@ -455,11 +519,10 @@ func (c *Comm) Phase(name string, f func()) {
 }
 
 // flush merges this PE's metrics into the world (max for times, sum for
-// traffic).
+// traffic) and refreshes this rank's export gauges.
 func (c *Comm) flush() {
 	w := c.w
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	for name, pt := range c.phases {
 		agg := w.phases[name]
 		if agg == nil {
@@ -470,10 +533,15 @@ func (c *Comm) flush() {
 		if pt.Wall > agg.Wall {
 			agg.Wall = pt.Wall
 		}
+		agg.Stats.add(pt.Stats)
 	}
 	w.stats.add(c.stats)
 	if c.clock > w.clocks[c.rank] {
 		w.clocks[c.rank] = c.clock
+	}
+	w.mu.Unlock()
+	if c.m != nil {
+		w.wm.refreshGauges(w, c.rank, c.clock)
 	}
 }
 
@@ -652,7 +720,34 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 	s := &board[c.rank]
 	s.tag, s.val, s.clock = tag, val, c.clock
 	c.pending = combine
-	if c.arrive() {
+	// Wall-side instrumentation of the superstep: entry timestamp taken
+	// only when someone is looking, recorded after release. Never touches
+	// the modeled clock.
+	var t0 time.Time
+	if c.m != nil || c.ring != nil {
+		t0 = time.Now()
+	}
+	poisoned := c.arrive()
+	if c.m != nil || c.ring != nil {
+		el := time.Since(t0)
+		clk := s.clock // this rank's entry clock; own slot, stable until epoch+2
+		if c.m != nil {
+			c.m.supersteps[uint8(tag)].Inc()
+			c.m.barrierWait.Add(el.Seconds())
+		}
+		if c.ring != nil {
+			c.ring.Append(obs.Span{
+				Kind:  obs.SpanCollective,
+				Rank:  int32(c.rank),
+				Round: int32(c.round),
+				Name:  opNames[uint8(tag)],
+				Start: t0.Sub(c.traceEpoch).Nanoseconds(),
+				Dur:   int64(el),
+				Clock: clk,
+			})
+		}
+	}
+	if poisoned {
 		// Poisoned barrier: the world is broken (lost PE or stall) and this
 		// superstep never completed coherently — unwind without reading.
 		panic(jobAborted{})

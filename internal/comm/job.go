@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kamsta/internal/faultinject"
+	"kamsta/internal/obs"
 )
 
 // This file is the world's job engine: how an SPMD program is executed on
@@ -102,22 +103,56 @@ type Event struct {
 // must not block, and must not call back into the world.
 type Observer func(Event)
 
-// emit delivers an event to the job's observer, if any (rank 0 only).
-func (c *Comm) emit(ev Event) {
-	if c.obs == nil {
+// note is the single structured-progress tap feeding both observation
+// channels: every phase/round record is appended to this rank's span ring
+// (when the job is traced) and, on rank 0, delivered to the Observer — the
+// Observer is a view over the same stream the tracer records, not a second
+// instrumentation path. The ended gate keeps a zombie PE of an ungracefully
+// abandoned job (stall-grace return) from invoking a caller's observer
+// after RunJobCfg has returned.
+func (c *Comm) note(kind EventKind, phase string, round, vertices int) {
+	if c.ring == nil && c.obs == nil {
 		return
 	}
-	ev.Clock = c.clock
-	c.obs(ev)
+	if c.jb.ended.Load() {
+		return
+	}
+	if c.ring != nil {
+		var sk obs.SpanKind
+		switch kind {
+		case EventPhaseBegin:
+			sk = obs.SpanPhaseBegin
+		case EventPhaseEnd:
+			sk = obs.SpanPhaseEnd
+		case EventRound:
+			sk = obs.SpanRound
+		}
+		r := round
+		if r == 0 {
+			r = c.round
+		}
+		c.ring.Append(obs.Span{
+			Kind:     sk,
+			Rank:     int32(c.rank),
+			Round:    int32(r),
+			Vertices: int64(vertices),
+			Name:     phase,
+			Start:    time.Since(c.traceEpoch).Nanoseconds(),
+			Clock:    c.clock,
+		})
+	}
+	if c.obs != nil {
+		c.obs(Event{Kind: kind, Phase: phase, Round: round, Vertices: vertices, Clock: c.clock})
+	}
 }
 
 // EmitRound reports the start of distributed round `round` (1-based) with
 // the global vertex count entering it. Algorithms call it once per round on
 // every rank; it charges nothing, feeds fault diagnostics (JobError.Round),
-// and additionally notifies the observer on rank 0.
+// and additionally notifies the tracer and, on rank 0, the observer.
 func (c *Comm) EmitRound(round, vertices int) {
 	c.round = round
-	c.emit(Event{Kind: EventRound, Round: round, Vertices: vertices})
+	c.note(EventRound, "", round, vertices)
 }
 
 // jobCancelled unwinds a PE whose job's context expired; recovered in runPE.
@@ -137,6 +172,13 @@ type worldJob struct {
 	wg  sync.WaitGroup
 	obs Observer
 	inj *faultinject.Injector
+
+	// tr is the job's span trace sink (nil untraced); traceEpoch the shared
+	// zero point for span timestamps. ended flips when RunJobCfg returns:
+	// zombie PEs of an abandoned job check it before touching the observer.
+	tr         *obs.Trace
+	traceEpoch time.Time
+	ended      atomic.Bool
 
 	// cancelReq and abortReq are the asynchronous requests the next
 	// pre-release combiner turns into the superstep verdict.
@@ -187,6 +229,10 @@ type JobConfig struct {
 	// Inject arms deterministic fault injection for this job (testing
 	// only). Nil injects nothing.
 	Inject *faultinject.Plan
+	// Trace collects structured spans (phases, rounds, collectives) from
+	// every PE of the job. A single Trace may span many jobs; all span
+	// timestamps share its epoch. Nil disables tracing.
+	Trace *obs.Trace
 }
 
 // Run executes f as an SPMD program: every PE runs f with its own Comm
@@ -229,6 +275,10 @@ func (w *World) RunJobCfg(ctx context.Context, cfg JobConfig, f func(*Comm)) err
 		return ErrBroken
 	}
 	jb := &worldJob{f: f, obs: cfg.Observer, inj: cfg.Inject.Injector(w.p)}
+	if cfg.Trace != nil {
+		jb.tr = cfg.Trace
+		jb.traceEpoch = cfg.Trace.StartJob(w.p)
+	}
 	// Arm the watcher only for cancellable contexts; Background costs
 	// nothing.
 	var stop, watcherDone chan struct{}
@@ -300,6 +350,10 @@ func (w *World) RunJobCfg(ctx context.Context, cfg JobConfig, f func(*Comm)) err
 			w.combined[b].verdict = verdictRun
 		}
 	}
+	// From here on the job is over from the caller's perspective: no PE —
+	// including a zombie left behind by an ungraceful stall return — may
+	// invoke the caller's observer anymore.
+	jb.ended.Store(true)
 	if err := jb.primaryError(); err != nil {
 		return err
 	}
@@ -391,6 +445,12 @@ func (w *World) runPE(c *Comm, jb *worldJob) (outcome peOutcome) {
 	jb.f(c)
 	c.closeOut()
 	c.flush()
+	if c.ring != nil {
+		// Drain this PE's spans into the job's trace. Graceful completions
+		// only, mirroring the metrics contract: a cancelled or aborted PE's
+		// partial timeline is discarded with its partial clock.
+		jb.tr.Collect(c.ring)
+	}
 	return peDone
 }
 

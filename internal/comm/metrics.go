@@ -1,0 +1,108 @@
+package comm
+
+import (
+	"strconv"
+
+	"kamsta/internal/obs"
+)
+
+// This file wires the substrate into the obs metrics registry. Everything
+// here obeys two rules:
+//
+//   - Observation never perturbs the modeled clock or message volumes: no
+//     hook below touches Comm.clock, Comm.stats, or any collective payload.
+//     The golden modeled-time bits are identical with metrics on and off.
+//   - The hot path stays allocation-free: instruments are resolved into
+//     plain pointers once per world (newWorldMetrics), and the per-superstep
+//     update is a handful of atomic adds behind one nil check.
+//
+// Instruments are get-or-create in the registry, so a Machine that rebuilds
+// its world after a fault re-resolves the same counters and totals stay
+// monotone across rebuilds. Counters count what each PE observed, including
+// work on jobs that later aborted or were cancelled (a monotone "traffic
+// seen" view, unlike Stats, which is per-job and discarded on abort).
+
+// rankMetrics is one PE's resolved instruments, indexed hot-path fields
+// first.
+type rankMetrics struct {
+	// supersteps counts completed collective supersteps by operation kind.
+	// Note this counts SUPERSTEPS, not logical collectives: a butterfly
+	// AllreduceVec contributes one fold, log p butterfly, and one unfold
+	// superstep. Stats.Collectives remains the logical count.
+	supersteps [len(opNames)]*obs.Counter
+	// messages/bytes mirror ChargeComm's modeled traffic.
+	messages *obs.Counter
+	bytes    *obs.Counter
+	// barrierWait accumulates wall seconds spent inside collectives —
+	// from deposit publication to barrier release, the BSP wait time.
+	barrierWait *obs.FloatCounter
+	// arenaBytes / arenaSlots are the scratch arena footprint high-water
+	// marks, refreshed when a PE flushes a completed job.
+	arenaBytes *obs.Gauge
+	arenaSlots *obs.Gauge
+	// modeledSeconds is the PE's modeled clock at its last completed job.
+	modeledSeconds *obs.FloatGauge
+}
+
+// worldMetrics is the world's resolved instrument set.
+type worldMetrics struct {
+	reg   *obs.Registry
+	ranks []rankMetrics
+}
+
+// WithMetrics registers the world's per-PE substrate series in reg and
+// enables their maintenance. The per-series rank label means p series per
+// instrument: intended for serving- and benchmark-scale worlds (p up to a
+// few hundred), not for p = 2^16 scalability sweeps.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(w *World) {
+		if reg == nil {
+			return
+		}
+		w.wm = newWorldMetrics(reg, w)
+	}
+}
+
+func newWorldMetrics(reg *obs.Registry, w *World) *worldMetrics {
+	wm := &worldMetrics{reg: reg, ranks: make([]rankMetrics, w.p)}
+	for r := range wm.ranks {
+		rank := obs.L("rank", strconv.Itoa(r))
+		rm := &wm.ranks[r]
+		for op := range opNames {
+			rm.supersteps[op] = reg.Counter("kamsta_comm_supersteps_total",
+				"Completed collective supersteps by operation kind (multi-superstep collectives count each superstep).",
+				rank, obs.L("op", opNames[op]))
+		}
+		rm.messages = reg.Counter("kamsta_comm_messages_total",
+			"Modeled point-to-point messages charged to this PE.", rank)
+		rm.bytes = reg.Counter("kamsta_comm_bytes_total",
+			"Modeled payload bytes charged to this PE.", rank)
+		rm.barrierWait = reg.FloatCounter("kamsta_comm_barrier_wait_seconds_total",
+			"Wall seconds spent inside collectives (deposit to barrier release).", rank)
+		rm.arenaBytes = reg.Gauge("kamsta_arena_bytes",
+			"Scratch arena footprint high-water mark in bytes.", rank)
+		rm.arenaSlots = reg.Gauge("kamsta_arena_slots",
+			"Scratch arena slots in use, high-water mark.", rank)
+		rm.modeledSeconds = reg.FloatGauge("kamsta_pe_modeled_seconds",
+			"Modeled clock of this PE at its last completed job.", rank)
+		// Barrier arrivals already have a per-rank high-water counter (the
+		// stall watchdog's diagnostic); export it lazily rather than paying
+		// a second hot-path increment. Re-registering after a world rebuild
+		// rebinds the gauge to the live world's counter.
+		a := &w.arrived[r].v
+		reg.GaugeFunc("kamsta_comm_barrier_arrivals_total",
+			"Barrier arrivals per rank (current world; resets on rebuild).",
+			func() float64 { return float64(a.Load()) }, rank)
+	}
+	return wm
+}
+
+// refreshGauges updates rank's footprint/clock gauges; called from flush on
+// job completion, never per superstep.
+func (wm *worldMetrics) refreshGauges(w *World, rank int, clock float64) {
+	rm := &wm.ranks[rank]
+	slots, bytes := w.arenas[rank].Footprint()
+	rm.arenaBytes.SetMax(bytes)
+	rm.arenaSlots.SetMax(int64(slots))
+	rm.modeledSeconds.Set(clock)
+}

@@ -1,0 +1,107 @@
+package comm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"kamsta/internal/obs"
+)
+
+// measureBarrierAllocs runs a p=2 job and returns rank 0's steady-state
+// allocations per Barrier. Only rank 0 measures (AllocsPerRun toggles
+// GOMAXPROCS, which must not run concurrently); rank 1 executes the same
+// barrier count in lockstep — AllocsPerRun calls f runs+1 times (one
+// warm-up inside).
+func measureBarrierAllocs(t *testing.T, reg *obs.Registry, tr *obs.Trace) float64 {
+	t.Helper()
+	const runs = 64
+	var got float64
+	w := NewWorld(2, WithMetrics(reg))
+	err := w.RunJobCfg(context.Background(), JobConfig{Trace: tr}, func(c *Comm) {
+		Barrier(c) // warm: instruments resolved, ring allocated at job start
+		if c.Rank() == 0 {
+			got = testing.AllocsPerRun(runs, func() { Barrier(c) })
+		} else {
+			for i := 0; i < runs+1; i++ {
+				Barrier(c)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestMetricsSteadyStateBarrierAllocs pins the observability hot-path
+// contract: enabling metrics and span tracing adds ZERO allocations to a
+// collective. The bare-world floor is whatever the substrate itself costs;
+// the observed world must match it exactly — counters are preallocated
+// atomics and spans land in a fixed-capacity world-owned ring.
+func TestMetricsSteadyStateBarrierAllocs(t *testing.T) {
+	bare := measureBarrierAllocs(t, nil, nil)
+	observed := measureBarrierAllocs(t, obs.NewRegistry(), obs.NewTrace())
+	if observed > bare {
+		t.Errorf("observed barrier allocates %v/op vs bare %v/op — observation must add zero allocations",
+			observed, bare)
+	}
+}
+
+// TestMetricsCountSupersteps checks the substrate series end to end: after
+// a job with known collectives, the per-rank superstep counters carry the
+// op-labelled counts and the Prometheus exposition includes them.
+func TestMetricsCountSupersteps(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := NewWorld(2, WithMetrics(reg))
+	const barriers = 7
+	err := w.RunJob(context.Background(), nil, func(c *Comm) {
+		for i := 0; i < barriers; i++ {
+			Barrier(c)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		got := w.wm.ranks[rank].supersteps[opBarrier].Value()
+		if got != barriers {
+			t.Errorf("rank %d: Barrier superstep count = %d, want %d", rank, got, barriers)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`kamsta_comm_supersteps_total{op="Barrier",rank="0"} 7`,
+		`kamsta_comm_barrier_arrivals_total{rank="1"}`,
+		`kamsta_pe_modeled_seconds{rank="0"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestMetricsSurviveWorldRebuild checks the get-or-create contract: a new
+// world handed the same registry resolves the same counter instances, so
+// series stay monotone across Machine world rebuilds instead of resetting.
+func TestMetricsSurviveWorldRebuild(t *testing.T) {
+	reg := obs.NewRegistry()
+	run := func() {
+		w := NewWorld(2, WithMetrics(reg))
+		if err := w.RunJob(context.Background(), nil, func(c *Comm) {
+			Barrier(c)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run() // second world, same registry
+	got := reg.Counter("kamsta_comm_supersteps_total", "",
+		obs.L("rank", "0"), obs.L("op", opNames[opBarrier])).Value()
+	if got != 2 {
+		t.Errorf("superstep counter across two worlds = %d, want 2 (monotone get-or-create)", got)
+	}
+}

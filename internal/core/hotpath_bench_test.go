@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
 	"kamsta/internal/gen"
 	"kamsta/internal/graph"
+	"kamsta/internal/obs"
 	"kamsta/internal/par"
 	"kamsta/internal/rng"
 )
@@ -97,6 +99,31 @@ func TestDsortSteadyStateAllocsFloor(t *testing.T) {
 			t.Errorf("steady-state p=1 dsort.Sort allocates %v times per call, want 0", allocs)
 		}
 	})
+}
+
+// TestDsortSteadyStateAllocsFloorObserved repeats the zero-alloc floor with
+// the observability subsystem fully armed — metrics registry on the world,
+// span tracing on the job. Observation must not add a single allocation to
+// the steady-state hot path: instruments are resolved once into plain
+// pointers at job start and spans land in a preallocated world-owned ring.
+func TestDsortSteadyStateAllocsFloorObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	w := comm.NewWorld(1, comm.WithMetrics(reg))
+	err := w.RunJobCfg(context.Background(), comm.JobConfig{Trace: tr}, func(c *comm.Comm) {
+		edges, _ := gen.Build(c, benchSpec, dsort.Options{})
+		ord := dsort.ByKey(graph.LessLex, graph.KeyLex)
+		dsort.Sort(c, edges, ord, dsort.Options{}) // warm the arena
+		allocs := testing.AllocsPerRun(5, func() {
+			dsort.Sort(c, edges, ord, dsort.Options{})
+		})
+		if allocs != 0 {
+			t.Errorf("steady-state observed p=1 dsort.Sort allocates %v times per call, want 0", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func BenchmarkMinEdges(b *testing.B) {

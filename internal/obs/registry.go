@@ -1,0 +1,323 @@
+// Package obs is the zero-dependency observability substrate: a typed
+// metrics registry with Prometheus-text and JSON exporters, and a span
+// tracer with fixed-capacity per-PE rings (see trace.go).
+//
+// Design constraints, in order:
+//
+//  1. Observation must never perturb the modeled clock or message volumes
+//     of a job. Nothing in this package is consulted by the cost model;
+//     every hook in internal/comm is nil-checked and wall-side only.
+//  2. The hot path (one superstep, one message charge) must not allocate.
+//     Instruments are resolved once at world/machine construction into
+//     plain pointers; updates are single atomic adds.
+//  3. Instruments are get-or-create by (name, labels): a Machine that
+//     rebuilds its world after a fault re-resolves the same counters, so
+//     totals stay monotone across rebuilds — Prometheus semantics.
+//
+// The registry is intentionally small: counters, float counters, gauges,
+// histograms, and lazily-evaluated func gauges. No dependency outside the
+// standard library.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// instrument kinds, used only to police that one metric name keeps one type.
+type kind uint8
+
+const (
+	kindCounter kind = iota + 1
+	kindFloatCounter
+	kindGauge
+	kindFloatGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindFloatCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// Counter is a monotone int64 counter. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add adds d (callers must keep counters monotone; d < 0 is a bug).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotone float64 counter (CAS loop; uncontended in
+// practice — each PE owns its own series).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds d.
+func (c *FloatCounter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a settable int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v is larger (high-water-mark semantics).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		old := g.v.Load()
+		if v <= old {
+			return
+		}
+		if g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is a settable float64 value.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus layout:
+// upper bounds plus an implicit +Inf bucket, a sum, and a count).
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; +Inf bucket is counts[len(bounds)]
+	counts []atomic.Int64 // len(bounds)+1
+	sum    FloatCounter
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples observed.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels string // rendered `{k="v",...}` suffix, "" when unlabeled
+	inst   any    // *Counter | *FloatCounter | *Gauge | *FloatGauge | *Histogram | *gaugeFunc
+}
+
+type gaugeFunc struct {
+	mu sync.Mutex
+	f  func() float64
+}
+
+func (g *gaugeFunc) value() float64 {
+	g.mu.Lock()
+	f := g.f
+	g.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f()
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histograms only
+	series map[string]*series
+	order  []*series // registration order
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use, but
+// instrument resolution takes a lock — resolve once at construction, not
+// per operation.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// renderLabels produces the canonical `{k="v",...}` suffix. Labels are
+// sorted by key so the same set always maps to the same series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get resolves (name, labels) to its series, creating family and series as
+// needed. Panics on a kind clash — that is a programming error, caught at
+// construction time, never in a hot path.
+func (r *Registry) get(name, help string, k kind, bounds []float64, labels []Label, mk func() any) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.kind, k))
+	}
+	ls := renderLabels(labels)
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls, inst: mk()}
+		f.series[ls] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.get(name, help, kindCounter, nil, labels, func() any { return new(Counter) })
+	return s.inst.(*Counter)
+}
+
+// FloatCounter returns the float counter for (name, labels).
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	s := r.get(name, help, kindFloatCounter, nil, labels, func() any { return new(FloatCounter) })
+	return s.inst.(*FloatCounter)
+}
+
+// Gauge returns the gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.get(name, help, kindGauge, nil, labels, func() any { return new(Gauge) })
+	return s.inst.(*Gauge)
+}
+
+// FloatGauge returns the float gauge for (name, labels).
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	s := r.get(name, help, kindFloatGauge, nil, labels, func() any { return new(FloatGauge) })
+	return s.inst.(*FloatGauge)
+}
+
+// Histogram returns the histogram for (name, labels). bounds are upper
+// bucket bounds in ascending order; a +Inf bucket is implicit. The bounds
+// of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.get(name, help, kindHistogram, bounds, labels, func() any {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	})
+	return s.inst.(*Histogram)
+}
+
+// GaugeFunc registers a gauge evaluated lazily at export time. Re-registering
+// the same (name, labels) replaces the function — a Machine that rebuilds its
+// world after a fault rebinds the gauge to the live world's state.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	s := r.get(name, help, kindGaugeFunc, nil, labels, func() any { return new(gaugeFunc) })
+	g := s.inst.(*gaugeFunc)
+	g.mu.Lock()
+	g.f = f
+	g.mu.Unlock()
+}
+
+// famSnap is an export-time copy of one family: safe to walk after the
+// registry lock is released (instrument values are read atomically).
+type famSnap struct {
+	name, help string
+	kind       kind
+	bounds     []float64
+	series     []*series
+}
+
+// snapshot returns families sorted by name, series in registration order.
+// The series slices are copied under the lock so concurrent registration
+// cannot race with an export walking them.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.Lock()
+	fams := make([]famSnap, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, famSnap{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			bounds: f.bounds,
+			series: append([]*series(nil), f.order...),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

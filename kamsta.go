@@ -176,9 +176,15 @@ type Report struct {
 	// EdgesPerSecond is the modeled throughput (directed input edges per
 	// modeled second), the unit of the paper's weak-scaling figures.
 	EdgesPerSecond float64
-	// Phases holds per-phase modeled/wall times (Fig. 6 breakdown).
+	// Phases holds per-phase modeled/wall times (Fig. 6 breakdown) and,
+	// per phase, the traffic charged during it (PhaseTime.Stats: messages,
+	// bytes and collectives, excluding nested phases, summed over PEs).
 	Phases map[string]comm.PhaseTime
-	// Stats aggregates communication traffic over all PEs.
+	// Stats aggregates communication traffic over all PEs. For AlgKruskal
+	// jobs whose input is materialized through the machine (specs, files),
+	// it covers the materialization and the gather of edges to rank 0; for
+	// AlgKruskal on FromEdges no simulated machine runs at all and Stats is
+	// zero — there was genuinely no substrate traffic.
 	Stats comm.Stats
 	// Rounds and BaseCalls report algorithm structure when available.
 	Rounds    int

@@ -26,6 +26,12 @@ type MachineConfig struct {
 	Threads int
 	// Cost overrides the α-β machine model (zero value: defaults).
 	Cost comm.CostModel
+	// Metrics, when non-nil, registers this machine's job-level series and
+	// its world's per-PE substrate series (see NewMetrics). The same
+	// registry may back several machines; series are resolved get-or-create
+	// so totals survive transparent world rebuilds. Nil disables metrics
+	// entirely — the disabled path stays allocation-free at steady state.
+	Metrics *Metrics
 }
 
 func (mc MachineConfig) withDefaults() MachineConfig {
@@ -108,6 +114,10 @@ type Machine struct {
 	sem       chan struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// mm holds the machine's resolved job-level metric instruments (nil
+	// without MachineConfig.Metrics).
+	mm *machineMetrics
 }
 
 // NewMachine builds a machine and parks its PE goroutines, ready for jobs.
@@ -118,12 +128,14 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost))
+	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost),
+		comm.WithMetrics(cfg.Metrics))
 	w.Start()
 	m := &Machine{
 		cfg:    cfg,
 		sem:    make(chan struct{}, 1),
 		closed: make(chan struct{}),
+		mm:     newMachineMetrics(cfg.Metrics),
 	}
 	m.world.Store(w)
 	return m, nil
@@ -205,20 +217,37 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 	}
 	rs.baseline.Threads = m.cfg.Threads
 
+	if m.mm != nil {
+		m.mm.started.Inc()
+		m.mm.queued.Add(1)
+	}
+	queuedAt := time.Now()
+	var acqErr error
 	select {
 	case m.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		acqErr = ctx.Err()
 	case <-m.closed:
-		return nil, ErrMachineClosed
+		acqErr = ErrMachineClosed
+	}
+	if m.mm != nil {
+		m.mm.queued.Add(-1)
+		m.mm.queueWait.Observe(time.Since(queuedAt).Seconds())
+	}
+	if acqErr != nil {
+		m.mm.finish(nil, acqErr)
+		return nil, acqErr
 	}
 	defer func() { <-m.sem }()
 	select {
 	case <-m.closed:
+		m.mm.finish(nil, ErrMachineClosed)
 		return nil, ErrMachineClosed
 	default:
 	}
-	return m.run(ctx, src, rs)
+	rep, err := m.run(ctx, src, rs)
+	m.mm.finish(rep, err)
+	return rep, err
 }
 
 // run executes one job on the machine's world, containing job-scoped
@@ -238,6 +267,9 @@ func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report,
 		if attempt >= rs.retries {
 			return nil, je
 		}
+		if m.mm != nil {
+			m.mm.retries.Inc()
+		}
 	}
 }
 
@@ -252,10 +284,16 @@ func (m *Machine) restoreWorld() (rebuilt bool) {
 		return false
 	}
 	w.Close()
-	nw := comm.NewWorld(m.cfg.PEs, comm.WithThreads(m.cfg.Threads), comm.WithCost(m.cfg.Cost))
+	// The rebuilt world re-resolves the same metric series (get-or-create),
+	// so substrate counters keep accumulating across the rebuild.
+	nw := comm.NewWorld(m.cfg.PEs, comm.WithThreads(m.cfg.Threads), comm.WithCost(m.cfg.Cost),
+		comm.WithMetrics(m.cfg.Metrics))
 	nw.Start()
 	m.world.Store(nw)
 	m.rebuilds.Add(1)
+	if m.mm != nil {
+		m.mm.rebuilds.Inc()
+	}
 	return true
 }
 
@@ -283,13 +321,25 @@ func (m *Machine) probeWorld(w *comm.World) bool {
 func (m *Machine) runOnce(ctx context.Context, src Source, rs runSettings) (*Report, error) {
 	if rs.alg == AlgKruskal {
 		if es, ok := src.(edgesSource); ok {
-			return sequentialReport(es.edges) // no world needed
+			// No world is involved: the edges are already in memory, so the
+			// report's Stats and InputModeledSeconds are legitimately zero
+			// (no substrate traffic occurred; see Report.Stats).
+			return sequentialReport(es.edges)
 		}
-		collected, err := m.collectCanonical(ctx, src, rs)
+		collected, stats, iclk, err := m.collectCanonical(ctx, src, rs)
 		if err != nil {
 			return nil, err
 		}
-		return sequentialReport(collected)
+		rep, err := sequentialReport(collected)
+		if err != nil {
+			return nil, err
+		}
+		// The substrate DID run for this job — materializing the source and
+		// gathering the canonical edges to rank 0 — so report that traffic
+		// instead of silently zeroing it (it used to read as "free").
+		rep.Stats = stats
+		rep.InputModeledSeconds = iclk
+		return rep, nil
 	}
 
 	w := m.world.Load()
@@ -385,18 +435,22 @@ func (m *Machine) runOnce(ctx context.Context, src Source, rs runSettings) (*Rep
 // jobConfig resolves one job's simulation-level configuration from its run
 // settings.
 func (m *Machine) jobConfig(rs runSettings) comm.JobConfig {
-	return comm.JobConfig{Observer: rs.obs, StallTimeout: rs.stall, Inject: rs.inject}
+	return comm.JobConfig{Observer: rs.obs, StallTimeout: rs.stall, Inject: rs.inject, Trace: rs.trace}
 }
 
 // collectCanonical materializes a source inside the machine's world and
 // gathers the canonical (U < V) undirected edges, for the sequential
-// reference path.
-func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettings) ([]InputEdge, error) {
+// reference path. Alongside the edges it reports the substrate traffic and
+// modeled time this collection cost, so the sequential report can carry
+// them instead of a silent zero.
+func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettings) ([]InputEdge, comm.Stats, float64, error) {
 	var collected []InputEdge
 	var inputErr error
 	cfg := m.jobConfig(rs)
 	cfg.Observer = nil // no algorithm phases to observe on this path
-	err := m.world.Load().RunJobCfg(ctx, cfg, func(c *comm.Comm) {
+	w := m.world.Load()
+	w.ResetMetrics() // this job's traffic, not the machine's history
+	err := w.RunJobCfg(ctx, cfg, func(c *comm.Comm) {
 		edges, _, err := src.provide(c, rs)
 		if err != nil {
 			if c.Rank() == 0 {
@@ -414,7 +468,7 @@ func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettin
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, comm.Stats{}, 0, err
 	}
-	return collected, inputErr
+	return collected, w.TotalStats(), w.MaxClock(), inputErr
 }

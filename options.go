@@ -44,6 +44,7 @@ type runSettings struct {
 	core     core.Options
 	baseline baselines.Options
 	obs      Observer
+	trace    *Trace
 	stall    time.Duration
 	retries  int
 	inject   *faultinject.Plan
@@ -82,7 +83,10 @@ func WithBaselineOptions(o baselines.Options) RunOption {
 	return func(rs *runSettings) { rs.baseline = o }
 }
 
-// WithObserver streams the job's phase and round events to obs.
+// WithObserver streams the job's phase and round events to obs. The
+// Observer is a live view over the same structured record stream the span
+// tracer (WithTrace) persists: both are fed from one tap at phase and round
+// boundaries, so they can never disagree.
 func WithObserver(obs Observer) RunOption {
 	return func(rs *runSettings) { rs.obs = obs }
 }
