@@ -53,6 +53,8 @@ func main() {
 	algNames := flag.String("alg", "", "comma-separated algorithms for -input runs, from: "+
 		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file (- for stdout)")
+	timeout := flag.Duration("timeout", 0,
+		"per-job deadline: each measurement runs under context.WithTimeout (0 = none)")
 	obsFlags := cliobs.Register()
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 		Seed:           *seed,
 		Reps:           *reps,
 		BaseCaseCap:    *cap,
+		Timeout:        *timeout,
 		Metrics:        obsFlags.Registry,
 		Trace:          obsFlags.Trace,
 	}
@@ -159,6 +162,10 @@ func fail(err error) {
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "mstbench: interrupted")
 		os.Exit(130)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "mstbench: job exceeded -timeout")
+		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "mstbench: %v\n", err)
 	os.Exit(1)

@@ -23,7 +23,6 @@ import (
 	"os"
 	"os/signal"
 	"sort"
-	"strings"
 	"syscall"
 
 	"kamsta/internal/cliobs"
@@ -34,18 +33,8 @@ import (
 	"kamsta/internal/graphio"
 )
 
-var families = map[string]gen.Family{
-	"grid2d": gen.Grid2D,
-	"rgg2d":  gen.RGG2D,
-	"rgg3d":  gen.RGG3D,
-	"rhg":    gen.RHG,
-	"gnm":    gen.GNM,
-	"rmat":   gen.RMAT,
-	"road":   gen.RoadLike,
-}
-
 func main() {
-	family := flag.String("family", "gnm", "graph family: grid2d, rgg2d, rgg3d, rhg, gnm, rmat, road")
+	family := flag.String("family", "gnm", "graph family: "+gen.FamilyNames())
 	n := flag.Uint64("n", 1024, "target vertex count")
 	m := flag.Uint64("m", 8192, "target undirected edge count")
 	seed := flag.Uint64("seed", 1, "instance seed")
@@ -69,9 +58,9 @@ func main() {
 			fail("%v", err)
 		}
 	} else {
-		f, ok := families[strings.ToLower(*family)]
-		if !ok {
-			fail("unknown family %q (known: %s)", *family, strings.Join(familyNames(), ", "))
+		f, err := gen.ParseFamily(*family)
+		if err != nil {
+			fail("%v", err)
 		}
 		spec = gen.Spec{Family: f, N: *n, M: *m, Seed: *seed}
 	}
@@ -137,15 +126,6 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "mstgen: "+format+"\n", args...)
 	os.Exit(2)
-}
-
-func familyNames() []string {
-	names := make([]string, 0, len(families))
-	for k := range families {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
 }
 
 func printStats(spec gen.Spec, all []graph.Edge) {

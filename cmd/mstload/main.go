@@ -1,0 +1,184 @@
+// Command mstload drives a job server with multi-tenant load — closed-loop
+// worker pools or open-loop Poisson arrivals (internal/serve/loadgen) —
+// and reports throughput, latency percentiles and rejection rates. With
+// -target it aims at a running mstserve over HTTP; without, it spins up an
+// in-process server (-pool et al.) so a full load test needs one command.
+//
+// Every job is accounted exactly once; with -verify each edge-list result
+// is cross-checked against sequential Kruskal. The process exits non-zero
+// if any result is lost, duplicated, or wrong.
+//
+// Usage:
+//
+//	mstload -tenants alpha:4,beta:2,gamma:1 -workers 8 -jobs 400 -json -
+//	mstload -target http://127.0.0.1:8377 -tenants web -rate 200 -jobs 1000
+//	mstload -family gnm -n 4096 -m 32768 -tenants big -workers 2 -jobs 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"kamsta"
+	"kamsta/internal/bench"
+	"kamsta/internal/cliobs"
+	"kamsta/internal/gen"
+	"kamsta/internal/serve"
+	"kamsta/internal/serve/loadgen"
+)
+
+func main() {
+	target := flag.String("target", "", "mstserve base URL (empty = run an in-process server)")
+	pool := flag.String("pool", "4x1:1", "in-process pool: comma-separated PEs[xThreads][:Count]")
+	queue := flag.Int("queue", 1024, "in-process global queue bound")
+	tenantQueue := flag.Int("tenant-queue", 0, "in-process per-tenant queue bound (0 = global)")
+	batchJobs := flag.Int("batch-jobs", 8, "in-process batching: max jobs per batch (<=1 disables)")
+	batchEdges := flag.Int("batch-edges", 65536, "in-process batching: max summed edges per batch")
+	tenants := flag.String("tenants", "load", "tenants, name[:weight] comma-separated (weight applies in-process)")
+	workers := flag.Int("workers", 4, "closed loop: concurrent workers per tenant")
+	rate := flag.Float64("rate", 0, "open loop: Poisson arrivals per second per tenant (overrides -workers)")
+	jobs := flag.Int("jobs", 400, "jobs per tenant")
+	alg := flag.String("alg", "", "algorithm per job (empty = server default)")
+	edges := flag.Int("edges", 64, "edge-list jobs: edges per instance")
+	vertices := flag.Int("vertices", 0, "edge-list jobs: vertex labels per instance (0 = 2+edges/3)")
+	family := flag.String("family", "", "generated jobs: graph family (replaces -edges mode)")
+	n := flag.Uint64("n", 1<<12, "generated jobs: vertices")
+	m := flag.Uint64("m", 1<<15, "generated jobs: edges (families that take m)")
+	deadline := flag.Duration("deadline", 0, "per-job deadline (0 = server default)")
+	pes := flag.Int("pes", 0, "pin jobs to machines of this PE count (0 = any)")
+	noBatch := flag.Bool("no-batch", false, "opt every job out of batching")
+	verify := flag.Bool("verify", true, "cross-check edge-list results against sequential Kruskal")
+	seed := flag.Uint64("seed", 42, "load and instance seed")
+	duration := flag.Duration("duration", 0, "cap the run (0 = until all jobs resolve)")
+	jsonOut := flag.String("json", "", "write a kamsta-bench/v1 exhibit to this path (- = stdout)")
+	obsFlags := cliobs.Register()
+	flag.Parse()
+
+	tcs, err := serve.ParseTenants(*tenants)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(tcs) == 0 {
+		fail("no tenants")
+	}
+	if err := obsFlags.Activate(); err != nil {
+		fail("%v", err)
+	}
+
+	tmpl := loadgen.Template{
+		Algorithm: kamsta.Algorithm(*alg),
+		Deadline:  *deadline,
+		PEs:       *pes,
+		NoBatch:   *noBatch,
+	}
+	if *family != "" {
+		fam, err := gen.ParseFamily(*family)
+		if err != nil {
+			fail("%v", err)
+		}
+		tmpl.Spec = &kamsta.GraphSpec{Family: fam, N: *n, M: *m, Seed: *seed}
+	} else {
+		tmpl.EdgeCount = *edges
+		tmpl.Vertices = *vertices
+		tmpl.Verify = *verify
+	}
+
+	plan := loadgen.Plan{Seed: *seed, Duration: *duration}
+	for _, tc := range tcs {
+		tl := loadgen.TenantLoad{Name: tc.Name, Jobs: *jobs, Template: tmpl}
+		if *rate > 0 {
+			tl.RateHz = *rate
+		} else {
+			tl.Workers = *workers
+		}
+		plan.Tenants = append(plan.Tenants, tl)
+	}
+
+	var tgt loadgen.Target
+	var scale bench.Scale
+	scale.Seed = *seed
+	if *target != "" {
+		c := &serve.Client{BaseURL: *target}
+		if !c.Healthy(context.Background()) {
+			fail("target %s is not healthy", *target)
+		}
+		tgt = loadgen.Remote(c)
+	} else {
+		shapes, err := serve.ParsePool(*pool)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, sh := range shapes {
+			scale.Ps = append(scale.Ps, sh.PEs)
+		}
+		srv, err := serve.New(serve.Config{
+			Pool:             shapes,
+			Tenants:          tcs,
+			QueueBound:       *queue,
+			TenantQueueBound: *tenantQueue,
+			Batch:            serve.BatchConfig{MaxJobs: *batchJobs, MaxEdges: *batchEdges},
+			Metrics:          obsFlags.Registry,
+			Trace:            obsFlags.Trace,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer srv.Close()
+		tgt = loadgen.Local(srv)
+	}
+
+	res, err := loadgen.Run(context.Background(), tgt, plan)
+	if err != nil {
+		fail("%v", err)
+	}
+	printSummary(res)
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := loadgen.WriteExhibit(w, res, plan, scale, time.Now().Format("2006-01-02")); err != nil {
+			fail("write exhibit: %v", err)
+		}
+	}
+	if err := obsFlags.Flush(); err != nil {
+		fail("%v", err)
+	}
+	if err := res.Verify(); err != nil {
+		fmt.Fprintf(os.Stderr, "mstload: VERIFY FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mstload: exactly-once verified")
+}
+
+func printSummary(res *loadgen.Result) {
+	elapsed := res.Elapsed.Seconds()
+	var jobs int
+	for _, tr := range res.Tenants {
+		jobs += tr.Completed()
+		outcomes := make([]string, 0, len(tr.Outcomes))
+		for k, v := range tr.Outcomes {
+			outcomes = append(outcomes, fmt.Sprintf("%s=%d", k, v))
+		}
+		sort.Strings(outcomes)
+		fmt.Printf("%-12s attempted=%d admitted=%d %v p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			tr.Name, tr.Attempted, tr.Submitted, outcomes,
+			tr.Percentile(50)*1e3, tr.Percentile(95)*1e3, tr.Percentile(99)*1e3)
+	}
+	fmt.Printf("total: %d jobs in %.2fs = %.1f jobs/s\n", jobs, elapsed, float64(jobs)/elapsed)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mstload: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"kamsta"
 	"kamsta/internal/cliobs"
@@ -36,6 +37,8 @@ func main() {
 	format := flag.String("format", "auto", "input format: kamsta, edgelist, gr, metis, auto")
 	algNames := flag.String("alg", "", "comma-separated algorithms to check, from: "+
 		kamsta.AlgorithmNames()+" (default: all distributed algorithms)")
+	timeout := flag.Duration("timeout", 0,
+		"per-job deadline: each check runs under context.WithTimeout (0 = none)")
 	obsFlags := cliobs.Register()
 	flag.Parse()
 
@@ -58,7 +61,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	v, err := newVerifier(ctx, peList, *threads, obsFlags)
+	v, err := newVerifier(ctx, peList, *threads, *timeout, obsFlags)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
 		os.Exit(2)
@@ -114,14 +117,16 @@ type verifier struct {
 	peList   []int
 	machines map[int]*kamsta.Machine
 	trace    *kamsta.Trace
+	timeout  time.Duration
 }
 
-func newVerifier(ctx context.Context, peList []int, threads int, obsFlags *cliobs.Flags) (*verifier, error) {
+func newVerifier(ctx context.Context, peList []int, threads int, timeout time.Duration, obsFlags *cliobs.Flags) (*verifier, error) {
 	v := &verifier{
 		ctx:      ctx,
 		peList:   peList,
 		machines: make(map[int]*kamsta.Machine),
 		trace:    obsFlags.Trace,
+		timeout:  timeout,
 	}
 	for _, p := range peList {
 		if v.machines[p] == nil {
@@ -146,6 +151,19 @@ func (v *verifier) opts(ro ...kamsta.RunOption) []kamsta.RunOption {
 	return ro
 }
 
+// compute runs one job, wrapping it in the -timeout deadline when set (the
+// job unwinds at its next collective boundary and reports
+// context.DeadlineExceeded as a FAIL, not a hang).
+func (v *verifier) compute(m *kamsta.Machine, src kamsta.Source, ro ...kamsta.RunOption) (*kamsta.Report, error) {
+	ctx := v.ctx
+	if v.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, v.timeout)
+		defer cancel()
+	}
+	return m.Compute(ctx, src, ro...)
+}
+
 func (v *verifier) Close() {
 	for _, m := range v.machines {
 		m.Close()
@@ -154,7 +172,7 @@ func (v *verifier) Close() {
 
 // oracle computes the sequential Kruskal reference on the first machine.
 func (v *verifier) oracle(src kamsta.Source) (*kamsta.Report, error) {
-	return v.machines[v.peList[0]].Compute(v.ctx, src,
+	return v.compute(v.machines[v.peList[0]], src,
 		v.opts(kamsta.WithAlgorithm(kamsta.AlgKruskal))...)
 }
 
@@ -175,7 +193,7 @@ func (v *verifier) runFile(path, format string, algs []kamsta.Algorithm) int {
 	failures, checks := 0, 0
 	for _, alg := range algs {
 		for _, p := range v.peList {
-			got, err := v.machines[p].Compute(v.ctx, src, v.opts(kamsta.WithAlgorithm(alg))...)
+			got, err := v.compute(v.machines[p], src, v.opts(kamsta.WithAlgorithm(alg))...)
 			checks++
 			if err != nil {
 				checkInterrupt(err)
@@ -221,7 +239,7 @@ func (v *verifier) run(n, m, seeds uint64, algs []kamsta.Algorithm) int {
 			}
 			for _, alg := range algs {
 				for _, p := range v.peList {
-					got, err := v.machines[p].Compute(v.ctx, kamsta.FromSpec(spec),
+					got, err := v.compute(v.machines[p], kamsta.FromSpec(spec),
 						v.opts(kamsta.WithAlgorithm(alg))...)
 					checks++
 					if err != nil {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"kamsta"
 	"kamsta/internal/alltoall"
@@ -49,6 +50,10 @@ type Scale struct {
 	// with 2^17 vertices per core (~1/4 of a PE's vertices); 0 derives the
 	// same ratio from VPerPE.
 	BaseCaseCap int
+	// Timeout, when positive, bounds every job of the sweep: each Compute
+	// runs under context.WithTimeout and a job that exceeds it fails the
+	// sweep with context.DeadlineExceeded (cmd/mstbench -timeout).
+	Timeout time.Duration
 
 	// Metrics, when non-nil, registers every pooled machine's job-level and
 	// per-PE substrate series in this registry (cmd/mstbench -metrics).
@@ -146,6 +151,10 @@ type machinePool struct {
 	ctx context.Context
 	ms  map[machineKey]*kamsta.Machine
 
+	// timeout, when positive, wraps every Compute in context.WithTimeout
+	// (Scale.Timeout; the -timeout flag).
+	timeout time.Duration
+
 	// Observability sinks shared by every measurement of the sweep (all
 	// may be nil; see the Scale fields of the same names).
 	metrics *kamsta.Metrics
@@ -165,6 +174,7 @@ func newMachinePool(ctx context.Context, s Scale) *machinePool {
 	return &machinePool{
 		ctx:     ctx,
 		ms:      make(map[machineKey]*kamsta.Machine),
+		timeout: s.Timeout,
 		metrics: s.Metrics,
 		trace:   s.Trace,
 		rec:     s.Rec,
@@ -206,6 +216,18 @@ func (mp *machinePool) Close() {
 	}
 }
 
+// compute runs one job on a pooled machine, applying the sweep's per-job
+// timeout (Scale.Timeout) around the sweep context when one is set.
+func (mp *machinePool) compute(m *kamsta.Machine, src kamsta.Source, opts ...kamsta.RunOption) (*kamsta.Report, error) {
+	ctx := mp.ctx
+	if mp.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, mp.timeout)
+		defer cancel()
+	}
+	return m.Compute(ctx, src, opts...)
+}
+
 // measure runs one configuration, repeating per Scale.Reps and keeping the
 // run with minimum modeled time.
 func (mp *machinePool) measure(spec gen.Spec, cfg kamsta.Config, reps int) *kamsta.Report {
@@ -244,7 +266,7 @@ func (mp *machinePool) measureSourceErr(src kamsta.Source, cfg kamsta.Config, re
 		runtime.ReadMemStats(&ms0)
 	}
 	for i := 0; i < reps; i++ {
-		rep, err := m.Compute(mp.ctx, src, opts...)
+		rep, err := mp.compute(m, src, opts...)
 		if err != nil {
 			return nil, err
 		}

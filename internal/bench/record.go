@@ -28,6 +28,17 @@ type Row struct {
 	EdgesPerSecond      float64 `json:"edges_per_second"`
 	AllocsPerRep        uint64  `json:"allocs_per_rep"`
 	AllocBytesPerRep    uint64  `json:"alloc_bytes_per_rep"`
+
+	// Service-load fields, set only on internal/serve/loadgen rows: jobs
+	// completed, sustained throughput, queue-wait-plus-run latency
+	// percentiles, and the fraction of submissions the server rejected.
+	Tenant        string  `json:"tenant,omitempty"`
+	Jobs          int     `json:"jobs,omitempty"`
+	JobsPerSecond float64 `json:"jobs_per_second,omitempty"`
+	P50Seconds    float64 `json:"p50_seconds,omitempty"`
+	P95Seconds    float64 `json:"p95_seconds,omitempty"`
+	P99Seconds    float64 `json:"p99_seconds,omitempty"`
+	RejectedRate  float64 `json:"rejected_rate,omitempty"`
 }
 
 // Recorder accumulates benchmark rows for the -json emitter. Safe for
@@ -45,6 +56,10 @@ func (r *Recorder) SetBenchmark(name string) {
 	r.bench = name
 	r.mu.Unlock()
 }
+
+// Add appends one row, stamping the current benchmark name (the exported
+// entry point for harnesses outside this package, e.g. loadgen).
+func (r *Recorder) Add(row Row) { r.add(row) }
 
 // add appends one row, stamping the current benchmark name.
 func (r *Recorder) add(row Row) {

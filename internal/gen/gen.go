@@ -18,6 +18,8 @@ package gen
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"kamsta/internal/comm"
 	"kamsta/internal/dsort"
@@ -66,6 +68,55 @@ func (f Family) String() string {
 		return "ROAD"
 	}
 	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// familyNames maps the CLI/API names to families — the single source of
+// truth shared by mstgen's -family flag, the mstserve job API, and
+// ParseFamily's error message.
+var familyNames = []struct {
+	name string
+	fam  Family
+}{
+	{"grid2d", Grid2D},
+	{"rgg2d", RGG2D},
+	{"rgg3d", RGG3D},
+	{"rhg", RHG},
+	{"gnm", GNM},
+	{"rmat", RMAT},
+	{"road", RoadLike},
+}
+
+// Name returns the family's CLI/API name ("gnm", "rgg2d", ...) — the
+// inverse of ParseFamily, unlike String which renders the paper's labels.
+func (f Family) Name() string {
+	for _, fn := range familyNames {
+		if fn.fam == f {
+			return fn.name
+		}
+	}
+	return f.String()
+}
+
+// FamilyNames lists the accepted family names, sorted, as one
+// comma-separated string (flag help text, error messages).
+func FamilyNames() string {
+	names := make([]string, 0, len(familyNames))
+	for _, fn := range familyNames {
+		names = append(names, fn.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ParseFamily resolves a case-insensitive family name ("gnm", "rgg2d", ...)
+// with an error listing the valid names for unknown input.
+func ParseFamily(name string) (Family, error) {
+	for _, fn := range familyNames {
+		if strings.EqualFold(fn.name, name) {
+			return fn.fam, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown graph family %q (known: %s)", name, FamilyNames())
 }
 
 // Spec describes one input instance.

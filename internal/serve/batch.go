@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"kamsta"
+)
+
+// Batching exploits that the minimum spanning forest of a disjoint union is
+// the union of the forests: members' vertex labels are shifted into
+// disjoint ranges, one Compute runs on the union, and the forest is split
+// back by range. Correct for any union-decomposable algorithm; the server
+// batches only borůvka and filter-borůvka, whose results are
+// instance-deterministic.
+
+// batchMaxLabel caps the summed label ranges of a batch: every relabeled
+// vertex must stay in kamsta's [1, 2^32) label space.
+const batchMaxLabel = 1<<32 - 1
+
+// batchKey groups jobs that may share one Compute: same algorithm, seed and
+// shape constraint.
+type batchKey struct {
+	alg  kamsta.Algorithm
+	seed uint64
+	pes  int
+}
+
+// batchKeyOf reports whether j is batchable under bc and its grouping key.
+func batchKeyOf(j *Job, bc BatchConfig) (batchKey, bool) {
+	if bc.MaxJobs < 2 {
+		return batchKey{}, false
+	}
+	r := j.req
+	if r.NoBatch || r.Edges == nil || len(r.Options) > 0 {
+		return batchKey{}, false
+	}
+	if len(r.Edges) == 0 || len(r.Edges) > bc.MaxEdges {
+		return batchKey{}, false
+	}
+	alg := r.Algorithm
+	if alg == "" {
+		alg = kamsta.AlgBoruvka
+	}
+	if alg != kamsta.AlgBoruvka && alg != kamsta.AlgFilterBoruvka {
+		return batchKey{}, false
+	}
+	return batchKey{alg: alg, seed: r.Seed, pes: r.PEs}, true
+}
+
+// runBatch executes one batch: relabel members into disjoint vertex ranges,
+// run one Compute under the earliest member deadline, split the forest per
+// member. Any error fails every member.
+func (s *Server) runBatch(pm *poolMachine, jobs []*Job) {
+	bases := make([]uint64, len(jobs))
+	var off uint64
+	total := 0
+	for i, j := range jobs {
+		bases[i] = off
+		off += j.maxV
+		total += len(j.req.Edges)
+	}
+	union := make([]kamsta.InputEdge, 0, total)
+	for i, j := range jobs {
+		for _, e := range j.req.Edges {
+			union = append(union, kamsta.InputEdge{U: e.U + bases[i], V: e.V + bases[i], W: e.W})
+		}
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if dl, ok := earliestDeadline(jobs); ok {
+		ctx, cancel = context.WithDeadline(s.baseCtx, dl)
+	}
+	defer cancel()
+
+	s.sm.observeBatch(len(jobs))
+	start := time.Now()
+	rep, err := pm.m.Compute(ctx, kamsta.FromEdges(union), s.runOptions(jobs[0].req)...)
+	s.sm.observeRun(time.Since(start).Seconds())
+	if err != nil {
+		for _, j := range jobs {
+			// Report each member's own deadline if it has expired — the
+			// batch ctx is the min of the members', so attribution by the
+			// member's ctx is exact for the one that fired.
+			jerr := j.ctx.Err()
+			if jerr == nil {
+				jerr = err
+			}
+			s.finishJob(j, nil, jerr)
+		}
+		return
+	}
+	for i, j := range jobs {
+		s.finishJob(j, memberReport(rep, jobs, bases, i), nil)
+	}
+}
+
+// earliestDeadline returns the soonest member deadline, if any member has
+// one.
+func earliestDeadline(jobs []*Job) (time.Time, bool) {
+	var dl time.Time
+	ok := false
+	for _, j := range jobs {
+		if d, has := j.ctx.Deadline(); has && (!ok || d.Before(dl)) {
+			dl, ok = d, true
+		}
+	}
+	return dl, ok
+}
+
+// memberReport carves member i's report out of the batch report. Forest
+// edges are mapped back to original labels; MSTEdges stay canonically
+// sorted because the offset shift preserves their order within a range.
+// Machine-level figures (modeled/wall seconds, rounds, phases) are the
+// batch's — members share one run, and the split documents that rather
+// than invent a per-member cost model.
+func memberReport(rep *kamsta.Report, jobs []*Job, bases []uint64, i int) *kamsta.Report {
+	base := bases[i]
+	hi := base + jobs[i].maxV // inclusive upper label of member i's range
+	// rep.MSTEdges is sorted by canonical U, so member i's edges form one
+	// contiguous run: binary-search its start, scan to its end.
+	lo := sort.Search(len(rep.MSTEdges), func(k int) bool { return rep.MSTEdges[k].U > base })
+	out := &kamsta.Report{
+		InputVertices:       jobs[i].verts,
+		InputEdges:          2 * len(jobs[i].req.Edges),
+		InputModeledSeconds: rep.InputModeledSeconds,
+		WallSeconds:         rep.WallSeconds,
+		ModeledSeconds:      rep.ModeledSeconds,
+		EdgesPerSecond:      rep.EdgesPerSecond,
+	}
+	for k := lo; k < len(rep.MSTEdges) && rep.MSTEdges[k].U <= hi; k++ {
+		e := rep.MSTEdges[k]
+		out.MSTEdges = append(out.MSTEdges, kamsta.InputEdge{U: e.U - base, V: e.V - base, W: e.W})
+		out.TotalWeight += uint64(e.W)
+		out.NumEdges++
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"kamsta"
+	"kamsta/internal/faultinject"
+	"kamsta/internal/obs"
+)
+
+// TestFaultTenantContained is the multi-tenant fault drill (run under
+// -race in CI): one tenant's jobs panic inside the world via seeded fault
+// injection while two healthy tenants keep submitting. Every job must
+// resolve exactly once — faults as *kamsta.JobError, healthy jobs with
+// results matching sequential Kruskal — the pool must rebuild broken
+// worlds without dropping queued jobs, and the metrics registry must stay
+// exportable and consistent.
+func TestFaultTenantContained(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		Pool: []PoolShape{{PEs: 2, Threads: 1, Count: 2}},
+		Tenants: []TenantConfig{
+			{Name: "alpha", Weight: 2}, {Name: "beta", Weight: 1}, {Name: "evil", Weight: 1},
+		},
+		Metrics: reg,
+	})
+
+	const perTenant = 8
+	type workItem struct {
+		req  Request
+		want *kamsta.Report // nil for the fault tenant
+	}
+	// Build every request (and the healthy references) up front; the
+	// goroutines below only submit and wait.
+	work := map[string][]workItem{}
+	for _, tenant := range []string{"alpha", "beta", "evil"} {
+		for i := 0; i < perTenant; i++ {
+			item := workItem{req: Request{Tenant: tenant}}
+			if tenant == "evil" {
+				// Faults at a varying rank/occurrence of the collective
+				// site; each job carries its own armed plan. Most jobs
+				// panic (contained, world survives); every fourth is an
+				// injected straggler outlasting a short stall timeout,
+				// which poisons the world and forces a transparent
+				// rebuild under the pool's feet.
+				item.req.Edges = testEdges(int64(1000+i), 40, 120)
+				rule := &faultinject.Rule{
+					Site:       faultinject.SiteCollective,
+					Rank:       i % 2,
+					Occurrence: i,
+					Action:     faultinject.ActPanic,
+				}
+				item.req.Options = []kamsta.RunOption{
+					kamsta.WithFaultInjection(faultinject.NewPlan(rule)),
+				}
+				if i%4 == 3 {
+					rule.Action = faultinject.ActDelay
+					rule.Delay = 400 * time.Millisecond
+					item.req.Options = append(item.req.Options,
+						kamsta.WithStallTimeout(50*time.Millisecond))
+				}
+			} else {
+				edges := testEdges(int64(i), 40, 120)
+				item.req.Edges = edges
+				item.want = reference(t, edges)
+			}
+			work[tenant] = append(work[tenant], item)
+		}
+	}
+
+	type outcome struct {
+		tenant string
+		idx    int
+		rep    *kamsta.Report
+		want   *kamsta.Report
+		err    error
+	}
+	results := make(chan outcome, 3*perTenant)
+	var wg sync.WaitGroup
+	for tenant, items := range work {
+		wg.Add(1)
+		go func(tenant string, items []workItem) {
+			defer wg.Done()
+			for i, item := range items {
+				j, err := s.Submit(item.req)
+				if err != nil {
+					results <- outcome{tenant: tenant, idx: i, err: fmt.Errorf("submit: %w", err)}
+					continue
+				}
+				rep, err := j.Wait(context.Background())
+				results <- outcome{tenant: tenant, idx: i, rep: rep, want: item.want, err: err}
+			}
+		}(tenant, items)
+	}
+	wg.Wait()
+	close(results)
+
+	counts := map[string]int{}
+	for o := range results {
+		counts[o.tenant]++
+		if o.tenant == "evil" {
+			var je *kamsta.JobError
+			if !errors.As(o.err, &je) {
+				t.Errorf("evil job %d: err = %v, want *kamsta.JobError", o.idx, o.err)
+			}
+			continue
+		}
+		if o.err != nil {
+			t.Errorf("%s job %d: %v", o.tenant, o.idx, o.err)
+			continue
+		}
+		if o.rep.TotalWeight != o.want.TotalWeight || o.rep.NumEdges != o.want.NumEdges {
+			t.Errorf("%s job %d: weight %d/%d edges, want %d/%d",
+				o.tenant, o.idx, o.rep.TotalWeight, o.rep.NumEdges, o.want.TotalWeight, o.want.NumEdges)
+		}
+	}
+	for _, tenant := range []string{"alpha", "beta", "evil"} {
+		if counts[tenant] != perTenant {
+			t.Fatalf("%s delivered %d results, want %d (lost or duplicated jobs)",
+				tenant, counts[tenant], perTenant)
+		}
+	}
+
+	// The service must still be healthy: a fresh job forces a rebuild of
+	// any still-broken world and succeeds.
+	edges := testEdges(42, 50, 150)
+	want := reference(t, edges)
+	j, err := s.Submit(Request{Tenant: "alpha", Edges: edges})
+	if err != nil {
+		t.Fatalf("post-fault submit: %v", err)
+	}
+	rep, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("post-fault job: %v", err)
+	}
+	if rep.TotalWeight != want.TotalWeight {
+		t.Fatalf("post-fault weight = %d, want %d", rep.TotalWeight, want.TotalWeight)
+	}
+
+	st := s.Stats()
+	var rebuilds int64
+	for _, ms := range st.Machines {
+		rebuilds += ms.Rebuilds
+	}
+	if rebuilds == 0 {
+		t.Fatalf("no world rebuilds recorded despite %d panicking jobs", perTenant)
+	}
+	for _, ts := range st.Tenants {
+		wantSub := int64(perTenant)
+		if ts.Name == "alpha" {
+			wantSub++ // the post-fault probe job
+		}
+		if ts.Submitted != wantSub || ts.Completed != wantSub || ts.Queued != 0 {
+			t.Fatalf("tenant %s stats inconsistent: %+v", ts.Name, ts)
+		}
+	}
+	// The registry survived concurrent faults: exporting must not panic
+	// and must include the serve_ series.
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("metrics export: %v", err)
+	}
+}

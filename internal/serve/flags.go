@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePool parses a pool flag like "4x1:2,8x2" — comma-separated shapes,
+// each PEs["x"Threads][":"Count] (threads default 1, count default 1).
+func ParsePool(s string) ([]PoolShape, error) {
+	var out []PoolShape
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		shape := PoolShape{Threads: 1, Count: 1}
+		spec := part
+		if i := strings.IndexByte(spec, ':'); i >= 0 {
+			n, err := strconv.Atoi(spec[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("serve: bad machine count in pool shape %q", part)
+			}
+			shape.Count = n
+			spec = spec[:i]
+		}
+		if i := strings.IndexByte(spec, 'x'); i >= 0 {
+			t, err := strconv.Atoi(spec[i+1:])
+			if err != nil || t < 1 {
+				return nil, fmt.Errorf("serve: bad thread count in pool shape %q", part)
+			}
+			shape.Threads = t
+			spec = spec[:i]
+		}
+		p, err := strconv.Atoi(spec)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("serve: bad PE count in pool shape %q", part)
+		}
+		shape.PEs = p
+		out = append(out, shape)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: empty pool spec")
+	}
+	return out, nil
+}
+
+// ParseTenants parses a tenants flag like "alpha:4,beta:2" — comma-
+// separated name[:weight] entries (weight default 1). Empty input is a
+// valid empty list (an open server).
+func ParseTenants(s string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tc := TenantConfig{Weight: 1}
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("serve: bad weight in tenant %q", part)
+			}
+			tc.Weight = w
+			part = part[:i]
+		}
+		if part == "" {
+			return nil, fmt.Errorf("serve: tenant with empty name")
+		}
+		tc.Name = part
+		out = append(out, tc)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kamsta"
+	"kamsta/internal/obs"
+)
+
+func newHTTPPair(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, &Client{BaseURL: ts.URL, PollWait: 200 * time.Millisecond}
+}
+
+func TestHTTPEdgesRoundTrip(t *testing.T) {
+	_, c := newHTTPPair(t, Config{Pool: []PoolShape{{PEs: 2}}})
+	edges := testEdges(11, 60, 200)
+	want := reference(t, edges)
+	rj, err := c.Submit(context.Background(), Request{Tenant: "web", Edges: edges})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rep, err := rj.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if rep.TotalWeight != want.TotalWeight || rep.NumEdges != want.NumEdges {
+		t.Fatalf("got weight %d/%d edges, want %d/%d",
+			rep.TotalWeight, rep.NumEdges, want.TotalWeight, want.NumEdges)
+	}
+	if len(rep.MSTEdges) != want.NumEdges {
+		t.Fatalf("mst_edges came back with %d entries, want %d", len(rep.MSTEdges), want.NumEdges)
+	}
+}
+
+func TestHTTPSpecJob(t *testing.T) {
+	_, c := newHTTPPair(t, Config{Pool: []PoolShape{{PEs: 4}}})
+	rj, err := c.Submit(context.Background(), Request{
+		Tenant: "web",
+		Spec:   &kamsta.GraphSpec{Family: kamsta.GNM, N: 500, M: 2500, Seed: 3},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rep, err := rj.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if rep.NumEdges == 0 || rep.TotalWeight == 0 {
+		t.Fatalf("degenerate spec result: %+v", rep)
+	}
+}
+
+func TestHTTPRejections(t *testing.T) {
+	s, c := newHTTPPair(t, Config{
+		Pool:    []PoolShape{{PEs: 2}},
+		Tenants: []TenantConfig{{Name: "alpha", Weight: 1}},
+	})
+	edges := testEdges(12, 10, 20)
+	if _, err := c.Submit(context.Background(), Request{Tenant: "mallory", Edges: edges}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: err = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := c.Submit(context.Background(), Request{Tenant: "alpha"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("no source: err = %v, want ErrBadRequest", err)
+	}
+	if _, err := c.Submit(context.Background(), Request{Tenant: "alpha", File: "g.gr"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("file without AllowFiles: err = %v, want ErrBadRequest", err)
+	}
+	// Source/Options are in-process-only and rejected client-side.
+	if _, err := c.Submit(context.Background(), Request{
+		Tenant: "alpha", Source: kamsta.FromEdges(edges),
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("source over HTTP: err = %v, want ErrBadRequest", err)
+	}
+	// Draining servers answer 503 → ErrDraining.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), Request{Tenant: "alpha", Edges: edges}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining: err = %v, want ErrDraining", err)
+	}
+}
+
+func TestHTTPStatsAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := newHTTPPair(t, Config{Pool: []PoolShape{{PEs: 2}}, Metrics: reg})
+	rj, err := c.Submit(context.Background(), Request{Tenant: "web", Edges: testEdges(13, 30, 90)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rj.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.State != "running" || len(st.Machines) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !c.Healthy(context.Background()) {
+		t.Fatal("healthz failed")
+	}
+	// /metrics exposes the serve_ series in Prometheus format.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"serve_jobs_submitted_total", "serve_queue_depth", "serve_machines"} {
+		if !strings.Contains(buf.String(), series) {
+			t.Fatalf("/metrics missing %s:\n%s", series, buf.String())
+		}
+	}
+}
+
+func TestHTTPCancelAndNotFound(t *testing.T) {
+	s, c := newHTTPPair(t, Config{Pool: []PoolShape{{PEs: 2}}})
+	rj, err := c.Submit(context.Background(), Request{
+		Tenant: "web",
+		Spec:   &kamsta.GraphSpec{Family: kamsta.GNM, N: 3000, M: 12000, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rj.Cancel(context.Background()); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	// The job is forgotten: polling it is a 404.
+	if _, err := rj.Wait(context.Background()); err == nil {
+		t.Fatal("Wait after cancel+forget should fail")
+	}
+	_ = s
+}

@@ -1,0 +1,425 @@
+// Package loadgen drives a serve.Server (in-process) or a remote mstserve
+// (over HTTP) with multi-tenant job mixes: closed-loop worker pools that
+// keep a fixed concurrency in flight, and open-loop Poisson arrivals at a
+// target rate. It accounts every job exactly once — lost or duplicated
+// results are a harness error, not a statistic — and renders throughput,
+// latency percentiles and rejection rates as kamsta-bench/v1 rows
+// (exhibit.go), the service-side counterpart of internal/bench.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"kamsta"
+	"kamsta/internal/serve"
+)
+
+// Target is where jobs go: an in-process server (Local) or a remote one
+// (Remote).
+type Target interface {
+	Submit(ctx context.Context, req serve.Request) (Handle, error)
+}
+
+// Handle is one submitted job awaiting its result.
+type Handle interface {
+	Wait(ctx context.Context) (*kamsta.Report, error)
+}
+
+// Local targets an in-process serve.Server.
+func Local(s *serve.Server) Target { return localTarget{s} }
+
+type localTarget struct{ s *serve.Server }
+
+func (lt localTarget) Submit(_ context.Context, req serve.Request) (Handle, error) {
+	return lt.s.Submit(req)
+}
+
+// Remote targets a running mstserve over its HTTP API.
+func Remote(c *serve.Client) Target { return remoteTarget{c} }
+
+type remoteTarget struct{ c *serve.Client }
+
+func (rt remoteTarget) Submit(ctx context.Context, req serve.Request) (Handle, error) {
+	return rt.c.Submit(ctx, req)
+}
+
+// Template describes the jobs one tenant submits. Exactly one of Spec or
+// EdgeCount must be set.
+type Template struct {
+	Algorithm kamsta.Algorithm
+	// Spec submits generated-instance jobs (the per-job index is added to
+	// its seed so instances vary).
+	Spec *kamsta.GraphSpec
+	// EdgeCount submits random edge-list jobs of this size over Vertices
+	// labels (default 2+EdgeCount/3) — the batchable small-job shape.
+	EdgeCount int
+	Vertices  int
+	// Deadline, PEs and NoBatch pass through to the request.
+	Deadline time.Duration
+	PEs      int
+	NoBatch  bool
+	// Verify cross-checks every result against sequential Kruskal
+	// (edge-list jobs only) — the load test doubles as a correctness
+	// sweep.
+	Verify bool
+}
+
+// TenantLoad is one tenant's traffic. Workers > 0 selects the closed loop
+// (that many concurrent submitters, each waiting for its result before the
+// next job; rejections back off and retry). RateHz > 0 selects the open
+// loop (Poisson arrivals at that rate; rejections drop the job, as lost
+// offered load). Exactly one of the two must be set.
+type TenantLoad struct {
+	Name     string
+	Workers  int
+	RateHz   float64
+	Jobs     int
+	Template Template
+}
+
+// Plan is a full load-generation run.
+type Plan struct {
+	Tenants []TenantLoad
+	// Seed drives instance generation and Poisson arrivals.
+	Seed uint64
+	// Duration caps the run (0 = until every tenant submitted its Jobs).
+	Duration time.Duration
+}
+
+// TenantResult is one tenant's accounting after a run.
+type TenantResult struct {
+	Name string
+	// Attempted counts generated jobs; Submitted the admitted ones;
+	// Rejected the admission rejections (closed-loop retries count every
+	// rejection event, so Rejected may exceed Attempted there).
+	Attempted int
+	Submitted int
+	Rejected  int
+	// Outcomes tallies results by class: ok, deadline, cancelled, fault,
+	// error. Their sum must equal Submitted (exactly-once delivery).
+	Outcomes map[string]int
+	// Latencies are submit-to-result seconds of all resolved jobs.
+	Latencies []float64
+	// BadResults counts Verify mismatches (0 unless Template.Verify).
+	BadResults int
+}
+
+// Completed is the number of jobs that resolved with any outcome.
+func (tr *TenantResult) Completed() int {
+	n := 0
+	for _, c := range tr.Outcomes {
+		n += c
+	}
+	return n
+}
+
+// Percentile returns the p-th latency percentile in seconds (p in [0,100]).
+func (tr *TenantResult) Percentile(p float64) float64 {
+	if len(tr.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), tr.Latencies...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	Elapsed time.Duration
+	Tenants []*TenantResult
+}
+
+// Verify checks the exactly-once invariant: every admitted job produced
+// exactly one result, and no verified result was wrong.
+func (r *Result) Verify() error {
+	for _, tr := range r.Tenants {
+		if got := tr.Completed(); got != tr.Submitted {
+			return fmt.Errorf("loadgen: tenant %s: %d results for %d admitted jobs (lost or duplicated)",
+				tr.Name, got, tr.Submitted)
+		}
+		if tr.BadResults > 0 {
+			return fmt.Errorf("loadgen: tenant %s: %d results disagree with sequential Kruskal",
+				tr.Name, tr.BadResults)
+		}
+	}
+	return nil
+}
+
+// tenantState is the mutable accounting behind one TenantResult.
+type tenantState struct {
+	mu  sync.Mutex
+	res *TenantResult
+	// refs caches per-job-index Kruskal references when Verify is on.
+	refs sync.Map // int64 → *kamsta.Report
+}
+
+// Run executes the plan against target and returns the accounting. It
+// returns when every tenant finished (or the plan Duration / ctx expired —
+// in-flight jobs are still awaited so accounting stays exact).
+func Run(ctx context.Context, target Target, plan Plan) (*Result, error) {
+	if len(plan.Tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: empty plan")
+	}
+	for _, tl := range plan.Tenants {
+		if (tl.Workers > 0) == (tl.RateHz > 0) {
+			return nil, fmt.Errorf("loadgen: tenant %s: exactly one of Workers or RateHz must be set", tl.Name)
+		}
+		if (tl.Template.Spec != nil) == (tl.Template.EdgeCount > 0) {
+			return nil, fmt.Errorf("loadgen: tenant %s: exactly one of Spec or EdgeCount must be set", tl.Name)
+		}
+	}
+	runCtx := ctx
+	if plan.Duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, plan.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res := &Result{}
+	var wg sync.WaitGroup
+	for ti, tl := range plan.Tenants {
+		st := &tenantState{res: &TenantResult{Name: tl.Name, Outcomes: map[string]int{}}}
+		res.Tenants = append(res.Tenants, st.res)
+		wg.Add(1)
+		go func(ti int, tl TenantLoad, st *tenantState) {
+			defer wg.Done()
+			if tl.Workers > 0 {
+				runClosedLoop(runCtx, target, plan, ti, tl, st)
+			} else {
+				runOpenLoop(runCtx, target, plan, ti, tl, st)
+			}
+		}(ti, tl, st)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runClosedLoop keeps tl.Workers jobs in flight until tl.Jobs have been
+// submitted and resolved. Admission rejections back off briefly and retry
+// the same job, so closed-loop tenants never lose work to back-pressure.
+func runClosedLoop(ctx context.Context, target Target, plan Plan, ti int, tl TenantLoad, st *tenantState) {
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	takeJob := func() (int64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(tl.Jobs) {
+			return 0, false
+		}
+		next++
+		return next - 1, true
+	}
+	for w := 0; w < tl.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, ok := takeJob()
+				if !ok || ctx.Err() != nil {
+					return
+				}
+				st.attempt()
+				req := buildRequest(plan, ti, tl, idx)
+				for {
+					h, err := target.Submit(ctx, req)
+					if err == nil {
+						st.admitted()
+						submitTime := time.Now()
+						rep, werr := h.Wait(ctx)
+						st.resolve(plan, ti, tl, idx, rep, werr, time.Since(submitTime))
+						break
+					}
+					if !isBackpressure(err) || ctx.Err() != nil {
+						st.rejectedFinal()
+						break
+					}
+					st.reject()
+					select {
+					case <-time.After(time.Millisecond):
+					case <-ctx.Done():
+						st.rejectedFinal()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpenLoop submits tl.Jobs at Poisson arrivals of tl.RateHz,
+// independent of service time. Rejections drop the job — offered load the
+// server shed — and in-flight waits are gathered before returning.
+func runOpenLoop(ctx context.Context, target Target, plan Plan, ti int, tl TenantLoad, st *tenantState) {
+	rng := rand.New(rand.NewSource(int64(plan.Seed) ^ int64(ti)<<32 ^ 0x9e3779b9))
+	var wg sync.WaitGroup
+	for idx := int64(0); idx < int64(tl.Jobs); idx++ {
+		gap := time.Duration(rng.ExpFloat64() / tl.RateHz * float64(time.Second))
+		select {
+		case <-time.After(gap):
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		}
+		st.attempt()
+		req := buildRequest(plan, ti, tl, idx)
+		h, err := target.Submit(ctx, req)
+		if err != nil {
+			st.reject()
+			st.rejectedFinal()
+			continue
+		}
+		st.admitted()
+		submitTime := time.Now()
+		wg.Add(1)
+		go func(idx int64, h Handle) {
+			defer wg.Done()
+			// Wait on the background context: the arrival window closing
+			// must not orphan admitted jobs, or accounting would leak.
+			rep, werr := h.Wait(context.Background())
+			st.resolve(plan, ti, tl, idx, rep, werr, time.Since(submitTime))
+		}(idx, h)
+	}
+	wg.Wait()
+}
+
+// buildRequest renders job idx of a tenant: deterministic in (plan seed,
+// tenant index, job index) so reruns offer identical load.
+func buildRequest(plan Plan, ti int, tl TenantLoad, idx int64) serve.Request {
+	req := serve.Request{
+		Tenant:    tl.Name,
+		Algorithm: tl.Template.Algorithm,
+		Seed:      plan.Seed,
+		Deadline:  tl.Template.Deadline,
+		PEs:       tl.Template.PEs,
+		NoBatch:   tl.Template.NoBatch,
+	}
+	if tl.Template.Spec != nil {
+		spec := *tl.Template.Spec
+		spec.Seed += uint64(idx)
+		req.Spec = &spec
+		return req
+	}
+	req.Edges = randomEdges(jobSeed(plan.Seed, ti, idx), tl.Template.EdgeCount, tl.Template.Vertices)
+	return req
+}
+
+func jobSeed(seed uint64, ti int, idx int64) int64 {
+	return int64(seed)*1_000_003 + int64(ti)*7_777_777 + idx
+}
+
+// randomEdges builds a connected random instance: a spanning path plus
+// random extra edges, labels in [1, n].
+func randomEdges(seed int64, m, n int) []kamsta.InputEdge {
+	if n <= 1 {
+		n = 2 + m/3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]kamsta.InputEdge, 0, m+n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, kamsta.InputEdge{
+			U: uint64(perm[i-1] + 1), V: uint64(perm[i] + 1), W: uint32(rng.Intn(1000) + 1),
+		})
+	}
+	for len(edges) < m {
+		u, v := rng.Intn(n)+1, rng.Intn(n)+1
+		if u == v {
+			continue
+		}
+		edges = append(edges, kamsta.InputEdge{U: uint64(u), V: uint64(v), W: uint32(rng.Intn(1000) + 1)})
+	}
+	return edges
+}
+
+// Accounting. attempt/admitted/reject/rejectedFinal/resolve each touch the
+// tenant's result under its lock; resolve classifies the outcome and, with
+// Verify on, cross-checks the result against a cached Kruskal reference.
+func (st *tenantState) attempt() {
+	st.mu.Lock()
+	st.res.Attempted++
+	st.mu.Unlock()
+}
+
+func (st *tenantState) admitted() {
+	st.mu.Lock()
+	st.res.Submitted++
+	st.mu.Unlock()
+}
+
+func (st *tenantState) reject() {
+	st.mu.Lock()
+	st.res.Rejected++
+	st.mu.Unlock()
+}
+
+// rejectedFinal is a no-op hook kept for symmetry: a job dropped at
+// admission is accounted by Attempted vs Submitted, not in Outcomes.
+func (st *tenantState) rejectedFinal() {}
+
+func (st *tenantState) resolve(plan Plan, ti int, tl TenantLoad, idx int64, rep *kamsta.Report, err error, lat time.Duration) {
+	bad := false
+	if err == nil && tl.Template.Verify && tl.Template.EdgeCount > 0 {
+		want := st.referenceFor(plan, ti, tl, idx)
+		if want != nil && (rep.TotalWeight != want.TotalWeight || rep.NumEdges != want.NumEdges) {
+			bad = true
+		}
+	}
+	st.mu.Lock()
+	st.res.Outcomes[classify(err)]++
+	st.res.Latencies = append(st.res.Latencies, lat.Seconds())
+	if bad {
+		st.res.BadResults++
+	}
+	st.mu.Unlock()
+}
+
+// referenceFor computes (and caches) the sequential Kruskal answer for job
+// idx's instance.
+func (st *tenantState) referenceFor(plan Plan, ti int, tl TenantLoad, idx int64) *kamsta.Report {
+	if cached, ok := st.refs.Load(idx); ok {
+		return cached.(*kamsta.Report)
+	}
+	edges := randomEdges(jobSeed(plan.Seed, ti, idx), tl.Template.EdgeCount, tl.Template.Vertices)
+	want, err := kamsta.ComputeMSF(edges, kamsta.Config{Algorithm: kamsta.AlgKruskal})
+	if err != nil {
+		return nil
+	}
+	st.refs.Store(idx, want)
+	return want
+}
+
+// isBackpressure reports whether a Submit error is retryable saturation
+// rather than a permanent rejection.
+func isBackpressure(err error) bool {
+	return errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrTenantQueueFull)
+}
+
+// classify buckets a job error the way the server's completion counter
+// does.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		var je *kamsta.JobError
+		if errors.As(err, &je) {
+			return "fault"
+		}
+		return "error"
+	}
+}

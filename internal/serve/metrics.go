@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"kamsta"
+	"kamsta/internal/obs"
+)
+
+// serveMetrics owns the serve_* series. All methods are safe on a nil
+// receiver (no registry configured); per-tenant and per-reason series are
+// created lazily under a small lock, the hot counters themselves stay
+// lock-free.
+type serveMetrics struct {
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
+	batchSize *obs.Histogram
+
+	mu       sync.Mutex
+	reg      *obs.Registry
+	submit   map[string]*obs.Counter
+	reject   map[[2]string]*obs.Counter
+	complete map[[2]string]*obs.Counter
+}
+
+// newServeMetrics registers the serve_* series against reg (nil disables)
+// and wires the live gauges to the server's own state.
+func newServeMetrics(reg *obs.Registry, s *Server) *serveMetrics {
+	if reg == nil {
+		return nil
+	}
+	sm := &serveMetrics{
+		reg: reg,
+		queueWait: reg.Histogram("serve_queue_wait_seconds",
+			"Wall seconds jobs spent queued before dispatch.",
+			[]float64{0.001, 0.01, 0.1, 1, 10}),
+		runTime: reg.Histogram("serve_job_run_seconds",
+			"Wall seconds of machine time per dispatch (a batch counts once).",
+			[]float64{0.01, 0.1, 1, 10, 100}),
+		batchSize: reg.Histogram("serve_batch_jobs",
+			"Jobs coalesced per batched dispatch.",
+			[]float64{2, 4, 8, 16, 32}),
+		submit:   make(map[string]*obs.Counter),
+		reject:   make(map[[2]string]*obs.Counter),
+		complete: make(map[[2]string]*obs.Counter),
+	}
+	reg.GaugeFunc("serve_queue_depth", "Jobs currently queued.",
+		func() float64 { return float64(s.sched.depth()) })
+	reg.GaugeFunc("serve_jobs_running", "Jobs currently executing.",
+		func() float64 { return float64(s.running.Load()) })
+	reg.GaugeFunc("serve_machines", "Warm machines in the pool.",
+		func() float64 { return float64(len(s.machines)) })
+	reg.GaugeFunc("serve_machines_busy", "Pool machines currently running a dispatch.",
+		func() float64 {
+			busy := 0
+			for _, pm := range s.machines {
+				if pm.busy.Load() {
+					busy++
+				}
+			}
+			return float64(busy)
+		})
+	return sm
+}
+
+func (sm *serveMetrics) submitted(tenant string) {
+	if sm == nil {
+		return
+	}
+	sm.mu.Lock()
+	c := sm.submit[tenant]
+	if c == nil {
+		c = sm.reg.Counter("serve_jobs_submitted_total",
+			"Jobs admitted, by tenant.", obs.Label{Key: "tenant", Value: tenant})
+		sm.submit[tenant] = c
+	}
+	sm.mu.Unlock()
+	c.Inc()
+}
+
+func (sm *serveMetrics) rejected(tenant, reason string) {
+	if sm == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = "unknown"
+	}
+	k := [2]string{tenant, reason}
+	sm.mu.Lock()
+	c := sm.reject[k]
+	if c == nil {
+		c = sm.reg.Counter("serve_jobs_rejected_total",
+			"Submissions rejected, by tenant and reason.",
+			obs.Label{Key: "tenant", Value: tenant}, obs.Label{Key: "reason", Value: reason})
+		sm.reject[k] = c
+	}
+	sm.mu.Unlock()
+	c.Inc()
+}
+
+func (sm *serveMetrics) completed(tenant, outcome string) {
+	if sm == nil {
+		return
+	}
+	k := [2]string{tenant, outcome}
+	sm.mu.Lock()
+	c := sm.complete[k]
+	if c == nil {
+		c = sm.reg.Counter("serve_jobs_completed_total",
+			"Jobs finished, by tenant and outcome.",
+			obs.Label{Key: "tenant", Value: tenant}, obs.Label{Key: "outcome", Value: outcome})
+		sm.complete[k] = c
+	}
+	sm.mu.Unlock()
+	c.Inc()
+}
+
+func (sm *serveMetrics) observeWait(sec float64) {
+	if sm != nil {
+		sm.queueWait.Observe(sec)
+	}
+}
+
+func (sm *serveMetrics) observeRun(sec float64) {
+	if sm != nil {
+		sm.runTime.Observe(sec)
+	}
+}
+
+func (sm *serveMetrics) observeBatch(n int) {
+	if sm != nil {
+		sm.batchSize.Observe(float64(n))
+	}
+}
+
+// outcomeOf classifies a job error for the completion counter, mirroring
+// the Machine's own outcome labels: ok, deadline, cancelled, fault
+// (contained job fault — panic, injected I/O error) or error.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		var je *kamsta.JobError
+		if errors.As(err, &je) {
+			return "fault"
+		}
+		return "error"
+	}
+}

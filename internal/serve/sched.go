@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// The admission errors Submit reports. They are sentinels so clients (and
+// the HTTP layer) can map them to back-pressure decisions: everything here
+// is the server protecting itself, not a broken request.
+var (
+	// ErrQueueFull: the global queue bound is reached — the server is
+	// saturated; back off and retry.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrTenantQueueFull: this tenant's queue share is full while the
+	// server still has room for others — per-tenant isolation working.
+	ErrTenantQueueFull = errors.New("serve: tenant queue full")
+	// ErrUnknownTenant: the tenant is not configured and the server does
+	// not auto-register tenants (Config.DefaultWeight == 0).
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrDraining: the server is shutting down and admits no new jobs.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrNoSuchShape: the job requests a PE count no pool machine has.
+	ErrNoSuchShape = errors.New("serve: no pool machine with the requested PEs")
+)
+
+// scheduler lifecycle states.
+const (
+	schedRunning int32 = iota
+	schedDraining
+	schedClosed
+)
+
+// strideScale is the fixed-point scale of the stride scheduler: a tenant
+// with weight w advances its pass by strideScale/w per dispatched job, so
+// over time tenants receive machine slots proportional to their weights.
+const strideScale = 1 << 20
+
+// tenant is one admission/fairness domain: a FIFO queue of its jobs plus
+// its stride-scheduling state. Queue fields are guarded by the scheduler
+// mutex; the outcome counters are atomics because jobs finish on worker
+// goroutines outside the lock.
+type tenant struct {
+	name   string
+	weight int
+	stride uint64
+	pass   uint64
+	q      []*Job
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+}
+
+// scheduler is the server's bounded, weighted-fair job queue. Submission
+// performs admission control (tenant known, global and per-tenant bounds);
+// workers dequeue via next, which picks the compatible job of the tenant
+// with the smallest stride pass — weighted fairness without starvation —
+// and greedily attaches batch-compatible small jobs.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tenants map[string]*tenant
+	order   []*tenant // registration order: deterministic scans and tie-breaks
+
+	queued        int
+	bound         int
+	tenantBound   int
+	defaultWeight int // weight for auto-registered tenants; 0 rejects unknown
+	state         int32
+	global        uint64 // virtual time: pass of the last dispatched tenant
+}
+
+func newScheduler(bound, tenantBound, defaultWeight int) *scheduler {
+	s := &scheduler{
+		tenants:       make(map[string]*tenant),
+		bound:         bound,
+		tenantBound:   tenantBound,
+		defaultWeight: defaultWeight,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// register adds a configured tenant (before the server starts serving).
+func (s *scheduler) register(name string, weight int) *tenant {
+	if weight < 1 {
+		weight = 1
+	}
+	t := &tenant{name: name, weight: weight, stride: strideScale / uint64(weight)}
+	s.tenants[name] = t
+	s.order = append(s.order, t)
+	return t
+}
+
+// submit admits one job or reports why not. On admission the job is queued
+// FIFO within its tenant and a waiting worker is woken.
+func (s *scheduler) submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != schedRunning {
+		return ErrDraining
+	}
+	t := s.tenants[j.tenant]
+	if t == nil {
+		if s.defaultWeight <= 0 {
+			return ErrUnknownTenant
+		}
+		t = s.register(j.tenant, s.defaultWeight)
+	}
+	if s.queued >= s.bound {
+		t.rejected.Add(1)
+		return ErrQueueFull
+	}
+	if len(t.q) >= s.tenantBound {
+		t.rejected.Add(1)
+		return ErrTenantQueueFull
+	}
+	t.submitted.Add(1)
+	if len(t.q) == 0 && t.pass < s.global {
+		// A tenant that went idle re-joins at the current virtual time:
+		// it neither banks credit while idle nor starves the others.
+		t.pass = s.global
+	}
+	j.ten = t
+	t.q = append(t.q, j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// compatible reports whether a job may run on a machine with pes PEs.
+func compatible(j *Job, pes int) bool {
+	return j.req.PEs == 0 || j.req.PEs == pes
+}
+
+// pick returns the queued tenant with the smallest pass that has a job
+// compatible with pes, and the index of that job in its queue. Caller
+// holds the lock.
+func (s *scheduler) pick(pes int) (*tenant, int) {
+	var best *tenant
+	bestIdx := -1
+	for _, t := range s.order {
+		if len(t.q) == 0 || (best != nil && t.pass >= best.pass) {
+			continue
+		}
+		for i, j := range t.q {
+			if compatible(j, pes) {
+				best, bestIdx = t, i
+				break
+			}
+		}
+	}
+	return best, bestIdx
+}
+
+// pickBatch returns the min-pass tenant holding a job that batches under
+// key within the remaining edge/vertex room, and its queue index. Caller
+// holds the lock.
+func (s *scheduler) pickBatch(pes int, key batchKey, bc BatchConfig, edgeRoom int, vertRoom uint64) (*tenant, int) {
+	var best *tenant
+	bestIdx := -1
+	for _, t := range s.order {
+		if len(t.q) == 0 || (best != nil && t.pass >= best.pass) {
+			continue
+		}
+		for i, j := range t.q {
+			if !compatible(j, pes) {
+				continue
+			}
+			k, ok := batchKeyOf(j, bc)
+			if ok && k == key && len(j.req.Edges) <= edgeRoom && j.maxV <= vertRoom {
+				best, bestIdx = t, i
+				break
+			}
+		}
+	}
+	return best, bestIdx
+}
+
+// take removes queue entry i and charges the tenant one stride. Caller
+// holds the lock.
+func (s *scheduler) take(t *tenant, i int) *Job {
+	j := t.q[i]
+	copy(t.q[i:], t.q[i+1:])
+	t.q[len(t.q)-1] = nil
+	t.q = t.q[:len(t.q)-1]
+	s.global = t.pass
+	t.pass += t.stride
+	s.queued--
+	return j
+}
+
+// next blocks until work is available for a machine with pes PEs and
+// returns it: one job, or a batch of small batch-compatible jobs led by a
+// fair pick. It returns nil when the worker should exit — the scheduler is
+// closed, or draining with no compatible work left.
+func (s *scheduler) next(pes int, bc BatchConfig) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.state == schedClosed {
+			return nil
+		}
+		if t, i := s.pick(pes); t != nil {
+			jobs := []*Job{s.take(t, i)}
+			lead := jobs[0]
+			if key, ok := batchKeyOf(lead, bc); ok {
+				edgeRoom := bc.MaxEdges - len(lead.req.Edges)
+				vertRoom := batchMaxLabel - lead.maxV
+				for len(jobs) < bc.MaxJobs {
+					t2, i2 := s.pickBatch(pes, key, bc, edgeRoom, vertRoom)
+					if t2 == nil {
+						break
+					}
+					j2 := s.take(t2, i2)
+					edgeRoom -= len(j2.req.Edges)
+					vertRoom -= j2.maxV
+					jobs = append(jobs, j2)
+				}
+			}
+			return jobs
+		}
+		if s.state != schedRunning {
+			// Draining and nothing this worker can serve: any remaining
+			// queued jobs belong to other shapes, whose workers are still
+			// live (admission guarantees every job matches a pool shape).
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// drain stops admission; queued jobs keep being served.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	if s.state == schedRunning {
+		s.state = schedDraining
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// close stops the scheduler and returns every still-queued job exactly
+// once, for the caller to fail; workers wake and exit.
+func (s *scheduler) close() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = schedClosed
+	var orphans []*Job
+	for _, t := range s.order {
+		orphans = append(orphans, t.q...)
+		t.q = nil
+	}
+	s.queued = 0
+	s.cond.Broadcast()
+	return orphans
+}
+
+// depth reports the total queued jobs.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// snapshot returns per-tenant stats rows in registration order.
+func (s *scheduler) snapshot() []TenantStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStat, 0, len(s.order))
+	for _, t := range s.order {
+		out = append(out, TenantStat{
+			Name:      t.name,
+			Weight:    t.weight,
+			Queued:    len(t.q),
+			Submitted: t.submitted.Load(),
+			Completed: t.completed.Load(),
+			Rejected:  t.rejected.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,658 @@
+// Package serve turns the persistent kamsta.Machine into a multi-tenant
+// MST-as-a-service job server: a pool of warm machines across configured
+// shapes, a bounded queue with per-tenant admission control and
+// weighted-fair (stride) scheduling, transparent batching of small edge-list
+// jobs onto one world, per-job deadlines that cover queue wait, and full
+// observability. cmd/mstserve exposes it over HTTP; internal/serve/loadgen
+// drives it with open- and closed-loop tenant mixes.
+//
+// Lifecycle: New starts one worker goroutine per pool machine; Submit
+// admits (or rejects) jobs; Job.Wait delivers each result exactly once;
+// Drain stops admission and lets queued work finish (bounded by its ctx);
+// Close aborts in-flight jobs at their next collective boundary. Faults are
+// already contained by the Machine (panics surface as *kamsta.JobError and
+// broken worlds rebuild transparently), so one tenant's poisoned job cannot
+// take the service down.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kamsta"
+	"kamsta/internal/obs"
+)
+
+// ErrBadRequest marks submissions rejected for being malformed (missing
+// tenant, zero or multiple graph sources, invalid edge labels, unknown
+// algorithm) rather than by back-pressure. errors.Is-able; the HTTP layer
+// maps it to 400.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// PoolShape describes one machine configuration in the pool.
+type PoolShape struct {
+	// PEs and Threads mirror kamsta.MachineConfig.
+	PEs     int
+	Threads int
+	// Count is how many machines of this shape to keep warm (default 1).
+	Count int
+}
+
+// TenantConfig declares one tenant and its fair-share weight (≥1; a tenant
+// with weight 2 gets twice the machine slots of a tenant with weight 1
+// under contention).
+type TenantConfig struct {
+	Name   string
+	Weight int
+}
+
+// BatchConfig bounds the transparent batching of small edge-list jobs.
+// Jobs are batchable when they supply Edges, are not marked NoBatch, use a
+// union-decomposable algorithm (borůvka, filter-borůvka), carry no custom
+// RunOptions, and fit the per-job limits; a batch shares one Compute on a
+// disjoint vertex relabeling, and the forest is split back per member.
+type BatchConfig struct {
+	// MaxJobs is the largest batch (≤1 disables batching).
+	MaxJobs int
+	// MaxEdges caps the summed edge count of a batch (default 65536).
+	MaxEdges int
+}
+
+// Config configures a Server. The zero value serves: one 4-PE machine, a
+// 1024-job queue, auto-registered tenants with weight 1, no batching, no
+// deadlines.
+type Config struct {
+	// Pool lists the machine shapes to keep warm (default one {PEs: 4,
+	// Threads: 1, Count: 1}).
+	Pool []PoolShape
+	// Tenants pre-registers tenants with weights. Unknown tenants are
+	// auto-registered with DefaultWeight, or rejected when it is 0 and
+	// Tenants is non-empty (a closed server).
+	Tenants       []TenantConfig
+	DefaultWeight int
+	// QueueBound caps the total queued jobs (default 1024);
+	// TenantQueueBound caps one tenant's share (default QueueBound).
+	QueueBound       int
+	TenantQueueBound int
+	// DefaultDeadline applies to jobs that set none; MaxDeadline clamps
+	// every job (0 = unlimited). Deadlines start at admission, so they
+	// bound queue wait plus run time.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Batch enables transparent batching of small edge-list jobs.
+	Batch BatchConfig
+	// StallTimeout is passed to every job (kamsta.WithStallTimeout);
+	// 0 leaves the Machine default.
+	StallTimeout time.Duration
+	// ResultTTL is how long finished jobs stay pollable (default 10m).
+	ResultTTL time.Duration
+	// AllowFiles permits HTTP jobs that read server-local graph files
+	// (in-process submissions may always use File).
+	AllowFiles bool
+	// Metrics receives the serve_* series (nil disables); Trace receives
+	// job spans.
+	Metrics *obs.Registry
+	Trace   *kamsta.Trace
+}
+
+// Request describes one job. Exactly one of Spec, Edges, File or Source
+// must be set.
+type Request struct {
+	// Tenant is the submitting tenant (required).
+	Tenant string
+	// Algorithm selects the MST algorithm ("" = borůvka).
+	Algorithm kamsta.Algorithm
+	// Seed drives generation and sampling.
+	Seed uint64
+	// Deadline bounds queue wait plus run time (0 = Config default).
+	Deadline time.Duration
+	// PEs pins the job to machines of that shape (0 = any).
+	PEs int
+	// NoBatch opts this job out of transparent batching.
+	NoBatch bool
+
+	// Spec generates one of the paper's graph families in-world.
+	Spec *kamsta.GraphSpec
+	// Edges supplies the graph directly (labels in [1, 2^32)); only
+	// edge-list jobs are batchable.
+	Edges []kamsta.InputEdge
+	// File ingests an on-disk instance; FileFormat as in
+	// kamsta.FromFileFormat ("" = auto).
+	File       string
+	FileFormat string
+	// Source is an in-process escape hatch for a custom kamsta.Source
+	// (not reachable over HTTP).
+	Source kamsta.Source
+
+	// Options appends extra RunOptions (in-process only; used by the
+	// fault-injection tests). Jobs with Options never batch.
+	Options []kamsta.RunOption
+}
+
+// Job is one admitted job. Its result is delivered exactly once via Wait
+// (or polled via Result); the job context is cancelled when it finishes.
+type Job struct {
+	id     uint64
+	tenant string
+	req    Request
+	ten    *tenant
+
+	// maxV/verts cache the edge-list profile for batching (max label,
+	// distinct vertex count).
+	maxV  uint64
+	verts int
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   atomic.Int64 // unix nanos at dispatch; 0 while queued
+	finished  atomic.Int64 // unix nanos at finish; retention sweeping
+
+	done chan struct{}
+	once sync.Once
+	rep  *kamsta.Report
+	err  error
+}
+
+// ID returns the server-assigned job id.
+func (j *Job) ID() uint64 { return j.id }
+
+// Tenant returns the submitting tenant.
+func (j *Job) Tenant() string { return j.tenant }
+
+// Done is closed when the result is available.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks for the result or the caller's ctx, whichever first. The
+// job's own deadline fires through its result error, not through Wait.
+func (j *Job) Wait(ctx context.Context) (*kamsta.Report, error) {
+	select {
+	case <-j.done:
+		return j.rep, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result polls without blocking; ok reports whether the job finished.
+func (j *Job) Result() (rep *kamsta.Report, err error, ok bool) {
+	select {
+	case <-j.done:
+		return j.rep, j.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Status reports "queued", "running" or "done".
+func (j *Job) Status() string {
+	select {
+	case <-j.done:
+		return "done"
+	default:
+	}
+	if j.started.Load() != 0 {
+		return "running"
+	}
+	return "queued"
+}
+
+// Cancel cancels the job's context. A queued job fails when dequeued; a
+// running single job unwinds at its next collective boundary; a job inside
+// a batch is best-effort (the batch runs to the earliest member deadline).
+func (j *Job) Cancel() { j.cancel() }
+
+// finish records the result exactly once.
+func (j *Job) finish(rep *kamsta.Report, err error) bool {
+	first := false
+	j.once.Do(func() {
+		j.rep, j.err = rep, err
+		j.finished.Store(time.Now().UnixNano())
+		close(j.done)
+		j.cancel()
+		first = true
+	})
+	return first
+}
+
+// poolMachine is one warm machine plus its shape and busy flag.
+type poolMachine struct {
+	m     *kamsta.Machine
+	shape PoolShape
+	busy  atomic.Bool
+}
+
+// Server is the multi-tenant job server.
+type Server struct {
+	cfg      Config
+	batch    BatchConfig
+	sched    *scheduler
+	sm       *serveMetrics
+	machines []*poolMachine
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	ids        atomic.Uint64
+	running    atomic.Int64
+
+	teardownOnce sync.Once
+
+	jobsMu  sync.Mutex
+	jobs    map[uint64]*Job
+	submits uint64 // sweep trigger, guarded by jobsMu
+}
+
+// New validates cfg, builds the machine pool and starts one worker per
+// machine. The caller must Drain or Close the server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Pool) == 0 {
+		cfg.Pool = []PoolShape{{PEs: 4, Threads: 1, Count: 1}}
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 1024
+	}
+	if cfg.TenantQueueBound <= 0 {
+		cfg.TenantQueueBound = cfg.QueueBound
+	}
+	if len(cfg.Tenants) == 0 && cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1 // open server: anyone may submit at weight 1
+	}
+	if cfg.Batch.MaxJobs > 1 && cfg.Batch.MaxEdges <= 0 {
+		cfg.Batch.MaxEdges = 65536
+	}
+	if cfg.ResultTTL <= 0 {
+		cfg.ResultTTL = 10 * time.Minute
+	}
+
+	s := &Server{
+		cfg:   cfg,
+		batch: cfg.Batch,
+		sched: newScheduler(cfg.QueueBound, cfg.TenantQueueBound, cfg.DefaultWeight),
+		jobs:  make(map[uint64]*Job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("serve: tenant with empty name")
+		}
+		if s.sched.tenants[tc.Name] != nil {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+		}
+		s.sched.register(tc.Name, tc.Weight)
+	}
+	for _, shape := range cfg.Pool {
+		count := shape.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			m, err := kamsta.NewMachine(kamsta.MachineConfig{
+				PEs: shape.PEs, Threads: shape.Threads, Metrics: cfg.Metrics,
+			})
+			if err != nil {
+				for _, pm := range s.machines {
+					pm.m.Close()
+				}
+				s.baseCancel()
+				return nil, fmt.Errorf("serve: pool shape %dx%d: %w", shape.PEs, shape.Threads, err)
+			}
+			s.machines = append(s.machines, &poolMachine{m: m, shape: shape})
+		}
+	}
+	s.sm = newServeMetrics(cfg.Metrics, s)
+	for _, pm := range s.machines {
+		s.wg.Add(1)
+		go s.worker(pm)
+	}
+	return s, nil
+}
+
+// Submit validates and admits one job. The job's deadline clock starts
+// now — queue wait counts against it. Rejections are sentinel errors
+// (ErrQueueFull, ErrTenantQueueFull, ErrUnknownTenant, ErrDraining,
+// ErrNoSuchShape) or wrap ErrBadRequest.
+func (s *Server) Submit(req Request) (*Job, error) {
+	j, err := s.admit(req)
+	if err != nil {
+		s.sm.rejected(req.Tenant, rejectReason(err))
+		return nil, err
+	}
+	s.sm.submitted(req.Tenant)
+	s.remember(j)
+	return j, nil
+}
+
+func (s *Server) admit(req Request) (*Job, error) {
+	if req.Tenant == "" {
+		return nil, fmt.Errorf("%w: missing tenant", ErrBadRequest)
+	}
+	sources := 0
+	for _, have := range []bool{req.Spec != nil, req.Edges != nil, req.File != "", req.Source != nil} {
+		if have {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("%w: need exactly one of spec, edges, file or source (got %d)", ErrBadRequest, sources)
+	}
+	if req.Algorithm != "" {
+		if _, err := kamsta.ParseAlgorithm(string(req.Algorithm)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if req.PEs != 0 {
+		found := false
+		for _, shape := range s.cfg.Pool {
+			if shape.PEs == req.PEs {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %d PEs", ErrNoSuchShape, req.PEs)
+		}
+	}
+	j := &Job{
+		id:        s.ids.Add(1),
+		tenant:    req.Tenant,
+		req:       req,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if req.Edges != nil {
+		maxV, verts, err := profileEdges(req.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		j.maxV, j.verts = maxV, verts
+	}
+	d := req.Deadline
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, d)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	if err := s.sched.submit(j); err != nil {
+		j.cancel()
+		return nil, err
+	}
+	return j, nil
+}
+
+// profileEdges validates labels the way kamsta.FromEdges will and returns
+// the max label and distinct vertex count (the batch planner's inputs).
+func profileEdges(edges []kamsta.InputEdge) (maxV uint64, verts int, err error) {
+	seen := make(map[uint64]struct{}, 2*len(edges))
+	for _, e := range edges {
+		if e.U == 0 || e.V == 0 || e.U >= 1<<32 || e.V >= 1<<32 {
+			return 0, 0, fmt.Errorf("vertex labels must be in [1, 2^32): edge (%d,%d)", e.U, e.V)
+		}
+		if e.U == e.V {
+			return 0, 0, fmt.Errorf("self-loop on vertex %d", e.U)
+		}
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+		maxV = max(maxV, e.U, e.V)
+	}
+	return maxV, len(seen), nil
+}
+
+// rejectReason labels a Submit error for the rejection counter.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrTenantQueueFull):
+		return "tenant_queue_full"
+	case errors.Is(err, ErrUnknownTenant):
+		return "unknown_tenant"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrNoSuchShape):
+		return "no_shape"
+	default:
+		return "bad_request"
+	}
+}
+
+// worker serves one pool machine until the scheduler tells it to exit.
+func (s *Server) worker(pm *poolMachine) {
+	defer s.wg.Done()
+	for {
+		jobs := s.sched.next(pm.shape.PEs, s.batch)
+		if jobs == nil {
+			return
+		}
+		s.dispatch(pm, jobs)
+	}
+}
+
+// dispatch runs one fair pick — a single job or a batch — on pm. Jobs whose
+// deadline expired while queued fail here without touching the machine.
+func (s *Server) dispatch(pm *poolMachine, jobs []*Job) {
+	now := time.Now()
+	live := jobs[:0]
+	for _, j := range jobs {
+		j.started.Store(now.UnixNano())
+		s.sm.observeWait(now.Sub(j.submitted).Seconds())
+		if err := j.ctx.Err(); err != nil {
+			s.finishJob(j, nil, err)
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	pm.busy.Store(true)
+	s.running.Add(int64(len(live)))
+	defer func() {
+		pm.busy.Store(false)
+		s.running.Add(-int64(len(live)))
+	}()
+	if len(live) == 1 {
+		start := time.Now()
+		rep, err := pm.m.Compute(live[0].ctx, s.source(live[0].req), s.runOptions(live[0].req)...)
+		s.sm.observeRun(time.Since(start).Seconds())
+		s.finishJob(live[0], rep, err)
+		return
+	}
+	s.runBatch(pm, live)
+}
+
+// source maps a validated Request to its kamsta.Source.
+func (s *Server) source(req Request) kamsta.Source {
+	switch {
+	case req.Source != nil:
+		return req.Source
+	case req.Spec != nil:
+		return kamsta.FromSpec(*req.Spec)
+	case req.Edges != nil:
+		return kamsta.FromEdges(req.Edges)
+	default:
+		return kamsta.FromFileFormat(req.File, req.FileFormat)
+	}
+}
+
+// runOptions assembles the RunOptions for one request, appending the
+// server-wide stall timeout and trace sink.
+func (s *Server) runOptions(req Request) []kamsta.RunOption {
+	opts := make([]kamsta.RunOption, 0, 4+len(req.Options))
+	opts = append(opts, kamsta.WithAlgorithm(req.Algorithm), kamsta.WithSeed(req.Seed))
+	if s.cfg.StallTimeout > 0 {
+		opts = append(opts, kamsta.WithStallTimeout(s.cfg.StallTimeout))
+	}
+	if s.cfg.Trace != nil {
+		opts = append(opts, kamsta.WithTrace(s.cfg.Trace))
+	}
+	return append(opts, req.Options...)
+}
+
+// finishJob delivers a result exactly once and accounts the outcome.
+func (s *Server) finishJob(j *Job, rep *kamsta.Report, err error) {
+	if !j.finish(rep, err) {
+		return
+	}
+	if j.ten != nil {
+		j.ten.completed.Add(1)
+	}
+	s.sm.completed(j.tenant, outcomeOf(err))
+}
+
+// Job returns an admitted job by id (the HTTP poll path).
+func (s *Server) Job(id uint64) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Forget drops a job from the result registry (DELETE over HTTP). The job
+// itself still runs to completion unless cancelled.
+func (s *Server) Forget(id uint64) {
+	s.jobsMu.Lock()
+	delete(s.jobs, id)
+	s.jobsMu.Unlock()
+}
+
+// remember registers a job for polling and occasionally sweeps results
+// older than ResultTTL.
+func (s *Server) remember(j *Job) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs[j.id] = j
+	s.submits++
+	if s.submits%256 != 0 {
+		return
+	}
+	horizon := time.Now().Add(-s.cfg.ResultTTL).UnixNano()
+	for id, old := range s.jobs {
+		if fin := old.finished.Load(); fin != 0 && fin < horizon {
+			delete(s.jobs, id)
+		}
+	}
+}
+
+// Drain stops admission and waits for queued and running jobs to finish.
+// If ctx expires first, remaining jobs are cancelled (they unwind at their
+// next collective boundary) and Drain returns ctx's error after the
+// machines shut down. Always closes the server.
+func (s *Server) Drain(ctx context.Context) error {
+	s.sched.drain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		s.failOrphans()
+		<-done
+	}
+	s.teardown()
+	return err
+}
+
+// Close aborts: stops admission, cancels every job context, fails the
+// queue, and releases the machines.
+func (s *Server) Close() error {
+	s.sched.drain()
+	s.baseCancel()
+	s.failOrphans()
+	s.wg.Wait()
+	s.teardown()
+	return nil
+}
+
+// failOrphans closes the scheduler and fails every still-queued job with
+// its context error (the base context is already cancelled on this path).
+func (s *Server) failOrphans() {
+	for _, j := range s.sched.close() {
+		err := j.ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		s.finishJob(j, nil, err)
+	}
+}
+
+func (s *Server) teardown() {
+	s.teardownOnce.Do(func() {
+		s.failOrphans() // no-op on the forced paths; flips state on graceful drain
+		s.baseCancel()
+		for _, pm := range s.machines {
+			pm.m.Close()
+		}
+	})
+}
+
+// TenantStat is one row of Stats.Tenants.
+type TenantStat struct {
+	Name      string `json:"name"`
+	Weight    int    `json:"weight"`
+	Queued    int    `json:"queued"`
+	Submitted int64  `json:"submitted"`
+	Completed int64  `json:"completed"`
+	Rejected  int64  `json:"rejected"`
+}
+
+// MachineStat is one row of Stats.Machines.
+type MachineStat struct {
+	PEs      int   `json:"pes"`
+	Threads  int   `json:"threads"`
+	Busy     bool  `json:"busy"`
+	Rebuilds int64 `json:"rebuilds"`
+}
+
+// Stats is a point-in-time server snapshot (GET /v1/stats).
+type Stats struct {
+	State    string        `json:"state"`
+	Queued   int           `json:"queued"`
+	Running  int           `json:"running"`
+	Machines []MachineStat `json:"machines"`
+	Tenants  []TenantStat  `json:"tenants"`
+}
+
+// Stats snapshots queue depth, running jobs, machine health and per-tenant
+// counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queued:  s.sched.depth(),
+		Running: int(s.running.Load()),
+		Tenants: s.sched.snapshot(),
+	}
+	s.sched.mu.Lock()
+	switch s.sched.state {
+	case schedRunning:
+		st.State = "running"
+	case schedDraining:
+		st.State = "draining"
+	default:
+		st.State = "closed"
+	}
+	s.sched.mu.Unlock()
+	for _, pm := range s.machines {
+		st.Machines = append(st.Machines, MachineStat{
+			PEs:      pm.shape.PEs,
+			Threads:  pm.shape.Threads,
+			Busy:     pm.busy.Load(),
+			Rebuilds: pm.m.Rebuilds(),
+		})
+	}
+	return st
+}

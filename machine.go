@@ -108,10 +108,12 @@ type Machine struct {
 	// rebuilds counts transparent world rebuilds after faults.
 	rebuilds atomic.Int64
 
-	// sem is the job queue: a 1-slot semaphore acquired for the duration
-	// of each job. Waiting in Compute is abandoned when the caller's
-	// context expires or the machine closes.
-	sem       chan struct{}
+	// jobs is the job queue: a 1-slot semaphore acquired for the duration
+	// of each job, granting waiters in strict arrival (FIFO) order so
+	// queue-wait distributions stay meaningful under load. Waiting in
+	// Compute is abandoned when the caller's context expires or the
+	// machine closes.
+	jobs      fifoSem
 	closed    chan struct{}
 	closeOnce sync.Once
 
@@ -133,7 +135,6 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	w.Start()
 	m := &Machine{
 		cfg:    cfg,
-		sem:    make(chan struct{}, 1),
 		closed: make(chan struct{}),
 		mm:     newMachineMetrics(cfg.Metrics),
 	}
@@ -178,9 +179,11 @@ func (m *Machine) Close() error {
 		close(m.closed)
 		// Acquire the job slot: from here no new job can start (Compute
 		// re-checks closed after acquiring), so the world is quiescent.
-		m.sem <- struct{}{}
+		// Close queues FIFO like any caller; waiters ahead of it abandon
+		// when they observe the closed channel.
+		_ = m.jobs.acquire(context.Background(), nil)
 		m.world.Load().Close()
-		<-m.sem
+		m.jobs.release()
 	})
 	return nil
 }
@@ -222,14 +225,7 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 		m.mm.queued.Add(1)
 	}
 	queuedAt := time.Now()
-	var acqErr error
-	select {
-	case m.sem <- struct{}{}:
-	case <-ctx.Done():
-		acqErr = ctx.Err()
-	case <-m.closed:
-		acqErr = ErrMachineClosed
-	}
+	acqErr := m.jobs.acquire(ctx, m.closed)
 	if m.mm != nil {
 		m.mm.queued.Add(-1)
 		m.mm.queueWait.Observe(time.Since(queuedAt).Seconds())
@@ -238,7 +234,7 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 		m.mm.finish(nil, acqErr)
 		return nil, acqErr
 	}
-	defer func() { <-m.sem }()
+	defer m.jobs.release()
 	select {
 	case <-m.closed:
 		m.mm.finish(nil, ErrMachineClosed)
@@ -248,6 +244,101 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 	rep, err := m.run(ctx, src, rs)
 	m.mm.finish(rep, err)
 	return rep, err
+}
+
+// fifoSem is a 1-slot semaphore whose waiters are granted the slot in
+// strict arrival order. The previous implementation — a buffered channel
+// raced by every waiter's select — woke waiters in whatever order the
+// runtime picked, so under load a job could be overtaken arbitrarily often
+// and the queue-wait histogram measured scheduler luck, not queue depth.
+// Here release hands the slot directly to the oldest waiter.
+type fifoSem struct {
+	mu   sync.Mutex
+	held bool
+	// waiters is the FIFO queue. Each entry is a 1-buffered channel the
+	// releaser sends the slot into; waiters only ever exist while held is
+	// true (a grant keeps the slot held, release clears held only when the
+	// queue is empty).
+	waiters []chan struct{}
+}
+
+// acquire takes the slot, queueing FIFO behind earlier callers. It returns
+// ctx.Err() if ctx expires first, ErrMachineClosed if closed fires first (a
+// nil closed channel never fires). A caller that is already cancelled or
+// closed never enters the queue.
+func (s *fifoSem) acquire(ctx context.Context, closed <-chan struct{}) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	select {
+	case <-closed:
+		return ErrMachineClosed
+	default:
+	}
+	s.mu.Lock()
+	if !s.held {
+		s.held = true
+		s.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{}, 1)
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+		s.abandon(w)
+		return ctx.Err()
+	case <-closed:
+		s.abandon(w)
+		return ErrMachineClosed
+	}
+}
+
+// abandon removes w from the queue. If w was already granted (the grant
+// raced the abandonment), the slot is passed straight on to the next
+// waiter so it is never lost.
+func (s *fifoSem) abandon(w chan struct{}) {
+	s.mu.Lock()
+	for i, q := range s.waiters {
+		if q == w {
+			copy(s.waiters[i:], s.waiters[i+1:])
+			s.waiters[len(s.waiters)-1] = nil
+			s.waiters = s.waiters[:len(s.waiters)-1]
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Unlock()
+	<-w // grant already sent (buffered): take it and hand it on
+	s.release()
+}
+
+// release hands the slot to the oldest waiter, or frees it when none wait.
+func (s *fifoSem) release() {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters[len(s.waiters)-1] = nil
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		w <- struct{}{} // buffered: never blocks, held stays true
+		s.mu.Unlock()
+		return
+	}
+	s.held = false
+	s.mu.Unlock()
+}
+
+// pending reports the number of queued waiters (tests use it to pin FIFO
+// order without sleeping).
+func (s *fifoSem) pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
 }
 
 // run executes one job on the machine's world, containing job-scoped

@@ -290,3 +290,131 @@ func TestParseAlgorithm(t *testing.T) {
 func coreOptionsTinyBase() core.Options {
 	return core.Options{BaseCaseCap: 1, DedupParallel: true}
 }
+
+// TestFIFOSemOrder: waiters are granted the job slot in strict arrival
+// order. Each waiter is enqueued only after the previous one is visibly
+// queued (pending), so the arrival order is deterministic; the grants must
+// then come back in exactly that order.
+func TestFIFOSemOrder(t *testing.T) {
+	var s fifoSem
+	if err := s.acquire(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.acquire(context.Background(), nil); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.release()
+		}(i)
+		for s.pending() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	s.release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v: position %d served waiter %d (not FIFO)", order, i, got)
+		}
+	}
+}
+
+// TestFIFOSemAbandon: a waiter whose context expires leaves the queue
+// without disturbing the order of the others, and a grant racing an
+// abandonment is passed on, never lost.
+func TestFIFOSemAbandon(t *testing.T) {
+	var s fifoSem
+	if err := s.acquire(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() { errs <- s.acquire(ctx, nil) }()
+	for s.pending() != 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errs; err != context.Canceled {
+		t.Fatalf("abandoned waiter returned %v, want context.Canceled", err)
+	}
+	if s.pending() != 0 {
+		t.Fatalf("abandoned waiter still queued (pending %d)", s.pending())
+	}
+	s.release()
+
+	// Hammer the grant/abandon race: many waiters with racing cancels; the
+	// slot must survive (acquirable at the end) and no goroutine may hang.
+	for round := 0; round < 200; round++ {
+		if err := s.acquire(context.Background(), nil); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			cctx, ccancel := context.WithCancel(context.Background())
+			go func() {
+				defer wg.Done()
+				if s.acquire(cctx, nil) == nil {
+					s.release()
+				}
+			}()
+			go ccancel()
+		}
+		s.release()
+		wg.Wait()
+	}
+	if err := s.acquire(context.Background(), nil); err != nil {
+		t.Fatalf("slot lost after races: %v", err)
+	}
+	s.release()
+}
+
+// TestMachineComputeFIFO: concurrent Compute callers run in submission
+// order. The job slot is held directly while callers are enqueued one at a
+// time, so the queue order is known; completion order must match it.
+func TestMachineComputeFIFO(t *testing.T) {
+	m := newTestMachine(t, MachineConfig{PEs: 2})
+	defer m.Close()
+	edges := []InputEdge{{U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 1}, {U: 3, V: 4, W: 2}}
+	if err := m.jobs.acquire(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := m.Compute(context.Background(), FromEdges(edges)); err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+		for m.jobs.pending() != i+1 {
+			runtime.Gosched()
+		}
+	}
+	m.jobs.release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v: position %d ran job %d (not FIFO)", order, i, got)
+		}
+	}
+}
