@@ -13,6 +13,12 @@
 //	mstload -tenants alpha:4,beta:2,gamma:1 -workers 8 -jobs 400 -json -
 //	mstload -target http://127.0.0.1:8377 -tenants web -rate 200 -jobs 1000
 //	mstload -family gnm -n 4096 -m 32768 -tenants big -workers 2 -jobs 20
+//	mstload -chaos-fault 0.2 -chaos-storm 0.1 -retry-attempts 3 -jobs 200
+//
+// The -chaos-* flags mix seeded service-level faults into the offered load
+// (mid-run panics, watchdog stalls, hopeless deadlines); -retry-attempts
+// and -quarantine-after turn on the in-process server's resilience knobs so
+// a chaos run exercises the full shed/retry/quarantine machinery.
 package main
 
 import (
@@ -55,6 +61,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "load and instance seed")
 	duration := flag.Duration("duration", 0, "cap the run (0 = until all jobs resolve)")
 	jsonOut := flag.String("json", "", "write a kamsta-bench/v1 exhibit to this path (- = stdout)")
+	chaosFault := flag.Float64("chaos-fault", 0, "fraction of jobs that panic on one PE mid-run (in-process targets only)")
+	chaosStall := flag.Float64("chaos-stall", 0, "fraction of jobs that stall one PE past the watchdog (in-process targets only)")
+	chaosStorm := flag.Float64("chaos-storm", 0, "fraction of jobs arriving with a hopeless deadline")
+	retryAttempts := flag.Int("retry-attempts", 1, "in-process server: dispatch attempts per fault-killed job (<=1 disables retries)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "in-process server: consecutive faults that quarantine a machine (0 disables)")
 	obsFlags := cliobs.Register()
 	flag.Parse()
 
@@ -86,6 +97,16 @@ func main() {
 		tmpl.Vertices = *vertices
 		tmpl.Verify = *verify
 	}
+	if *chaosFault > 0 || *chaosStall > 0 || *chaosStorm > 0 {
+		if *target != "" && (*chaosFault > 0 || *chaosStall > 0) {
+			fail("-chaos-fault/-chaos-stall need an in-process server (fault plans do not travel over HTTP)")
+		}
+		tmpl.Chaos = &loadgen.ChaosSpec{
+			FaultFraction: *chaosFault,
+			StallFraction: *chaosStall,
+			StormFraction: *chaosStorm,
+		}
+	}
 
 	plan := loadgen.Plan{Seed: *seed, Duration: *duration}
 	for _, tc := range tcs {
@@ -99,12 +120,17 @@ func main() {
 	}
 
 	var tgt loadgen.Target
+	var srvStats func() (serve.Stats, bool)
 	var scale bench.Scale
 	scale.Seed = *seed
 	if *target != "" {
 		c := &serve.Client{BaseURL: *target}
 		if !c.Healthy(context.Background()) {
 			fail("target %s is not healthy", *target)
+		}
+		srvStats = func() (serve.Stats, bool) {
+			st, err := c.Stats(context.Background())
+			return st, err == nil
 		}
 		tgt = loadgen.Remote(c)
 	} else {
@@ -121,6 +147,8 @@ func main() {
 			QueueBound:       *queue,
 			TenantQueueBound: *tenantQueue,
 			Batch:            serve.BatchConfig{MaxJobs: *batchJobs, MaxEdges: *batchEdges},
+			QuarantineAfter:  *quarantineAfter,
+			Retry:            serve.RetryConfig{MaxAttempts: *retryAttempts},
 			Metrics:          obsFlags.Registry,
 			Trace:            obsFlags.Trace,
 		})
@@ -128,12 +156,18 @@ func main() {
 			fail("%v", err)
 		}
 		defer srv.Close()
+		srvStats = func() (serve.Stats, bool) { return srv.Stats(), true }
 		tgt = loadgen.Local(srv)
 	}
 
 	res, err := loadgen.Run(context.Background(), tgt, plan)
 	if err != nil {
 		fail("%v", err)
+	}
+	// Snapshot the server before drain/close so the exhibit records the
+	// run's retry and quarantine counters.
+	if st, ok := srvStats(); ok {
+		res.Server = &st
 	}
 	printSummary(res)
 
@@ -171,11 +205,20 @@ func printSummary(res *loadgen.Result) {
 			outcomes = append(outcomes, fmt.Sprintf("%s=%d", k, v))
 		}
 		sort.Strings(outcomes)
-		fmt.Printf("%-12s attempted=%d admitted=%d %v p50=%.1fms p95=%.1fms p99=%.1fms\n",
-			tr.Name, tr.Attempted, tr.Submitted, outcomes,
+		fmt.Printf("%-12s attempted=%d admitted=%d shed=%d %v p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			tr.Name, tr.Attempted, tr.Submitted, tr.Shed, outcomes,
 			tr.Percentile(50)*1e3, tr.Percentile(95)*1e3, tr.Percentile(99)*1e3)
 	}
 	fmt.Printf("total: %d jobs in %.2fs = %.1f jobs/s\n", jobs, elapsed, float64(jobs)/elapsed)
+	if res.Server != nil {
+		var retried int64
+		for _, ts := range res.Server.Tenants {
+			retried += ts.Retried
+		}
+		if retried > 0 || res.Server.Quarantined > 0 {
+			fmt.Printf("server: retried=%d quarantined=%d\n", retried, res.Server.Quarantined)
+		}
+	}
 }
 
 func fail(format string, args ...any) {

@@ -9,6 +9,14 @@
 //	mstserve                                      # one 4-PE machine, open tenancy
 //	mstserve -pool 4x1:2,8x1 -tenants alpha:4,beta:2
 //	mstserve -addr :8377 -batch-jobs 8 -max-deadline 30s -metrics -
+//	mstserve -retry-attempts 3 -quarantine-after 5 -brownout 0.8
+//
+// Overload resilience (see internal/serve and DESIGN.md §13): deadline-aware
+// admission shedding (-shed-min-samples, -shed-quantile), brownout
+// (-brownout), machine quarantine (-quarantine-after), and server-side retry
+// of fault-killed jobs (-retry-attempts, -retry-rate, -retry-burst).
+// /healthz answers liveness; /readyz answers 503 while the server should be
+// steered around (draining, brownout, no live machines).
 //
 // API (see internal/serve/http.go):
 //
@@ -49,6 +57,14 @@ func main() {
 	resultTTL := flag.Duration("result-ttl", 10*time.Minute, "how long finished jobs stay pollable")
 	allowFiles := flag.Bool("allow-files", false, "permit HTTP jobs that read server-local graph files")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+	shedSamples := flag.Int("shed-min-samples", 16, "dispatches observed before deadline-aware shedding engages (<0 disables)")
+	shedQuantile := flag.Float64("shed-quantile", 0.9, "service-time quantile the queue-wait estimate plans for")
+	brownout := flag.Float64("brownout", 0.75, "queue depth fraction that flips brownout (>=1 = only on quarantine)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "consecutive world faults that quarantine a machine (0 disables)")
+	retryAttempts := flag.Int("retry-attempts", 1, "dispatch attempts per fault-killed job (<=1 disables server-side retries)")
+	retryRate := flag.Float64("retry-rate", 1, "per-tenant retry budget refill, tokens/second")
+	retryBurst := flag.Float64("retry-burst", 10, "per-tenant retry budget burst")
+	maxBody := flag.Int64("max-body", 64<<20, "largest accepted job submission body, bytes")
 	obsFlags := cliobs.Register()
 	flag.Parse()
 
@@ -60,6 +76,15 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *queue < 1 {
+		fail("-queue must be at least 1 (got %d)", *queue)
+	}
+	if *tenantQueue < 0 {
+		fail("-tenant-queue must be non-negative (got %d)", *tenantQueue)
+	}
+	if *shedQuantile <= 0 || *shedQuantile > 1 {
+		fail("-shed-quantile must be in (0, 1] (got %g)", *shedQuantile)
+	}
 	if err := obsFlags.Activate(); err != nil {
 		fail("%v", err)
 	}
@@ -67,6 +92,13 @@ func main() {
 	reg := obsFlags.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
+	}
+
+	// Bind before building the pool: a taken port must fail fast with a
+	// non-zero exit, not after warming a fleet of machines.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -81,18 +113,27 @@ func main() {
 		StallTimeout:     *stall,
 		ResultTTL:        *resultTTL,
 		AllowFiles:       *allowFiles,
-		Metrics:          reg,
-		Trace:            obsFlags.Trace,
+		ShedMinSamples:   *shedSamples,
+		ShedQuantile:     *shedQuantile,
+		BrownoutFraction: *brownout,
+		QuarantineAfter:  *quarantineAfter,
+		Retry: serve.RetryConfig{
+			MaxAttempts: *retryAttempts,
+			BudgetRate:  *retryRate,
+			BudgetBurst: *retryBurst,
+		},
+		MaxRequestBytes: *maxBody,
+		Metrics:         reg,
+		Trace:           obsFlags.Trace,
 	})
 	if err != nil {
+		ln.Close()
 		fail("%v", err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fail("listen: %v", err)
-	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout caps how long a connection may dribble its request
+	// header (slow-loris); job bodies are bounded by -max-body instead.
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Printf("mstserve: serving on http://%s (pool %s)\n", ln.Addr(), *pool)

@@ -39,6 +39,20 @@ type Row struct {
 	P95Seconds    float64 `json:"p95_seconds,omitempty"`
 	P99Seconds    float64 `json:"p99_seconds,omitempty"`
 	RejectedRate  float64 `json:"rejected_rate,omitempty"`
+
+	// Robustness fields (loadgen rows): per-outcome result counts (ok,
+	// deadline, cancelled, quarantined, fault, error), jobs the server
+	// deliberately shed at admission, server-side retries of fault-killed
+	// jobs, and machines quarantined during the run — so BENCH_*.json
+	// tracks resilience behavior across commits, not just latency.
+	Outcomes    map[string]int `json:"outcomes,omitempty"`
+	Shed        int            `json:"shed,omitempty"`
+	Retried     int64          `json:"retried,omitempty"`
+	Quarantined int            `json:"quarantined,omitempty"`
+	// RejectP99Seconds is the p99 submit-to-rejection latency: how fast
+	// the server says no under overload (should sit orders of magnitude
+	// under P50Seconds when shedding is doing its job).
+	RejectP99Seconds float64 `json:"reject_p99_seconds,omitempty"`
 }
 
 // Recorder accumulates benchmark rows for the -json emitter. Safe for

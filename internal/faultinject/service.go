@@ -1,0 +1,197 @@
+// Service-level chaos schedules: where a Plan injects faults inside one
+// job's world, a ServiceSchedule scripts an entire serving scenario — which
+// tenants submit what, which jobs carry world-killing faults or stalls,
+// which arrive with hopeless deadlines, which get cancelled mid-flight —
+// plus the server-side resilience knobs (retry budget, quarantine,
+// batching) the scenario runs under. Like Plans, schedules are pure
+// functions of their seed: a sweep failure is replayable from the seed
+// alone.
+//
+// The package stays a leaf: a schedule only describes the scenario in
+// plain values; internal/serve's chaos tests translate each ServiceJob
+// into a Request (attaching a Plan via kamsta.WithFaultInjection for the
+// faulting ones) and assert the exactly-once invariants.
+package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ServiceFault classifies the chaos one submitted job carries.
+type ServiceFault uint8
+
+const (
+	// SvcNone: a clean job.
+	SvcNone ServiceFault = iota
+	// SvcPanic: the job panics on one PE mid-run, killing its world (the
+	// Machine contains it as a *kamsta.JobError and rebuilds).
+	SvcPanic
+	// SvcStall: one PE of the job sleeps past the stall timeout, so the
+	// watchdog kills the job.
+	SvcStall
+	// SvcExpiredDeadline: the job arrives with a deadline too small to ever
+	// meet — a deadline-storm member that must be shed at admission or fail
+	// fast with outcome "deadline", never burn machine time to completion.
+	SvcExpiredDeadline
+	// SvcCancel: the client cancels the job right after submitting it.
+	SvcCancel
+
+	numServiceFaults
+)
+
+// String names the fault for diagnostics.
+func (f ServiceFault) String() string {
+	switch f {
+	case SvcNone:
+		return "none"
+	case SvcPanic:
+		return "panic"
+	case SvcStall:
+		return "stall"
+	case SvcExpiredDeadline:
+		return "expiredDeadline"
+	case SvcCancel:
+		return "cancel"
+	}
+	return "(unknown service fault)"
+}
+
+// ServiceJob is one scripted submission.
+type ServiceJob struct {
+	// Tenant is an index into the schedule's tenant set.
+	Tenant int
+	// Fault is the chaos this job carries.
+	Fault ServiceFault
+	// Edges sizes the job's random edge-list instance.
+	Edges int
+	// Seed drives the instance (and the fault plan, for faulting jobs).
+	Seed uint64
+	// Deadline is the job's deadline (0 = none). SvcExpiredDeadline jobs
+	// carry a deliberately hopeless one.
+	Deadline time.Duration
+	// Gap is the submit spacing before this job (deadline storms arrive in
+	// a burst: zero gaps).
+	Gap time.Duration
+	// NoBatch opts the job out of batching; Pin pins it to the first pool
+	// shape.
+	NoBatch bool
+	Pin     bool
+	// Rank and Occurrence position the injected fault inside the job's
+	// world (SvcPanic, SvcStall).
+	Rank       int
+	Occurrence int
+}
+
+// ServiceSchedule is one full scenario: the jobs plus the resilience
+// configuration the server under test should run with.
+type ServiceSchedule struct {
+	Seed    uint64
+	Tenants int
+	Jobs    []ServiceJob
+
+	// Server-side knobs, drawn from the seed so the sweep covers the
+	// config space: retries on/off, quarantine threshold (0 = off),
+	// batching on/off, queue bound.
+	RetryAttempts   int
+	QuarantineAfter int
+	Batch           bool
+	QueueBound      int
+}
+
+// ServiceSpec bounds RandomServiceSchedule.
+type ServiceSpec struct {
+	// PEs is the pool shape width faults are drawn over.
+	PEs int
+	// MaxJobs bounds the number of scripted jobs (at least 4 are drawn).
+	MaxJobs int
+	// MaxEdges bounds instance sizes (default 24; kept small so sweeps of
+	// hundreds of schedules stay fast under -race).
+	MaxEdges int
+	// FaultFraction is the approximate fraction of jobs carrying a fault
+	// (default 0.5 — chaos sweeps want faults to dominate).
+	FaultFraction float64
+	// StormFraction is the approximate fraction of schedules that append a
+	// deadline storm: a burst of SvcExpiredDeadline jobs (default 0.3).
+	StormFraction float64
+}
+
+// RandomServiceSchedule derives a deterministic scenario from a seed. The
+// same (seed, spec) always yields the same schedule.
+func RandomServiceSchedule(seed uint64, spec ServiceSpec) ServiceSchedule {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	if spec.PEs < 1 {
+		spec.PEs = 2
+	}
+	if spec.MaxJobs < 4 {
+		spec.MaxJobs = 12
+	}
+	if spec.MaxEdges < 4 {
+		spec.MaxEdges = 24
+	}
+	if spec.FaultFraction <= 0 {
+		spec.FaultFraction = 0.5
+	}
+	if spec.StormFraction <= 0 {
+		spec.StormFraction = 0.3
+	}
+
+	sch := ServiceSchedule{
+		Seed:       seed,
+		Tenants:    1 + rng.Intn(3),
+		Batch:      rng.Intn(2) == 0,
+		QueueBound: 8 + rng.Intn(25),
+	}
+	if rng.Intn(2) == 0 {
+		sch.RetryAttempts = 2 + rng.Intn(3)
+	}
+	if rng.Intn(3) == 0 {
+		sch.QuarantineAfter = 2 + rng.Intn(3)
+	}
+
+	n := 4 + rng.Intn(spec.MaxJobs-3)
+	for i := 0; i < n; i++ {
+		j := ServiceJob{
+			Tenant: rng.Intn(sch.Tenants),
+			Edges:  4 + rng.Intn(spec.MaxEdges-3),
+			Seed:   rng.Uint64(),
+			Gap:    time.Duration(rng.Intn(3)) * time.Millisecond,
+		}
+		if rng.Float64() < spec.FaultFraction {
+			switch rng.Intn(3) {
+			case 0:
+				j.Fault = SvcPanic
+			case 1:
+				j.Fault = SvcStall
+			default:
+				j.Fault = SvcCancel
+			}
+			j.Rank = rng.Intn(spec.PEs)
+			j.Occurrence = rng.Intn(4)
+		}
+		if rng.Intn(4) == 0 {
+			j.NoBatch = true
+		}
+		if rng.Intn(5) == 0 {
+			j.Pin = true
+		}
+		sch.Jobs = append(sch.Jobs, j)
+	}
+
+	// Some schedules end in a deadline storm: a burst of jobs whose
+	// deadlines are already hopeless on arrival. They must resolve as shed
+	// or deadline — never occupy a machine to completion.
+	if rng.Float64() < spec.StormFraction {
+		storm := 3 + rng.Intn(5)
+		for i := 0; i < storm; i++ {
+			sch.Jobs = append(sch.Jobs, ServiceJob{
+				Tenant:   rng.Intn(sch.Tenants),
+				Fault:    SvcExpiredDeadline,
+				Edges:    4 + rng.Intn(spec.MaxEdges-3),
+				Seed:     rng.Uint64(),
+				Deadline: time.Microsecond,
+			})
+		}
+	}
+	return sch
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Rolling is a fixed-capacity sliding window of float64 observations with
+// quantile queries — the estimator behind deadline-aware load shedding in
+// internal/serve. A histogram with fixed buckets (Histogram) answers "how
+// are samples distributed over all time"; Rolling answers "what does a
+// recent service time look like", which is what an admission controller
+// needs: old samples age out, so the estimate tracks the workload mix the
+// queue holds right now rather than the whole process history.
+//
+// The window is a ring of the last Cap observations. Quantile sorts a copy
+// under the lock; windows are small (≤ a few hundred samples) so the cost
+// is microseconds and the simplicity beats a streaming sketch. Safe for
+// concurrent use.
+type Rolling struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int   // ring write cursor
+	full  bool  // buf has wrapped at least once
+	total int64 // lifetime observation count
+}
+
+// NewRolling returns a window holding the last capacity observations
+// (minimum 1).
+func NewRolling(capacity int) *Rolling {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Rolling{buf: make([]float64, capacity)}
+}
+
+// Observe records one sample, evicting the oldest when the window is full.
+func (r *Rolling) Observe(v float64) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Count reports the lifetime number of observations (not the window size);
+// callers gate estimates on a minimum sample count before trusting them.
+func (r *Rolling) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the samples currently
+// in the window, or NaN when the window is empty. q outside [0,1] is
+// clamped.
+func (r *Rolling) Quantile(q float64) float64 {
+	r.mu.Lock()
+	n := len(r.buf)
+	if !r.full {
+		n = r.next
+	}
+	if n == 0 {
+		r.mu.Unlock()
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), r.buf[:n]...)
+	r.mu.Unlock()
+	sort.Float64s(sorted)
+	q = math.Min(math.Max(q, 0), 1)
+	return sorted[int(q*float64(n-1))]
+}

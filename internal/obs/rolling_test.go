@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRollingQuantiles(t *testing.T) {
+	r := NewRolling(8)
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Fatal("empty window should report NaN")
+	}
+	for i := 1; i <= 4; i++ {
+		r.Observe(float64(i))
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := r.Quantile(1); got != 4 {
+		t.Fatalf("max = %v, want 4", got)
+	}
+	if got := r.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+}
+
+func TestRollingEvictsOldSamples(t *testing.T) {
+	r := NewRolling(4)
+	for i := 0; i < 100; i++ {
+		r.Observe(1000) // ancient history, fully evicted below
+	}
+	for i := 0; i < 4; i++ {
+		r.Observe(2)
+	}
+	if got := r.Quantile(1); got != 2 {
+		t.Fatalf("after eviction max = %v, want 2 (old samples must age out)", got)
+	}
+	if got := r.Count(); got != 104 {
+		t.Fatalf("lifetime count = %d, want 104", got)
+	}
+}
+
+func TestRollingClampsQuantile(t *testing.T) {
+	r := NewRolling(4)
+	r.Observe(7)
+	if got := r.Quantile(-1); got != 7 {
+		t.Fatalf("q=-1 → %v, want 7", got)
+	}
+	if got := r.Quantile(2); got != 7 {
+		t.Fatalf("q=2 → %v, want 7", got)
+	}
+}
+
+func TestRollingConcurrent(t *testing.T) {
+	r := NewRolling(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(float64(i % 10))
+				_ = r.Quantile(0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+	if q := r.Quantile(0.5); q < 0 || q > 9 {
+		t.Fatalf("median %v outside observed range", q)
+	}
+}

@@ -50,9 +50,14 @@ func batchKeyOf(j *Job, bc BatchConfig) (batchKey, bool) {
 }
 
 // runBatch executes one batch: relabel members into disjoint vertex ranges,
-// run one Compute under the earliest member deadline, split the forest per
-// member. Any error fails every member.
-func (s *Server) runBatch(pm *poolMachine, jobs []*Job) {
+// run one Compute, split the forest per member. The batch context uses the
+// LATEST member deadline (and only when every member has one): one member's
+// expiring deadline must not kill the survivors' shared run. An expired
+// member reports its own deadline error; surviving members get their split
+// of the forest. On a compute error, each live member resolves through the
+// retry policy individually. Returns the compute error for machine-health
+// accounting.
+func (s *Server) runBatch(pm *poolMachine, jobs []*Job) error {
 	bases := make([]uint64, len(jobs))
 	var off uint64
 	total := 0
@@ -69,7 +74,7 @@ func (s *Server) runBatch(pm *poolMachine, jobs []*Job) {
 	}
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	if dl, ok := earliestDeadline(jobs); ok {
+	if dl, ok := latestDeadline(jobs); ok {
 		ctx, cancel = context.WithDeadline(s.baseCtx, dl)
 	}
 	defer cancel()
@@ -77,36 +82,50 @@ func (s *Server) runBatch(pm *poolMachine, jobs []*Job) {
 	s.sm.observeBatch(len(jobs))
 	start := time.Now()
 	rep, err := pm.m.Compute(ctx, kamsta.FromEdges(union), s.runOptions(jobs[0].req)...)
-	s.sm.observeRun(time.Since(start).Seconds())
+	sec := time.Since(start).Seconds()
+	s.sm.observeRun(sec)
+	s.shed.observe(pm.shape.PEs, sec)
 	if err != nil {
 		for _, j := range jobs {
-			// Report each member's own deadline if it has expired — the
-			// batch ctx is the min of the members', so attribution by the
-			// member's ctx is exact for the one that fired.
-			jerr := j.ctx.Err()
-			if jerr == nil {
-				jerr = err
+			// A member whose own context expired or was cancelled reports
+			// that; the rest carry the batch error into the retry policy,
+			// where they re-dispatch individually (and may batch again).
+			if jerr := j.ctx.Err(); jerr != nil {
+				s.finishJob(j, nil, jerr)
+			} else {
+				s.maybeRetry(j, nil, err)
 			}
-			s.finishJob(j, nil, jerr)
 		}
-		return
+		return err
 	}
 	for i, j := range jobs {
+		if jerr := j.ctx.Err(); jerr != nil {
+			// The batch outlived this member's deadline (the shared run
+			// serves the latest one): the result exists but arrived too
+			// late for this member's contract.
+			s.finishJob(j, nil, jerr)
+			continue
+		}
 		s.finishJob(j, memberReport(rep, jobs, bases, i), nil)
 	}
+	return nil
 }
 
-// earliestDeadline returns the soonest member deadline, if any member has
-// one.
-func earliestDeadline(jobs []*Job) (time.Time, bool) {
+// latestDeadline returns the latest member deadline when EVERY member has
+// one; if any member is deadline-free the batch runs unbounded, because
+// that member is entitled to a completed run.
+func latestDeadline(jobs []*Job) (time.Time, bool) {
 	var dl time.Time
-	ok := false
 	for _, j := range jobs {
-		if d, has := j.ctx.Deadline(); has && (!ok || d.Before(dl)) {
-			dl, ok = d, true
+		d, has := j.ctx.Deadline()
+		if !has {
+			return time.Time{}, false
+		}
+		if d.After(dl) {
+			dl = d
 		}
 	}
-	return dl, ok
+	return dl, true
 }
 
 // memberReport carves member i's report out of the batch report. Forest

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"kamsta"
@@ -22,6 +25,17 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollWait is the long-poll window per status request (default 2s).
 	PollWait time.Duration
+	// MaxRetries makes Submit retry overload rejections (429/503 back-
+	// pressure: queue full, shed, brownout) up to that many extra attempts,
+	// honoring the server's Retry-After hint when present and exponential
+	// backoff with jitter otherwise. 0 (the default) surfaces rejections to
+	// the caller — load generators do their own retry policy.
+	MaxRetries int
+	// RetryBase seeds the client backoff (default 50ms); RetryMax caps both
+	// the backoff and any server Retry-After hint (default 2s), so a
+	// pessimistic server cannot stall a client indefinitely.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 // RemoteJob is a submitted job handle on a remote server.
@@ -46,11 +60,64 @@ func (c *Client) httpClient() *http.Client {
 
 // Submit posts a job. Requests carrying a Source or Options are in-process
 // only and are rejected client-side. Admission rejections surface as the
-// same sentinel errors the in-process Submit returns.
+// same sentinel errors the in-process Submit returns (overload rejections
+// wrapped in *RetryAfterError when the server sent a hint); with
+// MaxRetries set, overload rejections are retried here first.
 func (c *Client) Submit(ctx context.Context, req Request) (*RemoteJob, error) {
 	if req.Source != nil || len(req.Options) > 0 {
 		return nil, fmt.Errorf("%w: Source and Options are in-process only", ErrBadRequest)
 	}
+	rj, err := c.submitOnce(ctx, req)
+	for attempt := 0; err != nil && attempt < c.MaxRetries && isOverload(err); attempt++ {
+		if werr := sleepCtx(ctx, c.retryDelay(err, attempt)); werr != nil {
+			return nil, err // report the rejection, not the cancelled sleep
+		}
+		rj, err = c.submitOnce(ctx, req)
+	}
+	return rj, err
+}
+
+// isOverload reports whether a rejection is transient server back-pressure
+// worth retrying (as opposed to a malformed or unauthorized request).
+func isOverload(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull) ||
+		errors.Is(err, ErrDeadlineUnattainable) || errors.Is(err, ErrBrownout)
+}
+
+// retryDelay picks the wait before retry attempt n: the server's
+// Retry-After hint when present, else RetryBase·2^n, both jittered ±50%
+// and capped at RetryMax.
+func (c *Client) retryDelay(err error, attempt int) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxD := c.RetryMax
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	d := base << min(attempt, 20)
+	if hint, ok := retryAfterOf(err); ok && hint > 0 {
+		d = hint
+	}
+	if d <= 0 || d > maxD {
+		d = maxD
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) submitOnce(ctx context.Context, req Request) (*RemoteJob, error) {
 	wr := wireRequest{
 		Tenant:     req.Tenant,
 		Algorithm:  string(req.Algorithm),
@@ -128,6 +195,12 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
 }
 
+// Ready reports whether /readyz answers 200 — the server is serving, not
+// draining, not browned out, and has live machines.
+func (c *Client) Ready(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil) == nil
+}
+
 // do round-trips one API call, decoding {"error","code"} bodies into the
 // sentinel errors the in-process API uses.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -158,7 +231,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if resp.StatusCode >= 400 {
 		var apiErr struct{ Error, Code string }
 		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Code != "" {
-			return wireCodeError(apiErr.Code, apiErr.Error)
+			err := wireCodeError(apiErr.Code, apiErr.Error)
+			// Re-attach the server's backoff hint so callers (and this
+			// client's own retry loop) see the same RetryAfterError shape
+			// the in-process Submit returns.
+			if secs, perr := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); perr == nil && secs > 0 {
+				err = &RetryAfterError{Err: err, RetryAfter: time.Duration(secs) * time.Second}
+			}
+			return err
 		}
 		return fmt.Errorf("serve: %s %s: %s", method, path, resp.Status)
 	}
@@ -181,6 +261,12 @@ func wireCodeError(code, msg string) error {
 		return fmt.Errorf("%w (%s)", ErrDraining, msg)
 	case "no_shape":
 		return fmt.Errorf("%w (%s)", ErrNoSuchShape, msg)
+	case "shed_deadline":
+		return fmt.Errorf("%w (%s)", ErrDeadlineUnattainable, msg)
+	case "brownout":
+		return fmt.Errorf("%w (%s)", ErrBrownout, msg)
+	case "quarantined":
+		return fmt.Errorf("%w (%s)", ErrShapeQuarantined, msg)
 	default:
 		return fmt.Errorf("%w: %s", ErrBadRequest, msg)
 	}
@@ -194,6 +280,8 @@ func wireOutcomeError(code, msg string) error {
 		return fmt.Errorf("%w (%s)", context.DeadlineExceeded, msg)
 	case "cancelled":
 		return fmt.Errorf("%w (%s)", context.Canceled, msg)
+	case "quarantined":
+		return fmt.Errorf("%w (%s)", ErrShapeQuarantined, msg)
 	default:
 		return fmt.Errorf("serve: remote job failed (%s): %s", code, msg)
 	}

@@ -19,11 +19,17 @@ import (
 //	DELETE /v1/jobs/{id}     cancel and forget       → 204
 //	GET    /v1/stats         server snapshot
 //	GET    /metrics          Prometheus export (when a registry is set)
-//	GET    /healthz          liveness
+//	GET    /healthz          liveness (the process serves requests)
+//	GET    /readyz           readiness (not draining, not browned out,
+//	                         live machines remain) — 503 with a reason
+//	                         otherwise, for load balancers to steer around
 //
 // Errors are {"error","code"} JSON; code is the machine-readable reason
 // (queue_full, tenant_queue_full, unknown_tenant, draining, no_shape,
-// bad_request — and on finished jobs: deadline, cancelled, fault, error).
+// shed_deadline, brownout, quarantined, bad_request — and on finished
+// jobs: deadline, cancelled, quarantined, fault, error). Overload
+// rejections (429/503) carry a Retry-After header with the server's drain
+// estimate, rounded up to whole seconds.
 
 // wireEdge is one edge on the wire: [u, v, w].
 type wireEdge [3]uint64
@@ -87,14 +93,42 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	if s.cfg.Metrics != nil {
 		mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	}
 	return mux
 }
 
+// handleReady answers readiness: 200 while the server can do useful work,
+// 503 (with a reason) while it should be steered around — draining,
+// browned out, or out of live machines.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case s.shed.live(0) == 0:
+		reason = "no live machines"
+	case s.brownout():
+		reason = "brownout"
+	default:
+		s.sched.mu.Lock()
+		if s.sched.state != schedRunning {
+			reason = "draining"
+		}
+		s.sched.mu.Unlock()
+	}
+	if reason != "" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var wr wireRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&wr); err != nil {
@@ -241,16 +275,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps a Submit error to an HTTP status plus machine-readable
-// code: back-pressure is 429, authz 403, shutdown 503, the rest 400.
+// code: back-pressure and deadline shedding are 429, authz 403, shutdown /
+// brownout / quarantine 503, the rest 400. Overload rejections carrying a
+// server hint also set Retry-After (delta-seconds, rounded up — the header
+// has whole-second granularity).
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull),
+		errors.Is(err, ErrDeadlineUnattainable):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrUnknownTenant):
 		status = http.StatusForbidden
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrBrownout),
+		errors.Is(err, ErrShapeQuarantined):
 		status = http.StatusServiceUnavailable
+	}
+	if hint, ok := retryAfterOf(err); ok {
+		secs := int64((hint + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error(), "code": rejectReason(err)})
 }

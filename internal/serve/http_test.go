@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -128,6 +129,138 @@ func TestHTTPStatsAndMetrics(t *testing.T) {
 	for _, series := range []string{"serve_jobs_submitted_total", "serve_queue_depth", "serve_machines"} {
 		if !strings.Contains(buf.String(), series) {
 			t.Fatalf("/metrics missing %s:\n%s", series, buf.String())
+		}
+	}
+}
+
+// TestHTTPMalformedRequests: hostile or broken bodies are 400s with a
+// machine-readable code, never 500s or hangs.
+func TestHTTPMalformedRequests(t *testing.T) {
+	s := newTestServer(t, Config{Pool: []PoolShape{{PEs: 2}}, MaxRequestBytes: 2048})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(`{"tenant": "web", "edges": [[1,2,`); resp.StatusCode != 400 {
+		t.Fatalf("truncated JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"tenant": "web", "frobnicate": true}`); resp.StatusCode != 400 {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+	// A body past MaxRequestBytes dies at the reader, not in memory.
+	big := `{"tenant": "web", "edges": [` + strings.Repeat("[1,2,3],", 400) + `[1,2,3]]}`
+	if resp := post(big); resp.StatusCode != 400 {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/not-a-number"); err != nil || resp.StatusCode != 400 {
+		t.Fatalf("bad job id: status %v err %v, want 400", resp.StatusCode, err)
+	}
+	// The server is unharmed: a clean job still round-trips.
+	c := &Client{BaseURL: ts.URL, PollWait: 200 * time.Millisecond}
+	rj, err := c.Submit(context.Background(), Request{Tenant: "web", Edges: testEdges(15, 8, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rj.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPRetryAfterAndClientRetry: overload rejections carry Retry-After
+// over the wire, and a Client with MaxRetries rides them out until the
+// queue drains.
+func TestHTTPRetryAfterAndClientRetry(t *testing.T) {
+	s, c := newHTTPPair(t, Config{Pool: []PoolShape{{PEs: 2}}, QueueBound: 1})
+	warm, err := s.Submit(Request{
+		Tenant: "web",
+		Spec:   &kamsta.GraphSpec{Family: kamsta.GNM, N: 1500, M: 6000, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick the warm job up, so the one-slot queue is
+	// free for exactly one more admission.
+	for warm.Status() != "running" {
+		if _, _, done := warm.Result(); done {
+			t.Fatal("warm job finished before the queue could fill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := s.Submit(Request{Tenant: "web", Edges: testEdges(16, 20, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No retries: the rejection surfaces with the server's backoff hint.
+	_, err = c.Submit(context.Background(), Request{Tenant: "web", Edges: testEdges(17, 10, 20)})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue err = %v, want ErrQueueFull", err)
+	}
+	if hint, ok := retryAfterOf(err); !ok || hint <= 0 {
+		t.Fatalf("429 carried no Retry-After hint: %v", err)
+	}
+	// With retries: the client backs off and lands the job once the warm
+	// job frees the queue.
+	rc := &Client{BaseURL: c.BaseURL, PollWait: 200 * time.Millisecond,
+		MaxRetries: 10, RetryBase: 10 * time.Millisecond, RetryMax: 100 * time.Millisecond}
+	rj, err := rc.Submit(context.Background(), Request{Tenant: "web", Edges: testEdges(18, 10, 20)})
+	if err != nil {
+		t.Fatalf("retrying Submit gave up: %v", err)
+	}
+	if _, err := rj.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*Job{warm, queued} {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSlowLorisHeaderTimeout runs the Handler under the same ReadHeaderTimeout
+// cmd/mstserve configures and starves it: a connection that trickles its
+// header is closed by the server while normal requests keep being served.
+func TestSlowLorisHeaderTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Pool: []PoolShape{{PEs: 2}}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 100 * time.Millisecond}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	loris, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { loris.Close() })
+	if _, err := io.WriteString(loris, "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-"); err != nil {
+		t.Fatal(err)
+	}
+	// While the loris stalls mid-header, the server still answers others.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz during slow-loris: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+	// The server must cut the stalled connection off, not hold it forever.
+	if err := loris.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	for {
+		if _, err := loris.Read(buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // server closed the connection: contained
+			}
+			t.Fatalf("slow-loris connection not closed by the server: %v", err)
 		}
 	}
 }

@@ -24,13 +24,25 @@ func WriteExhibit(w io.Writer, res *Result, plan Plan, scale bench.Scale, date s
 		all.Attempted += tr.Attempted
 		all.Submitted += tr.Submitted
 		all.Rejected += tr.Rejected
+		all.Shed += tr.Shed
 		for k, v := range tr.Outcomes {
 			all.Outcomes[k] += v
 		}
 		all.Latencies = append(all.Latencies, tr.Latencies...)
+		all.RejectLatencies = append(all.RejectLatencies, tr.RejectLatencies...)
 		all.BadResults += tr.BadResults
 	}
-	rec.Add(tenantRow(&all, TenantLoad{Name: "all"}, elapsed))
+	allRow := tenantRow(&all, TenantLoad{Name: "all"}, elapsed)
+	if res.Server != nil {
+		// Server-side robustness counters land on the summary row: retries
+		// are per-tenant on the server but the exhibit's tenant rows are
+		// client-side views, and quarantine is a pool-wide fact.
+		for _, ts := range res.Server.Tenants {
+			allRow.Retried += ts.Retried
+		}
+		allRow.Quarantined = res.Server.Quarantined
+	}
+	rec.Add(allRow)
 	return rec.WriteJSON(w, scale, date)
 }
 
@@ -52,6 +64,14 @@ func tenantRow(tr *TenantResult, tl TenantLoad, elapsed float64) bench.Row {
 		P50Seconds:  tr.Percentile(50),
 		P95Seconds:  tr.Percentile(95),
 		P99Seconds:  tr.Percentile(99),
+		Shed:        tr.Shed,
+	}
+	row.RejectP99Seconds = tr.RejectPercentile(99)
+	if len(tr.Outcomes) > 0 {
+		row.Outcomes = make(map[string]int, len(tr.Outcomes))
+		for k, v := range tr.Outcomes {
+			row.Outcomes[k] = v
+		}
 	}
 	if row.Algorithm == "" {
 		row.Algorithm = "boruvka"

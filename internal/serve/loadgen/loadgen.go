@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"kamsta"
+	"kamsta/internal/faultinject"
 	"kamsta/internal/serve"
 )
 
@@ -68,6 +69,29 @@ type Template struct {
 	// (edge-list jobs only) — the load test doubles as a correctness
 	// sweep.
 	Verify bool
+	// Chaos seeds per-job service-level faults (see ChaosSpec). Fault
+	// plans ride in Request.Options, so chaos loads target in-process
+	// servers only (Local); a Remote target rejects them client-side.
+	Chaos *ChaosSpec
+}
+
+// ChaosSpec injects seeded chaos into a tenant's offered load: each job
+// independently draws one behavior, deterministic in (plan seed, tenant,
+// job index) like everything else loadgen generates. Fractions are
+// cumulative probabilities and should sum to ≤ 1.
+type ChaosSpec struct {
+	// FaultFraction of jobs panic on one PE mid-run (the Machine contains
+	// the fault; with server-side retries enabled they usually still
+	// succeed).
+	FaultFraction float64
+	// StallFraction of jobs stall one PE past a tight per-job stall
+	// timeout, so the watchdog kills them.
+	StallFraction float64
+	// StormFraction of jobs arrive with a hopeless deadline — they must be
+	// shed at admission or fail fast with outcome "deadline".
+	StormFraction float64
+	// PEs is the world width faults are drawn over (default 2).
+	PEs int
 }
 
 // TenantLoad is one tenant's traffic. Workers > 0 selects the closed loop
@@ -97,15 +121,24 @@ type TenantResult struct {
 	Name string
 	// Attempted counts generated jobs; Submitted the admitted ones;
 	// Rejected the admission rejections (closed-loop retries count every
-	// rejection event, so Rejected may exceed Attempted there).
+	// rejection event, so Rejected may exceed Attempted there); Shed the
+	// subset of rejections where the server shed load deliberately
+	// (deadline-aware shedding or brownout) rather than overflowing a
+	// bound.
 	Attempted int
 	Submitted int
 	Rejected  int
+	Shed      int
 	// Outcomes tallies results by class: ok, deadline, cancelled, fault,
 	// error. Their sum must equal Submitted (exactly-once delivery).
 	Outcomes map[string]int
 	// Latencies are submit-to-result seconds of all resolved jobs.
 	Latencies []float64
+	// RejectLatencies are submit-to-rejection seconds — how long the
+	// server took to say no. A resilient server rejects in microseconds;
+	// the overload experiment pins their p99 far under the median job
+	// time (rejecting slowly is just a worse way of being overloaded).
+	RejectLatencies []float64
 	// BadResults counts Verify mismatches (0 unless Template.Verify).
 	BadResults int
 }
@@ -121,10 +154,19 @@ func (tr *TenantResult) Completed() int {
 
 // Percentile returns the p-th latency percentile in seconds (p in [0,100]).
 func (tr *TenantResult) Percentile(p float64) float64 {
-	if len(tr.Latencies) == 0 {
+	return percentile(tr.Latencies, p)
+}
+
+// RejectPercentile returns the p-th rejection-latency percentile.
+func (tr *TenantResult) RejectPercentile(p float64) float64 {
+	return percentile(tr.RejectLatencies, p)
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), tr.Latencies...)
+	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	idx := int(p / 100 * float64(len(sorted)-1))
 	return sorted[idx]
@@ -134,6 +176,11 @@ func (tr *TenantResult) Percentile(p float64) float64 {
 type Result struct {
 	Elapsed time.Duration
 	Tenants []*TenantResult
+	// Server is an optional post-run server snapshot the caller may attach
+	// (mstload does) so the exhibit can record server-side robustness
+	// counters — retries, quarantined machines — alongside client-side
+	// accounting.
+	Server *serve.Stats
 }
 
 // Verify checks the exactly-once invariant: every admitted job produced
@@ -231,7 +278,11 @@ func runClosedLoop(ctx context.Context, target Target, plan Plan, ti int, tl Ten
 				st.attempt()
 				req := buildRequest(plan, ti, tl, idx)
 				for {
+					rejectStart := time.Now()
 					h, err := target.Submit(ctx, req)
+					if err != nil && ctx.Err() == nil {
+						st.rejectLatency(time.Since(rejectStart))
+					}
 					if err == nil {
 						st.admitted()
 						submitTime := time.Now()
@@ -240,14 +291,18 @@ func runClosedLoop(ctx context.Context, target Target, plan Plan, ti int, tl Ten
 						break
 					}
 					if !isBackpressure(err) || ctx.Err() != nil {
-						st.rejectedFinal()
+						// Shed rejections (deadline unattainable, brownout)
+						// are the server saying "not this job, not now" —
+						// a closed-loop client gives the job up rather
+						// than hammer a degraded server.
+						st.rejectFinal(err)
 						break
 					}
 					st.reject()
 					select {
-					case <-time.After(time.Millisecond):
+					case <-time.After(backoffHint(err)):
 					case <-ctx.Done():
-						st.rejectedFinal()
+						st.rejectFinal(err)
 						return
 					}
 				}
@@ -273,10 +328,12 @@ func runOpenLoop(ctx context.Context, target Target, plan Plan, ti int, tl Tenan
 		}
 		st.attempt()
 		req := buildRequest(plan, ti, tl, idx)
+		rejectStart := time.Now()
 		h, err := target.Submit(ctx, req)
 		if err != nil {
+			st.rejectLatency(time.Since(rejectStart))
 			st.reject()
-			st.rejectedFinal()
+			st.rejectFinal(err)
 			continue
 		}
 		st.admitted()
@@ -308,10 +365,42 @@ func buildRequest(plan Plan, ti int, tl TenantLoad, idx int64) serve.Request {
 		spec := *tl.Template.Spec
 		spec.Seed += uint64(idx)
 		req.Spec = &spec
-		return req
+	} else {
+		req.Edges = randomEdges(jobSeed(plan.Seed, ti, idx), tl.Template.EdgeCount, tl.Template.Vertices)
 	}
-	req.Edges = randomEdges(jobSeed(plan.Seed, ti, idx), tl.Template.EdgeCount, tl.Template.Vertices)
+	if tl.Template.Chaos != nil {
+		applyChaos(&req, tl.Template.Chaos, jobSeed(plan.Seed, ti, idx))
+	}
 	return req
+}
+
+// applyChaos draws job-level chaos deterministically from the job's seed:
+// an injected panic, a stall past a tight watchdog, or a hopeless deadline.
+func applyChaos(req *serve.Request, ch *ChaosSpec, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	pes := ch.PEs
+	if pes < 1 {
+		pes = 2
+	}
+	r := rng.Float64()
+	switch {
+	case r < ch.FaultFraction:
+		plan := faultinject.NewPlan(&faultinject.Rule{
+			Site: faultinject.SiteCollective, Rank: rng.Intn(pes),
+			Occurrence: rng.Intn(4), Action: faultinject.ActPanic,
+		})
+		req.Options = append(req.Options, kamsta.WithFaultInjection(plan))
+	case r < ch.FaultFraction+ch.StallFraction:
+		plan := faultinject.NewPlan(&faultinject.Rule{
+			Site: faultinject.SiteCollective, Rank: rng.Intn(pes),
+			Occurrence: rng.Intn(4), Action: faultinject.ActDelay,
+			Delay: 50 * time.Millisecond,
+		})
+		req.Options = append(req.Options,
+			kamsta.WithFaultInjection(plan), kamsta.WithStallTimeout(5*time.Millisecond))
+	case r < ch.FaultFraction+ch.StallFraction+ch.StormFraction:
+		req.Deadline = time.Microsecond
+	}
 }
 
 func jobSeed(seed uint64, ti int, idx int64) int64 {
@@ -363,9 +452,22 @@ func (st *tenantState) reject() {
 	st.mu.Unlock()
 }
 
-// rejectedFinal is a no-op hook kept for symmetry: a job dropped at
-// admission is accounted by Attempted vs Submitted, not in Outcomes.
-func (st *tenantState) rejectedFinal() {}
+func (st *tenantState) rejectLatency(d time.Duration) {
+	st.mu.Lock()
+	st.res.RejectLatencies = append(st.res.RejectLatencies, d.Seconds())
+	st.mu.Unlock()
+}
+
+// rejectFinal accounts a job given up at admission (Attempted vs Submitted
+// carries the count; Outcomes only holds admitted jobs) and tallies the
+// deliberate load-shedding rejections.
+func (st *tenantState) rejectFinal(err error) {
+	if errors.Is(err, serve.ErrDeadlineUnattainable) || errors.Is(err, serve.ErrBrownout) {
+		st.mu.Lock()
+		st.res.Shed++
+		st.mu.Unlock()
+	}
+}
 
 func (st *tenantState) resolve(plan Plan, ti int, tl TenantLoad, idx int64, rep *kamsta.Report, err error, lat time.Duration) {
 	bad := false
@@ -400,9 +502,21 @@ func (st *tenantState) referenceFor(plan Plan, ti int, tl TenantLoad, idx int64)
 }
 
 // isBackpressure reports whether a Submit error is retryable saturation
-// rather than a permanent rejection.
+// rather than a permanent rejection. Deliberate shedding (deadline
+// unattainable, brownout) is NOT retried: the server asked this class of
+// job to go away, and a well-behaved client listens.
 func isBackpressure(err error) bool {
 	return errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrTenantQueueFull)
+}
+
+// backoffHint is the closed-loop retry pause: the server's Retry-After
+// hint when present (capped so a test-scale loop stays fast), else 1ms.
+func backoffHint(err error) time.Duration {
+	var ra *serve.RetryAfterError
+	if errors.As(err, &ra) && ra.RetryAfter > 0 {
+		return min(ra.RetryAfter, 100*time.Millisecond)
+	}
+	return time.Millisecond
 }
 
 // classify buckets a job error the way the server's completion counter

@@ -23,6 +23,7 @@ type serveMetrics struct {
 	submit   map[string]*obs.Counter
 	reject   map[[2]string]*obs.Counter
 	complete map[[2]string]*obs.Counter
+	retry    map[string]*obs.Counter
 }
 
 // newServeMetrics registers the serve_* series against reg (nil disables)
@@ -45,6 +46,7 @@ func newServeMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 		submit:   make(map[string]*obs.Counter),
 		reject:   make(map[[2]string]*obs.Counter),
 		complete: make(map[[2]string]*obs.Counter),
+		retry:    make(map[string]*obs.Counter),
 	}
 	reg.GaugeFunc("serve_queue_depth", "Jobs currently queued.",
 		func() float64 { return float64(s.sched.depth()) })
@@ -62,7 +64,33 @@ func newServeMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 			}
 			return float64(busy)
 		})
+	reg.GaugeFunc("serve_brownout", "1 while the server is degraded (deep queue or quarantined machines).",
+		func() float64 {
+			if s.brownout() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("serve_machines_quarantined", "Pool machines removed from service after repeated faults.",
+		func() float64 { return float64(s.quarantined.Load()) })
 	return sm
+}
+
+// retriedInc counts one server-side retry of a fault-killed job.
+func (sm *serveMetrics) retriedInc(tenant string) {
+	if sm == nil {
+		return
+	}
+	sm.mu.Lock()
+	c := sm.retry[tenant]
+	if c == nil {
+		c = sm.reg.Counter("serve_jobs_retried_total",
+			"Server-side retries of fault-killed jobs, by tenant.",
+			obs.Label{Key: "tenant", Value: tenant})
+		sm.retry[tenant] = c
+	}
+	sm.mu.Unlock()
+	c.Inc()
 }
 
 func (sm *serveMetrics) submitted(tenant string) {
@@ -136,8 +164,9 @@ func (sm *serveMetrics) observeBatch(n int) {
 }
 
 // outcomeOf classifies a job error for the completion counter, mirroring
-// the Machine's own outcome labels: ok, deadline, cancelled, fault
-// (contained job fault — panic, injected I/O error) or error.
+// the Machine's own outcome labels: ok, deadline, cancelled, quarantined
+// (the pool lost every machine that could serve the job), fault (contained
+// job fault — panic, injected I/O error) or error.
 func outcomeOf(err error) string {
 	switch {
 	case err == nil:
@@ -146,6 +175,8 @@ func outcomeOf(err error) string {
 		return "deadline"
 	case errors.Is(err, context.Canceled):
 		return "cancelled"
+	case errors.Is(err, ErrShapeQuarantined):
+		return "quarantined"
 	default:
 		var je *kamsta.JobError
 		if errors.As(err, &je) {

@@ -51,6 +51,7 @@ type tenant struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
+	retried   atomic.Int64
 }
 
 // scheduler is the server's bounded, weighted-fair job queue. Submission
@@ -129,6 +130,81 @@ func (s *scheduler) submit(j *Job) error {
 	s.queued++
 	s.cond.Signal()
 	return nil
+}
+
+// noteRejected charges a shedding rejection to the tenant's counter (when
+// the tenant is registered — shedding happens before auto-registration).
+func (s *scheduler) noteRejected(name string) {
+	s.mu.Lock()
+	t := s.tenants[name]
+	s.mu.Unlock()
+	if t != nil {
+		t.rejected.Add(1)
+	}
+}
+
+// resubmit re-queues an already-admitted job after a retry backoff. It
+// bypasses admission control — the job was admitted once and its tenant's
+// counters already reflect it — but still refuses once the scheduler has
+// stopped running, so retries cannot strand jobs past a drain.
+func (s *scheduler) resubmit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != schedRunning {
+		return ErrDraining
+	}
+	j.ten.q = append(j.ten.q, j)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// remove withdraws a still-queued job (the deadline fast-fail path: its
+// context expired while it waited). Reports whether the job was found —
+// false means a worker already took it.
+func (s *scheduler) remove(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := j.ten
+	if t == nil {
+		return false
+	}
+	for i, q := range t.q {
+		if q == j {
+			copy(t.q[i:], t.q[i+1:])
+			t.q[len(t.q)-1] = nil
+			t.q = t.q[:len(t.q)-1]
+			s.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// failUnservable removes and returns every queued job for which servable
+// reports false — called when quarantine shrinks the live pool, so jobs
+// whose shape has no live machine left fail immediately instead of
+// waiting forever.
+func (s *scheduler) failUnservable(servable func(*Job) bool) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var failed []*Job
+	for _, t := range s.order {
+		kept := t.q[:0]
+		for _, j := range t.q {
+			if servable(j) {
+				kept = append(kept, j)
+			} else {
+				failed = append(failed, j)
+			}
+		}
+		for i := len(kept); i < len(t.q); i++ {
+			t.q[i] = nil
+		}
+		t.q = kept
+	}
+	s.queued -= len(failed)
+	return failed
 }
 
 // compatible reports whether a job may run on a machine with pes PEs.
@@ -279,6 +355,7 @@ func (s *scheduler) snapshot() []TenantStat {
 			Submitted: t.submitted.Load(),
 			Completed: t.completed.Load(),
 			Rejected:  t.rejected.Load(),
+			Retried:   t.retried.Load(),
 		})
 	}
 	return out

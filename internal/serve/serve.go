@@ -93,6 +93,31 @@ type Config struct {
 	// AllowFiles permits HTTP jobs that read server-local graph files
 	// (in-process submissions may always use File).
 	AllowFiles bool
+
+	// ShedMinSamples gates deadline-aware admission shedding: until the
+	// service-time estimator has seen this many dispatches (default 16)
+	// the server admits everything — a cold server must not guess.
+	// Negative disables shedding. ShedQuantile is the service-time
+	// quantile the queue-wait estimate uses (default 0.9: plan for a
+	// slow-ish job ahead, not the average one).
+	ShedMinSamples int
+	ShedQuantile   float64
+	// BrownoutFraction is the queue depth, as a fraction of QueueBound, at
+	// which the server browns out: batching stops and batch-eligible small
+	// jobs are shed at admission (default 0.75; ≥1 means brownout only on
+	// quarantine).
+	BrownoutFraction float64
+	// QuarantineAfter removes a machine from service after that many
+	// consecutive world faults (0 disables — the default, so fault-
+	// injection tests keep their machines). Queued jobs no live machine
+	// can serve fail with ErrShapeQuarantined.
+	QuarantineAfter int
+	// Retry bounds server-side transparent retries of fault-killed jobs
+	// (see RetryConfig; zero value disables).
+	Retry RetryConfig
+	// MaxRequestBytes caps an HTTP job submission body (default 64 MiB).
+	MaxRequestBytes int64
+
 	// Metrics receives the serve_* series (nil disables); Trace receives
 	// job spans.
 	Metrics *obs.Registry
@@ -148,6 +173,8 @@ type Job struct {
 
 	ctx       context.Context
 	cancel    context.CancelFunc
+	unwatch   func() // stops the queued-deadline fast-fail watcher
+	attempts  int    // dispatch attempts so far (serialized: worker → retry timer → worker)
 	submitted time.Time
 	started   atomic.Int64 // unix nanos at dispatch; 0 while queued
 	finished  atomic.Int64 // unix nanos at finish; retention sweeping
@@ -201,9 +228,10 @@ func (j *Job) Status() string {
 	return "queued"
 }
 
-// Cancel cancels the job's context. A queued job fails when dequeued; a
-// running single job unwinds at its next collective boundary; a job inside
-// a batch is best-effort (the batch runs to the earliest member deadline).
+// Cancel cancels the job's context. A queued job is withdrawn and fails
+// immediately; a running single job unwinds at its next collective
+// boundary; a job inside a batch is best-effort (the shared run continues
+// for the surviving members and the cancelled one is dropped at the end).
 func (j *Job) Cancel() { j.cancel() }
 
 // finish records the result exactly once.
@@ -214,16 +242,24 @@ func (j *Job) finish(rep *kamsta.Report, err error) bool {
 		j.finished.Store(time.Now().UnixNano())
 		close(j.done)
 		j.cancel()
+		if j.unwatch != nil {
+			j.unwatch()
+		}
 		first = true
 	})
 	return first
 }
 
-// poolMachine is one warm machine plus its shape and busy flag.
+// poolMachine is one warm machine plus its shape and health state.
 type poolMachine struct {
 	m     *kamsta.Machine
 	shape PoolShape
 	busy  atomic.Bool
+	// consecFaults counts consecutive dispatches that died on a world
+	// fault (reset by any success); at Config.QuarantineAfter the machine
+	// is quarantined and its worker exits.
+	consecFaults atomic.Int64
+	quarantined  atomic.Bool
 }
 
 // Server is the multi-tenant job server.
@@ -232,6 +268,7 @@ type Server struct {
 	batch    BatchConfig
 	sched    *scheduler
 	sm       *serveMetrics
+	shed     *shedder
 	machines []*poolMachine
 
 	baseCtx    context.Context
@@ -239,6 +276,14 @@ type Server struct {
 	wg         sync.WaitGroup
 	ids        atomic.Uint64
 	running    atomic.Int64
+
+	brownoutHi  int          // queue depth that flips brownout on
+	quarantined atomic.Int64 // machines removed from service
+
+	retryMu      sync.Mutex
+	pending      map[uint64]*pendingRetry // jobs waiting out a retry backoff
+	budgets      map[string]*tokenBucket  // per-tenant retry budgets
+	retryStopped bool
 
 	teardownOnce sync.Once
 
@@ -268,12 +313,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultTTL <= 0 {
 		cfg.ResultTTL = 10 * time.Minute
 	}
+	if cfg.ShedMinSamples == 0 {
+		cfg.ShedMinSamples = 16
+	}
+	if cfg.ShedQuantile <= 0 || cfg.ShedQuantile > 1 {
+		cfg.ShedQuantile = 0.9
+	}
+	if cfg.BrownoutFraction <= 0 {
+		cfg.BrownoutFraction = 0.75
+	}
+	if cfg.Retry.MaxAttempts > 1 {
+		cfg.Retry = cfg.Retry.withDefaults()
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 64 << 20
+	}
+	seen := make(map[[2]int]bool, len(cfg.Pool))
+	for _, shape := range cfg.Pool {
+		k := [2]int{shape.PEs, shape.Threads}
+		if seen[k] {
+			return nil, fmt.Errorf("serve: duplicate pool shape %dx%d (use Count to size a shape)", shape.PEs, shape.Threads)
+		}
+		seen[k] = true
+	}
 
 	s := &Server{
-		cfg:   cfg,
-		batch: cfg.Batch,
-		sched: newScheduler(cfg.QueueBound, cfg.TenantQueueBound, cfg.DefaultWeight),
-		jobs:  make(map[uint64]*Job),
+		cfg:     cfg,
+		batch:   cfg.Batch,
+		sched:   newScheduler(cfg.QueueBound, cfg.TenantQueueBound, cfg.DefaultWeight),
+		shed:    newShedder(cfg),
+		pending: make(map[uint64]*pendingRetry),
+		budgets: make(map[string]*tokenBucket),
+		jobs:    make(map[uint64]*Job),
+	}
+	s.brownoutHi = int(cfg.BrownoutFraction * float64(cfg.QueueBound))
+	if s.brownoutHi < 1 {
+		s.brownoutHi = 1
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, tc := range cfg.Tenants {
@@ -383,11 +458,46 @@ func (s *Server) admit(req Request) (*Job, error) {
 	} else {
 		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	}
+	if err := s.overloadCheck(j, d); err != nil {
+		j.cancel()
+		s.sched.noteRejected(req.Tenant)
+		return nil, err
+	}
+	// The fast-fail watcher: if the deadline (or a cancel) fires while the
+	// job is still queued, it is withdrawn and failed immediately instead
+	// of waiting for a worker to discover the corpse. Registered before
+	// submit so a worker can never observe a half-initialized watcher.
+	stop := context.AfterFunc(j.ctx, func() {
+		if s.sched.remove(j) {
+			s.finishJob(j, nil, j.ctx.Err())
+		}
+	})
+	j.unwatch = func() { stop() }
 	if err := s.sched.submit(j); err != nil {
 		j.cancel()
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull) {
+			err = &RetryAfterError{Err: err, RetryAfter: s.shed.drainHint(req.PEs, 1)}
+		}
 		return nil, err
 	}
 	return j, nil
+}
+
+// overloadCheck is the admission-time shedding gate, run after validation
+// and deadline resolution but before the job enters the queue: quarantine
+// (no live machine could ever serve it), brownout (degraded server sheds
+// batch-eligible small jobs first), and deadline-aware shedding (the
+// estimated queue wait alone would burn the whole deadline).
+func (s *Server) overloadCheck(j *Job, d time.Duration) error {
+	if s.shed.live(j.req.PEs) == 0 {
+		return ErrShapeQuarantined
+	}
+	depth := s.sched.depth()
+	if _, batchable := batchKeyOf(j, s.batch); batchable && s.brownout() {
+		return &RetryAfterError{Err: ErrBrownout,
+			RetryAfter: s.shed.drainHint(j.req.PEs, depth-s.brownoutHi+1)}
+	}
+	return s.shed.shedCheck(j.req.PEs, depth, d)
 }
 
 // profileEdges validates labels the way kamsta.FromEdges will and returns
@@ -421,20 +531,36 @@ func rejectReason(err error) string {
 		return "draining"
 	case errors.Is(err, ErrNoSuchShape):
 		return "no_shape"
+	case errors.Is(err, ErrDeadlineUnattainable):
+		return "shed_deadline"
+	case errors.Is(err, ErrBrownout):
+		return "brownout"
+	case errors.Is(err, ErrShapeQuarantined):
+		return "quarantined"
 	default:
 		return "bad_request"
 	}
 }
 
-// worker serves one pool machine until the scheduler tells it to exit.
+// worker serves one pool machine until the scheduler tells it to exit or
+// the machine is quarantined. During brownout, batching is disabled: a
+// degraded pool should not multiply the blast radius of one faulting world
+// across coalesced jobs.
 func (s *Server) worker(pm *poolMachine) {
 	defer s.wg.Done()
 	for {
-		jobs := s.sched.next(pm.shape.PEs, s.batch)
+		bc := s.batch
+		if bc.MaxJobs > 1 && s.brownout() {
+			bc = BatchConfig{}
+		}
+		jobs := s.sched.next(pm.shape.PEs, bc)
 		if jobs == nil {
 			return
 		}
 		s.dispatch(pm, jobs)
+		if pm.quarantined.Load() {
+			return
+		}
 	}
 }
 
@@ -464,11 +590,47 @@ func (s *Server) dispatch(pm *poolMachine, jobs []*Job) {
 	if len(live) == 1 {
 		start := time.Now()
 		rep, err := pm.m.Compute(live[0].ctx, s.source(live[0].req), s.runOptions(live[0].req)...)
-		s.sm.observeRun(time.Since(start).Seconds())
-		s.finishJob(live[0], rep, err)
+		sec := time.Since(start).Seconds()
+		s.sm.observeRun(sec)
+		s.shed.observe(pm.shape.PEs, sec)
+		s.noteMachineOutcome(pm, err)
+		s.maybeRetry(live[0], rep, err)
 		return
 	}
-	s.runBatch(pm, live)
+	s.noteMachineOutcome(pm, s.runBatch(pm, live))
+}
+
+// noteMachineOutcome tracks one machine's consecutive world faults and
+// quarantines it at the configured threshold. Deadline and cancel outcomes
+// say nothing about machine health and leave the count alone.
+func (s *Server) noteMachineOutcome(pm *poolMachine, err error) {
+	if s.cfg.QuarantineAfter <= 0 {
+		return
+	}
+	var je *kamsta.JobError
+	switch {
+	case err == nil:
+		pm.consecFaults.Store(0)
+	case errors.As(err, &je):
+		if pm.consecFaults.Add(1) >= int64(s.cfg.QuarantineAfter) || !pm.m.Healthy() {
+			s.quarantine(pm)
+		}
+	}
+}
+
+// quarantine removes pm from service: the live census shrinks (admission
+// and shedding see it immediately), queued jobs that no surviving machine
+// can serve fail with ErrShapeQuarantined, and pm's worker exits after the
+// current dispatch.
+func (s *Server) quarantine(pm *poolMachine) {
+	if !pm.quarantined.CompareAndSwap(false, true) {
+		return
+	}
+	s.quarantined.Add(1)
+	s.shed.quarantineOne(pm.shape.PEs)
+	for _, j := range s.sched.failUnservable(func(j *Job) bool { return s.shed.live(j.req.PEs) > 0 }) {
+		s.finishJob(j, nil, ErrShapeQuarantined)
+	}
 }
 
 // source maps a validated Request to its kamsta.Source.
@@ -550,6 +712,7 @@ func (s *Server) remember(j *Job) {
 // machines shut down. Always closes the server.
 func (s *Server) Drain(ctx context.Context) error {
 	s.sched.drain()
+	s.drainRetries()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -572,6 +735,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // queue, and releases the machines.
 func (s *Server) Close() error {
 	s.sched.drain()
+	s.drainRetries()
 	s.baseCancel()
 	s.failOrphans()
 	s.wg.Wait()
@@ -609,32 +773,38 @@ type TenantStat struct {
 	Submitted int64  `json:"submitted"`
 	Completed int64  `json:"completed"`
 	Rejected  int64  `json:"rejected"`
+	Retried   int64  `json:"retried,omitempty"`
 }
 
 // MachineStat is one row of Stats.Machines.
 type MachineStat struct {
-	PEs      int   `json:"pes"`
-	Threads  int   `json:"threads"`
-	Busy     bool  `json:"busy"`
-	Rebuilds int64 `json:"rebuilds"`
+	PEs         int   `json:"pes"`
+	Threads     int   `json:"threads"`
+	Busy        bool  `json:"busy"`
+	Rebuilds    int64 `json:"rebuilds"`
+	Quarantined bool  `json:"quarantined,omitempty"`
 }
 
 // Stats is a point-in-time server snapshot (GET /v1/stats).
 type Stats struct {
-	State    string        `json:"state"`
-	Queued   int           `json:"queued"`
-	Running  int           `json:"running"`
-	Machines []MachineStat `json:"machines"`
-	Tenants  []TenantStat  `json:"tenants"`
+	State       string        `json:"state"`
+	Queued      int           `json:"queued"`
+	Running     int           `json:"running"`
+	Brownout    bool          `json:"brownout,omitempty"`
+	Quarantined int           `json:"quarantined,omitempty"`
+	Machines    []MachineStat `json:"machines"`
+	Tenants     []TenantStat  `json:"tenants"`
 }
 
 // Stats snapshots queue depth, running jobs, machine health and per-tenant
 // counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queued:  s.sched.depth(),
-		Running: int(s.running.Load()),
-		Tenants: s.sched.snapshot(),
+		Queued:      s.sched.depth(),
+		Running:     int(s.running.Load()),
+		Brownout:    s.brownout(),
+		Quarantined: int(s.quarantined.Load()),
+		Tenants:     s.sched.snapshot(),
 	}
 	s.sched.mu.Lock()
 	switch s.sched.state {
@@ -648,10 +818,11 @@ func (s *Server) Stats() Stats {
 	s.sched.mu.Unlock()
 	for _, pm := range s.machines {
 		st.Machines = append(st.Machines, MachineStat{
-			PEs:      pm.shape.PEs,
-			Threads:  pm.shape.Threads,
-			Busy:     pm.busy.Load(),
-			Rebuilds: pm.m.Rebuilds(),
+			PEs:         pm.shape.PEs,
+			Threads:     pm.shape.Threads,
+			Busy:        pm.busy.Load(),
+			Rebuilds:    pm.m.Rebuilds(),
+			Quarantined: pm.quarantined.Load(),
 		})
 	}
 	return st

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"kamsta/internal/obs"
+)
+
+// Overload errors: the server refusing work it could not finish usefully.
+// Like the admission sentinels in sched.go they are errors.Is-able; the
+// HTTP layer maps them to 429/503 with a Retry-After hint.
+var (
+	// ErrDeadlineUnattainable: the job's deadline cannot survive the
+	// estimated queue wait, so admitting it would only burn a machine slot
+	// on a result nobody can use. Retry later or with a larger deadline.
+	ErrDeadlineUnattainable = errors.New("serve: deadline cannot survive the current queue wait")
+	// ErrBrownout: the server is degraded (deep queue or quarantined
+	// machines) and is shedding batch-eligible small jobs first to protect
+	// the rest of the workload.
+	ErrBrownout = errors.New("serve: brownout, shedding batch-eligible small jobs")
+	// ErrShapeQuarantined: every pool machine that could serve the job has
+	// been quarantined after repeated faults.
+	ErrShapeQuarantined = errors.New("serve: no live machine for the job")
+)
+
+// RetryAfterError wraps an overload rejection with a backoff hint — how
+// long the server estimates the condition needs to clear. The HTTP layer
+// renders it as a Retry-After header; serve.Client and loadgen honor it.
+// errors.Is still matches the wrapped sentinel.
+type RetryAfterError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.Err, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterOf extracts the backoff hint from a rejection, if any.
+func retryAfterOf(err error) (time.Duration, bool) {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return ra.RetryAfter, true
+	}
+	return 0, false
+}
+
+// shedder is the admission-time overload estimator: rolling windows of
+// recent per-dispatch service times (one per pool shape plus a pooled one),
+// and the live-machine census that quarantine shrinks. It answers the one
+// question admission control needs — "how long would a job submitted now
+// wait in the queue?" — from observed behavior, not configuration.
+type shedder struct {
+	minSamples int64
+	quantile   float64
+
+	all     *obs.Rolling
+	byShape map[int]*obs.Rolling // keyed by PEs
+
+	mu        sync.Mutex
+	liveByPEs map[int]int
+	liveTotal int
+}
+
+// shedWindow is the rolling window capacity. Big enough to smooth one
+// noisy dispatch, small enough that a workload shift re-trains the
+// estimate within a few dozen jobs.
+const shedWindow = 256
+
+func newShedder(cfg Config) *shedder {
+	sh := &shedder{
+		minSamples: int64(cfg.ShedMinSamples),
+		quantile:   cfg.ShedQuantile,
+		all:        obs.NewRolling(shedWindow),
+		byShape:    make(map[int]*obs.Rolling),
+		liveByPEs:  make(map[int]int),
+	}
+	for _, shape := range cfg.Pool {
+		count := shape.Count
+		if count <= 0 {
+			count = 1
+		}
+		if sh.byShape[shape.PEs] == nil {
+			sh.byShape[shape.PEs] = obs.NewRolling(shedWindow)
+		}
+		sh.liveByPEs[shape.PEs] += count
+		sh.liveTotal += count
+	}
+	return sh
+}
+
+// observe records one dispatch's machine-occupancy seconds (a batch counts
+// once — that is what the next queued job waits behind).
+func (sh *shedder) observe(pes int, sec float64) {
+	sh.all.Observe(sec)
+	if w := sh.byShape[pes]; w != nil {
+		w.Observe(sec)
+	}
+}
+
+// live reports the machines able to serve a job pinned to pes (0 = any).
+func (sh *shedder) live(pes int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pes == 0 {
+		return sh.liveTotal
+	}
+	return sh.liveByPEs[pes]
+}
+
+// quarantineOne removes a machine from the live census.
+func (sh *shedder) quarantineOne(pes int) {
+	sh.mu.Lock()
+	sh.liveByPEs[pes]--
+	sh.liveTotal--
+	sh.mu.Unlock()
+}
+
+// window picks the estimator for a shape pin (0 = the pooled window).
+func (sh *shedder) window(pes int) *obs.Rolling {
+	if pes != 0 {
+		if w := sh.byShape[pes]; w != nil {
+			return w
+		}
+	}
+	return sh.all
+}
+
+// estimate returns the expected queue wait for a job pinned to pes given
+// the current depth, and whether the estimator is warm enough to be
+// trusted (below minSamples it abstains, so a cold server never sheds).
+func (sh *shedder) estimate(pes, depth int) (time.Duration, bool) {
+	w := sh.window(pes)
+	if w.Count() < sh.minSamples {
+		return 0, false
+	}
+	machines := sh.live(pes)
+	if machines < 1 {
+		return 0, false
+	}
+	q := w.Quantile(sh.quantile)
+	if math.IsNaN(q) {
+		return 0, false
+	}
+	sec := float64(depth) / float64(machines) * q
+	return time.Duration(sec * float64(time.Second)), true
+}
+
+// shedCheck decides whether to shed a job with effective deadline d at
+// current queue depth. A zero deadline never sheds.
+func (sh *shedder) shedCheck(pes, depth int, d time.Duration) error {
+	if d <= 0 || sh.minSamples < 0 {
+		return nil
+	}
+	est, warm := sh.estimate(pes, depth)
+	if !warm || est < d {
+		return nil
+	}
+	// The hint is how much queue would have to drain before this deadline
+	// could survive admission.
+	return &RetryAfterError{Err: ErrDeadlineUnattainable, RetryAfter: est - d + time.Millisecond}
+}
+
+// drainHint estimates the time for n queued jobs to drain — the Retry-After
+// hint on queue-full and brownout rejections. Cold estimator: a fixed
+// conservative default.
+func (sh *shedder) drainHint(pes, n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	if est, warm := sh.estimate(pes, n); warm {
+		return max(est, time.Millisecond)
+	}
+	return 100 * time.Millisecond
+}
+
+// brownout reports whether the server is degraded: any machine quarantined,
+// or the queue past the brownout high-water mark. Degraded, the server
+// sheds batch-eligible small jobs at admission (they have the best chance
+// of succeeding later) and stops batching (batch growth multiplies the
+// blast radius of a faulting world).
+func (s *Server) brownout() bool {
+	if s.quarantined.Load() > 0 {
+		return true
+	}
+	return s.sched.depth() >= s.brownoutHi
+}
