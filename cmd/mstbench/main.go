@@ -17,6 +17,13 @@
 //
 //	mstbench -metrics - -trace trace.json -input g.kg -ps 8
 //	mstbench -experiment fig6 -json BENCH_$(date +%F).json
+//
+// Distributed runs: -transport tcp leads a world whose remote ranks live in
+// mstworker processes, and -golden verifies the pinned reference bits on
+// whatever transport is selected (the multi-process smoke check):
+//
+//	mstworker -listen 127.0.0.1:9021 &
+//	mstbench -golden -transport tcp -workers 127.0.0.1:9021
 package main
 
 import (
@@ -55,7 +62,10 @@ func main() {
 	jsonOut := flag.String("json", "", "write machine-readable benchmark rows to this file (- for stdout)")
 	timeout := flag.Duration("timeout", 0,
 		"per-job deadline: each measurement runs under context.WithTimeout (0 = none)")
+	golden := flag.Bool("golden", false,
+		"run the pinned golden cases instead of an experiment and verify their modeled bits (the multi-process smoke check)")
 	obsFlags := cliobs.Register()
+	tpFlags := cliobs.RegisterTransport()
 	flag.Parse()
 
 	algs, err := parseAlgs(*algNames)
@@ -77,6 +87,8 @@ func main() {
 		Reps:           *reps,
 		BaseCaseCap:    *cap,
 		Timeout:        *timeout,
+		Transport:      tpFlags.Transport,
+		Workers:        tpFlags.Workers(),
 		Metrics:        obsFlags.Registry,
 		Trace:          obsFlags.Trace,
 	}
@@ -112,6 +124,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *golden {
+		if err := bench.RunGolden(ctx, os.Stdout, scale); err != nil {
+			fail(err)
+		}
+		flush()
+		return
+	}
 	if *input != "" {
 		if err := bench.RunFile(ctx, os.Stdout, *input, *informat, algs, scale); err != nil {
 			fail(err)

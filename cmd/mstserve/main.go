@@ -66,6 +66,7 @@ func main() {
 	retryBurst := flag.Float64("retry-burst", 10, "per-tenant retry budget burst")
 	maxBody := flag.Int64("max-body", 64<<20, "largest accepted job submission body, bytes")
 	obsFlags := cliobs.Register()
+	tpFlags := cliobs.RegisterTransport()
 	flag.Parse()
 
 	shapes, err := serve.ParsePool(*pool)
@@ -103,6 +104,8 @@ func main() {
 
 	srv, err := serve.New(serve.Config{
 		Pool:             shapes,
+		Transport:        tpFlags.Transport,
+		Workers:          tpFlags.Workers(),
 		Tenants:          tcs,
 		DefaultWeight:    *defaultWeight,
 		QueueBound:       *queue,

@@ -40,6 +40,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0,
 		"per-job deadline: each check runs under context.WithTimeout (0 = none)")
 	obsFlags := cliobs.Register()
+	tpFlags := cliobs.RegisterTransport()
 	flag.Parse()
 
 	peList, err := parseInts(*ps)
@@ -61,7 +62,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	v, err := newVerifier(ctx, peList, *threads, *timeout, obsFlags)
+	v, err := newVerifier(ctx, peList, *threads, *timeout, obsFlags, tpFlags)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mstverify: %v\n", err)
 		os.Exit(2)
@@ -120,7 +121,7 @@ type verifier struct {
 	timeout  time.Duration
 }
 
-func newVerifier(ctx context.Context, peList []int, threads int, timeout time.Duration, obsFlags *cliobs.Flags) (*verifier, error) {
+func newVerifier(ctx context.Context, peList []int, threads int, timeout time.Duration, obsFlags *cliobs.Flags, tpFlags *cliobs.TransportFlags) (*verifier, error) {
 	v := &verifier{
 		ctx:      ctx,
 		peList:   peList,
@@ -132,6 +133,7 @@ func newVerifier(ctx context.Context, peList []int, threads int, timeout time.Du
 		if v.machines[p] == nil {
 			m, err := kamsta.NewMachine(kamsta.MachineConfig{
 				PEs: p, Threads: threads, Metrics: obsFlags.Registry,
+				Transport: tpFlags.Transport, Workers: tpFlags.Workers(),
 			})
 			if err != nil {
 				v.Close()

@@ -22,6 +22,11 @@ const (
 	// FaultLostPE means a PE goroutine died without completing its job;
 	// the world was torn down and rebuilt.
 	FaultLostPE = comm.FaultLostPE
+	// FaultTransport means the machine's transport failed mid-job (a lost
+	// worker connection, a corrupt frame, an expired wire deadline). Only
+	// distributed machines (MachineConfig.Transport "tcp") report it; the
+	// machine is condemned, not rebuilt — see Machine.Healthy.
+	FaultTransport = comm.FaultTransport
 )
 
 // JobError is the structured report of a job that failed inside the
@@ -60,7 +65,12 @@ type JobError struct {
 	// Rebuilt reports that the fault left the world unusable (or failing
 	// its health probe) and the Machine transparently rebuilt it. The
 	// machine is healthy again either way; Rebuilt only records the cost.
+	// Distributed worlds are never rebuilt; see FaultTransport.
 	Rebuilt bool
+	// Remote reports that the fault originated on a worker process of a
+	// distributed machine and reached the leader through the superstep
+	// control flags; Rank then indexes that worker's rank block.
+	Remote bool
 
 	cause *comm.JobError
 }
@@ -74,12 +84,17 @@ func (e *JobError) Error() string {
 			e.Superstep, e.Arrived, e.Missing)
 	case FaultLostPE:
 		msg = fmt.Sprintf("kamsta: PE %d lost: goroutine exited without completing its job", e.Rank)
+	case FaultTransport:
+		msg = fmt.Sprintf("kamsta: transport failed at superstep %d: %v", e.Superstep, e.PanicValue)
 	default:
 		msg = fmt.Sprintf("kamsta: PE %d panicked at superstep %d", e.Rank, e.Superstep)
 		if e.Phase != "" {
 			msg += fmt.Sprintf(" (phase %q, round %d)", e.Phase, e.Round)
 		}
 		msg = fmt.Sprintf("%s: %v", msg, e.PanicValue)
+	}
+	if e.Remote {
+		msg += " [on a worker process]"
 	}
 	if e.Rebuilt {
 		msg += " [machine rebuilt]"
@@ -105,6 +120,7 @@ func toJobError(ce *comm.JobError, rebuilt bool) *JobError {
 		Missing:    ce.Missing,
 		Faults:     ce.Faults,
 		Rebuilt:    rebuilt,
+		Remote:     ce.Remote,
 		cause:      ce,
 	}
 }

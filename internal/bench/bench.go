@@ -55,6 +55,13 @@ type Scale struct {
 	// sweep with context.DeadlineExceeded (cmd/mstbench -timeout).
 	Timeout time.Duration
 
+	// Transport and Workers select the machine substrate for every pooled
+	// machine (kamsta.MachineConfig.Transport/Workers): "" or "shm" runs
+	// in-process, "tcp" leads a distributed world over the given mstworker
+	// addresses. Modeled results are transport-invariant; wall time is not.
+	Transport string
+	Workers   []string
+
 	// Metrics, when non-nil, registers every pooled machine's job-level and
 	// per-PE substrate series in this registry (cmd/mstbench -metrics).
 	Metrics *kamsta.Metrics
@@ -155,6 +162,11 @@ type machinePool struct {
 	// (Scale.Timeout; the -timeout flag).
 	timeout time.Duration
 
+	// transport and workers configure every pooled machine's substrate
+	// backend (Scale.Transport/Workers).
+	transport string
+	workers   []string
+
 	// Observability sinks shared by every measurement of the sweep (all
 	// may be nil; see the Scale fields of the same names).
 	metrics *kamsta.Metrics
@@ -172,12 +184,14 @@ func newMachinePool(ctx context.Context, s Scale) *machinePool {
 		ctx = context.Background()
 	}
 	return &machinePool{
-		ctx:     ctx,
-		ms:      make(map[machineKey]*kamsta.Machine),
-		timeout: s.Timeout,
-		metrics: s.Metrics,
-		trace:   s.Trace,
-		rec:     s.Rec,
+		ctx:       ctx,
+		ms:        make(map[machineKey]*kamsta.Machine),
+		timeout:   s.Timeout,
+		transport: s.Transport,
+		workers:   s.Workers,
+		metrics:   s.Metrics,
+		trace:     s.Trace,
+		rec:       s.Rec,
 	}
 }
 
@@ -199,6 +213,7 @@ func (mp *machinePool) get(cfg kamsta.Config) (*kamsta.Machine, error) {
 		var err error
 		m, err = kamsta.NewMachine(kamsta.MachineConfig{
 			PEs: cfg.PEs, Threads: cfg.Threads, Cost: cfg.Cost, Metrics: mp.metrics,
+			Transport: mp.transport, Workers: mp.workers,
 		})
 		if err != nil {
 			return nil, err

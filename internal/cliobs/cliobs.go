@@ -1,8 +1,8 @@
-// Package cliobs wires the observability flags shared by the kamsta
-// commands (mstbench, mstverify, mstgen): -metrics, -trace, and -pprof.
-// Each command registers the flags, activates the sinks after flag.Parse,
-// threads the registry/trace into its machines or worlds, and flushes the
-// collected data on exit.
+// Package cliobs wires the flags shared by the kamsta commands: the
+// observability trio -metrics, -trace, and -pprof (each command registers
+// them, activates the sinks after flag.Parse, threads the registry/trace
+// into its machines or worlds, and flushes on exit), and the distributed-
+// machine pair -transport and -workers.
 package cliobs
 
 import (
@@ -99,6 +99,38 @@ func (f *Flags) Flush() error {
 		}
 	}
 	return nil
+}
+
+// TransportFlags holds the distributed-machine flag values shared by the
+// commands that build kamsta.Machines (mstbench, mstverify, mstserve).
+type TransportFlags struct {
+	// Transport is the -transport value, a kamsta.MachineConfig.Transport
+	// ("" = in-process default).
+	Transport string
+
+	workers string
+}
+
+// RegisterTransport declares -transport and -workers on the default flag
+// set. Call before flag.Parse.
+func RegisterTransport() *TransportFlags {
+	f := &TransportFlags{}
+	flag.StringVar(&f.Transport, "transport", "",
+		`machine substrate: "shm" (in-process, default) or "tcp" (lead a distributed world; see -workers)`)
+	flag.StringVar(&f.workers, "workers", "",
+		"comma-separated mstworker addresses (host:port) hosting the remote ranks of -transport tcp")
+	return f
+}
+
+// Workers returns the parsed -workers address list (nil when unset).
+func (f *TransportFlags) Workers() []string {
+	var out []string
+	for _, part := range strings.Split(f.workers, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // writeOut opens path for writing ("-" = stdout), runs emit, and closes.

@@ -44,7 +44,7 @@ import (
 
 // Barrier synchronizes all PEs (and their modeled clocks).
 func Barrier(c *Comm) {
-	c.exchange(mkTag(opBarrier, 0), nil, nil, nil)
+	c.exchange(mkTag(opBarrier, 0), nil, nil, nil, nil)
 	c.ChargeComm(log2Ceil(c.P()), 0)
 	c.stats.Collectives++
 }
@@ -54,8 +54,8 @@ func Barrier(c *Comm) {
 // BcastSlice for an owned copy.
 func Bcast[T any](c *Comm, root int, x T) T {
 	var out T
-	c.exchange(mkTag(opBcast, 0), x, nil, func(_ any, boards []deposit) {
-		out = boards[root].val.(T)
+	c.exchange(mkTag(opBcast, 0), x, wireCodec[T](c), nil, func(_ any, boards []deposit) {
+		out = boards[root].Val.(T)
 	})
 	c.ChargeComm(log2Ceil(c.P()), sizeof.Of[T]())
 	c.stats.Collectives++
@@ -73,8 +73,8 @@ func BcastSlice[T any](c *Comm, root int, xs []T) []T {
 		dep = cp
 	}
 	var out []T
-	c.exchange(mkTag(opBcastSlice, 0), dep, nil, func(_ any, boards []deposit) {
-		src := boards[root].val.([]T)
+	c.exchange(mkTag(opBcastSlice, 0), dep, wireCodec[[]T](c), nil, func(_ any, boards []deposit) {
+		src := boards[root].Val.([]T)
 		out = make([]T, len(src))
 		copy(out, src)
 	})
@@ -87,10 +87,10 @@ func BcastSlice[T any](c *Comm, root int, xs []T) []T {
 // the result on all PEs. op must be deterministic and rank-independent.
 func Allreduce[T any](c *Comm, x T, op func(a, b T) T) T {
 	var out T
-	c.exchange(mkTag(opAllreduce, 0), x, func(boards []deposit) any {
-		acc := boards[0].val.(T)
+	c.exchange(mkTag(opAllreduce, 0), x, wireCodec[T](c), func(boards []deposit) any {
+		acc := boards[0].Val.(T)
 		for i := 1; i < len(boards); i++ {
-			acc = op(acc, boards[i].val.(T))
+			acc = op(acc, boards[i].Val.(T))
 		}
 		return acc
 	}, func(res any, _ []deposit) {
@@ -121,6 +121,7 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 	acc := make([]T, n)
 	copy(acc, xs)
 	if p > 1 {
+		arvCd := wireCodec[[]T](c)
 		scratch := make([]T, n)
 		// Fold ranks beyond the largest power of two into the cube first.
 		k := 1
@@ -133,11 +134,11 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 		if rank >= k {
 			// Extra rank contributes its vector; it will not touch acc
 			// again until the unfold read, long after the fold window.
-			c.exchange(foldTag, acc, nil, nil)
+			c.exchange(foldTag, acc, arvCd, nil, nil)
 		} else {
-			c.exchange(foldTag, nil, nil, func(_ any, boards []deposit) {
+			c.exchange(foldTag, nil, arvCd, nil, func(_ any, boards []deposit) {
 				if rank+k < p {
-					other := boards[rank+k].val.([]T)
+					other := boards[rank+k].Val.([]T)
 					if len(other) != n {
 						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", n, len(other)))
 					}
@@ -154,8 +155,8 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 			bit++
 			if rank < k {
 				partner := rank ^ d
-				c.exchange(tag, acc, nil, func(_ any, boards []deposit) {
-					other := boards[partner].val.([]T)
+				c.exchange(tag, acc, arvCd, nil, func(_ any, boards []deposit) {
+					other := boards[partner].Val.([]T)
 					if len(other) != n {
 						panic(fmt.Sprintf("comm: AllreduceVec length mismatch: %d vs %d", n, len(other)))
 					}
@@ -165,7 +166,7 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 				})
 				acc, scratch = scratch, acc
 			} else {
-				c.exchange(tag, nil, nil, nil)
+				c.exchange(tag, nil, arvCd, nil, nil)
 			}
 		}
 		// Send the final vector back to the extra ranks.
@@ -179,10 +180,10 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 				copy(cp, acc)
 				dep = cp
 			}
-			c.exchange(unfoldTag, dep, nil, nil)
+			c.exchange(unfoldTag, dep, arvCd, nil, nil)
 		} else {
-			c.exchange(unfoldTag, nil, nil, func(_ any, boards []deposit) {
-				src := boards[rank-k].val.([]T)
+			c.exchange(unfoldTag, nil, arvCd, nil, func(_ any, boards []deposit) {
+				src := boards[rank-k].Val.([]T)
 				copy(acc, src)
 			})
 		}
@@ -197,11 +198,11 @@ func AllreduceVec[T any](c *Comm, xs []T, op func(a, b T) T) []T {
 // deterministic and rank-independent.
 func ExScan[T any](c *Comm, x T, zero T, op func(a, b T) T) T {
 	var out T
-	c.exchange(mkTag(opExScan, 0), x, func(boards []deposit) any {
+	c.exchange(mkTag(opExScan, 0), x, wireCodec[T](c), func(boards []deposit) any {
 		prefix := make([]T, len(boards))
 		prefix[0] = zero
 		for i := 1; i < len(boards); i++ {
-			prefix[i] = op(prefix[i-1], boards[i-1].val.(T))
+			prefix[i] = op(prefix[i-1], boards[i-1].Val.(T))
 		}
 		return prefix
 	}, func(res any, _ []deposit) {
@@ -216,10 +217,10 @@ func ExScan[T any](c *Comm, x T, zero T, op func(a, b T) T) T {
 // all PEs.
 func Allgather[T any](c *Comm, x T) []T {
 	var out []T
-	c.exchange(mkTag(opAllgather, 0), x, func(boards []deposit) any {
+	c.exchange(mkTag(opAllgather, 0), x, wireCodec[T](c), func(boards []deposit) any {
 		vals := make([]T, len(boards))
 		for i := range boards {
-			vals[i] = boards[i].val.(T)
+			vals[i] = boards[i].Val.(T)
 		}
 		return vals
 	}, func(res any, _ []deposit) {
@@ -247,14 +248,14 @@ func AllgatherConcat[T any](c *Comm, xs []T) []T {
 // AllgatherConcat.
 func AllgatherConcatInto[T any](c *Comm, dst []T, xs []T) []T {
 	out := dst
-	c.exchange(mkTag(opAllgatherConcat, 0), xs, func(boards []deposit) any {
+	c.exchange(mkTag(opAllgatherConcat, 0), xs, wireCodec[[]T](c), func(boards []deposit) any {
 		total := 0
 		for i := range boards {
-			total += len(boards[i].val.([]T))
+			total += len(boards[i].Val.([]T))
 		}
 		cat := make([]T, 0, total)
 		for i := range boards {
-			cat = append(cat, boards[i].val.([]T)...)
+			cat = append(cat, boards[i].Val.([]T)...)
 		}
 		return cat
 	}, func(res any, _ []deposit) {
@@ -299,7 +300,7 @@ func Alltoall[T any](c *Comm, sendTo [][]T) [][]T {
 			got += len(recv[i])
 		}
 	}
-	c.ChargeComm(c.P()-1, elem*maxInt(sent, got))
+	c.ChargeComm(c.P()-1, elem*max(sent, got))
 	c.stats.Collectives++
 	return recv
 }
@@ -330,10 +331,10 @@ func RawAlltoall[T any](c *Comm, sendTo [][]T) [][]T {
 	fr.off[p] = int32(len(data))
 	fr.data = data
 	recv := make([][]T, p)
-	c.exchange(mkTag(opAlltoall, 0), fr, nil, func(_ any, boards []deposit) {
+	c.exchange(mkTag(opAlltoall, 0), fr, a2aCodecFor[T](c), nil, func(_ any, boards []deposit) {
 		r := c.rank
 		for i := range boards {
-			f := boards[i].val.(*a2aFrame[T])
+			f := boards[i].Val.(*a2aFrame[T])
 			lo, hi := f.off[r], f.off[r+1]
 			if lo < hi {
 				// Three-index slice: an append on the received bucket must
@@ -352,7 +353,7 @@ func RawAlltoall[T any](c *Comm, sendTo [][]T) [][]T {
 func PairExchange[T any](c *Comm, partner int, xs []T) []T {
 	out := RawPairExchange(c, partner, xs)
 	if partner >= 0 && partner != c.rank {
-		c.ChargeComm(1, sizeof.Of[T]()*maxInt(len(xs), len(out)))
+		c.ChargeComm(1, sizeof.Of[T]()*max(len(xs), len(out)))
 	}
 	return out
 }
@@ -372,11 +373,11 @@ func RawPairExchange[T any](c *Comm, partner int, xs []T) []T {
 		dep = cp
 	}
 	var out []T
-	c.exchangeSubset(mkTag(opPairExchange, 0), dep, func(boards []deposit) {
+	c.exchangeSubset(mkTag(opPairExchange, 0), dep, wireCodec[[]T](c), func(boards []deposit) {
 		if active {
-			m := math.Max(boards[c.rank].clock, boards[partner].clock)
+			m := math.Max(boards[c.rank].Clock, boards[partner].Clock)
 			c.clock = math.Max(c.clock, m)
-			out = boards[partner].val.([]T)
+			out = boards[partner].Val.([]T)
 		}
 	})
 	c.stats.Collectives++
@@ -391,14 +392,14 @@ func RawPairExchange[T any](c *Comm, partner int, xs []T) []T {
 // until the caller's next collective.
 func GroupAllreduce[T any](c *Comm, members []int, x T, op func(a, b T) T) T {
 	var out T
-	c.exchangeSubset(mkTag(opGroupAllreduce, 0), x, func(boards []deposit) {
+	c.exchangeSubset(mkTag(opGroupAllreduce, 0), x, wireCodec[T](c), func(boards []deposit) {
 		if len(members) == 0 {
 			return
 		}
 		c.syncClocks(boards, members)
-		out = boards[members[0]].val.(T)
+		out = boards[members[0]].Val.(T)
 		for _, m := range members[1:] {
-			out = op(out, boards[m].val.(T))
+			out = op(out, boards[m].Val.(T))
 		}
 	})
 	if len(members) > 0 {
@@ -406,11 +407,4 @@ func GroupAllreduce[T any](c *Comm, members []int, x T, op func(a, b T) T) T {
 	}
 	c.stats.Collectives++
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

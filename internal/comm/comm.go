@@ -38,14 +38,18 @@ package comm
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kamsta/internal/arena"
+	"kamsta/internal/enc"
 	"kamsta/internal/faultinject"
 	"kamsta/internal/obs"
+	"kamsta/internal/transport"
+	"kamsta/internal/transport/shm"
 )
 
 // CostModel holds the machine parameters of the α-β model.
@@ -76,18 +80,22 @@ type World struct {
 	threads int
 	cost    CostModel
 
-	bar *barrier
-	// boards is the double-buffered blackboard: collective number e (each
-	// PE counts its own, and SPMD keeps them in lockstep) deposits into
-	// boards[e%2], so epoch e+1's writes can never touch the slots epoch e's
-	// stragglers are still reading.
-	boards [2][]deposit
-	// combined holds the per-epoch result of the pre-release combine step:
-	// the global clock maximum and, for reducing collectives, the folded
-	// value. Written by the barrier's root-completing PE while everyone else
-	// is still blocked, read by all after release; double-buffered under the
-	// same epoch-parity argument as the boards.
-	combined [2]combineSlot
+	// tr is the substrate every collective bottoms out on: one Exchange per
+	// superstep per local rank (deposit, meet everyone, read the combined
+	// slot). The default is the in-process shared-memory substrate
+	// (internal/transport/shm) — the original epoch-stamped double-buffered
+	// blackboard under a fan-in tree barrier, extracted verbatim; a TCP
+	// transport (internal/transport/tcp) spans processes with the same
+	// superstep protocol. The world does NOT own the transport: whoever
+	// built it (WithTransport) closes it; only the default shm substrate is
+	// world-created, and it needs no closing.
+	tr transport.Transport
+	// lo, hi is the contiguous rank range this process hosts (tr.Local());
+	// [0, p) on a single-process world. wire is true when any rank is
+	// remote: collectives then attach a value codec to every deposit so the
+	// transport can serialize it.
+	lo, hi int
+	wire   bool
 
 	mu     sync.Mutex
 	phases map[string]*PhaseTime // max-aggregated over PEs
@@ -106,7 +114,9 @@ type World struct {
 	// combiner); the stall watchdog samples it as the job's heartbeat.
 	// arrived[r] is rank r's superstep arrival high-water mark — how many
 	// barriers it has entered — read by the watchdog to report which ranks
-	// reached a stalled superstep and which did not.
+	// reached a stalled superstep and which did not. Only local ranks
+	// arrive; remote ranks always diagnose as Missing (their own process
+	// runs its own watchdog).
 	progress atomic.Uint64
 	arrived  []arrival
 
@@ -141,41 +151,23 @@ type arrival struct {
 	_ [56]byte
 }
 
-// deposit is one PE's contribution to a collective, padded so adjacent
-// ranks' slots never share a cache line.
-type deposit struct {
-	tag   opTag
-	val   any
-	clock float64
-	_     [32]byte
-}
+// deposit is one PE's contribution to a collective: the transport layer's
+// Deposit, padded there so adjacent ranks' slots never share a cache line.
+type deposit = transport.Deposit
 
-// combineSlot is one epoch's combined exchange result, padded so the two
-// parities never share a cache line. verdict publishes the run's
-// continue/cancel/abort decision for this superstep: it is written once per
-// epoch by the pre-release combiner while every PE is still blocked in the
-// barrier, so all PEs of the superstep observe the same verdict and unwind
-// together.
-type combineSlot struct {
-	clockMax float64
-	val      any
-	verdict  uint8
-	_        [39]byte
-}
-
-// Superstep verdicts, published in the combine slot by the pre-release
-// combiner. Exactly one PE reads the asynchronous request flags per
-// superstep; every PE acts on the published verdict, which is what makes
-// the whole world unwind at the same collective.
+// Superstep verdicts, published in the combined slot by the completing
+// party (see commHost.Complete). Exactly one process reads the asynchronous
+// request flags per superstep; every PE acts on the published verdict,
+// which is what makes the whole world unwind at the same collective.
 const (
 	// verdictRun continues the job.
-	verdictRun uint8 = iota
+	verdictRun = transport.VerdictRun
 	// verdictCancel unwinds the job with the cancellation sentinel (the
 	// job's context expired).
-	verdictCancel
+	verdictCancel = transport.VerdictCancel
 	// verdictAbort unwinds the job with the abort sentinel (a PE faulted
 	// and requested containment, or a watchdog fired).
-	verdictAbort
+	verdictAbort = transport.VerdictAbort
 )
 
 // Option configures a World.
@@ -184,6 +176,15 @@ type Option func(*World)
 // WithCost sets the cost model.
 func WithCost(cm CostModel) Option {
 	return func(w *World) { w.cost = cm }
+}
+
+// WithTransport runs the world over the given substrate instead of the
+// default in-process shared-memory one. The transport's total rank count
+// must equal the world's p; only the transport's local rank range is hosted
+// by this world's PE goroutines. The caller keeps ownership: the world
+// never closes a transport it was given.
+func WithTransport(t transport.Transport) Option {
+	return func(w *World) { w.tr = t }
 }
 
 // WithThreads sets the number of intra-PE threads every PE reports
@@ -206,8 +207,6 @@ func NewWorld(p int, opts ...Option) *World {
 		p:       p,
 		threads: 1,
 		cost:    DefaultCostModel(),
-		bar:     newBarrier(p),
-		boards:  [2][]deposit{make([]deposit, p), make([]deposit, p)},
 		phases:  make(map[string]*PhaseTime),
 		clocks:  make([]float64, p),
 		arrived: make([]arrival, p),
@@ -220,6 +219,14 @@ func NewWorld(p int, opts ...Option) *World {
 	for _, o := range opts {
 		o(w)
 	}
+	if w.tr == nil {
+		w.tr = shm.New(p)
+	}
+	if w.tr.P() != p {
+		panic(fmt.Sprintf("comm: transport spans %d ranks, world wants %d", w.tr.P(), p))
+	}
+	w.lo, w.hi = w.tr.Local()
+	w.wire = w.lo != 0 || w.hi != p
 	return w
 }
 
@@ -238,9 +245,10 @@ func (w *World) newComm(rank int, jb *worldJob) *Comm {
 		jb:      jb,
 		inj:     jb.inj,
 		threads: w.threads,
+		wire:    w.wire,
 		phases:  make(map[string]*PhaseTime),
 	}
-	c.preFn = c.preRelease
+	c.host = commHost{c}
 	if rank == 0 {
 		c.obs = jb.obs
 	}
@@ -377,12 +385,15 @@ type Comm struct {
 	// every collective boundary and exposed to graphio via FaultPoint.
 	inj *faultinject.Injector
 
-	// preFn is the preRelease method value, bound once so passing it to the
-	// barrier on every collective does not allocate. pending is the
-	// collective-specific combine step preFn runs if this PE ends up
-	// completing the barrier's root.
-	preFn   func()
-	pending func(boards []deposit) any
+	// host is this PE's transport.Host, boxed once so passing it to the
+	// transport on every collective does not allocate. pending is the
+	// collective-specific combine step the superstep's completion runs if
+	// this PE ends up completing the barrier's root. wire mirrors the
+	// world's flag: collectives attach value codecs to deposits only when
+	// some rank is remote.
+	host    transport.Host
+	pending func(board []deposit) any
+	wire    bool
 
 	// a2aStage is reusable per-parity staging for the all-to-all frame and
 	// its slot array (see RawAlltoall; holds a *a2aFrame[T]). Reuse at
@@ -612,7 +623,27 @@ func (t opTag) String() string {
 	return name
 }
 
-// preRelease is the pre-release combine step, run by whichever PE completes
+// commHost is a PE's transport.Host: the completion side of the superstep
+// protocol, called back by the transport while every local rank is blocked
+// in the barrier. On the shared-memory substrate Complete is exactly the
+// old pre-release combine step; on a distributed substrate the leader's
+// completion hook feeds it the remote processes' flags and the followers
+// apply the leader's verdict via CompleteWith.
+type commHost struct{ c *Comm }
+
+// Flags snapshots this process's asynchronous job-control state for
+// transmission to the verdict-deciding process: the cancel/abort request
+// flags and any faults not yet shipped.
+func (h commHost) Flags() transport.Flags {
+	jb := h.c.jb
+	return transport.Flags{
+		Cancel: jb.cancelReq.Load(),
+		Abort:  jb.abortReq.Load(),
+		Faults: jb.snapshotFaults(),
+	}
+}
+
+// Complete is the pre-release combine step, run by whichever PE completes
 // the barrier's root while every other PE is still blocked inside Wait. It
 // folds the p deposited clocks into one global maximum — turning the BSP
 // clock synchronization every full-world collective performs from O(p) work
@@ -621,46 +652,105 @@ func (t opTag) String() string {
 // everyone. All PEs deposit equivalent closures (SPMD), so it does not
 // matter whose runs.
 //
-// preRelease is also the containment choke point: one read of the job's
-// asynchronous cancel/abort request flags becomes the superstep's verdict,
-// and a panic inside the combine closure is recovered here — recorded as a
-// fault and converted into an abort verdict — so even a faulting reduction
-// operator releases the barrier coherently.
-func (c *Comm) preRelease() {
-	w := c.w
-	par := c.epoch & 1
-	boards := w.boards[par]
-	m := boards[0].clock
-	for i := 1; i < len(boards); i++ {
-		if boards[i].clock > m {
-			m = boards[i].clock
+// Complete is also the containment choke point: one read of the job's
+// asynchronous cancel/abort request flags — unioned with the remote
+// processes' shipped flags — becomes the superstep's verdict, and a panic
+// inside the combine closure is recovered here (via runPending), recorded
+// as a fault and converted into an abort verdict, so even a faulting
+// reduction operator releases the barrier coherently.
+func (h commHost) Complete(board []deposit, remote transport.Flags) transport.Slot {
+	c := h.c
+	if len(remote.Faults) > 0 {
+		h.RemoteFaults(remote.Faults)
+	}
+	m := board[0].Clock
+	for i := 1; i < len(board); i++ {
+		if board[i].Clock > m {
+			m = board[i].Clock
 		}
 	}
-	res := &w.combined[par]
-	res.clockMax = m
+	slot := transport.Slot{ClockMax: m}
 	verdict := verdictRun
-	if c.jb.abortReq.Load() {
+	if c.jb.abortReq.Load() || remote.Abort {
 		verdict = verdictAbort
-	} else if c.jb.cancelReq.Load() {
+	} else if c.jb.cancelReq.Load() || remote.Cancel {
 		verdict = verdictCancel
 	}
-	res.val = nil
 	if c.pending != nil && verdict == verdictRun {
-		if val, ok := c.runPending(boards); ok {
-			res.val = val
+		if val, ok := c.runPending(board); ok {
+			slot.Val = val
 		} else {
 			verdict = verdictAbort
 		}
 	}
-	res.verdict = verdict
-	w.progress.Add(1)
+	slot.Verdict = verdict
+	c.w.progress.Add(1)
+	return slot
+}
+
+// CompleteWith is Complete under a verdict decided elsewhere (a follower
+// process applying the leader's reply): fold the clocks, run the combine
+// closure locally under that verdict, publish. A combine panic here cannot
+// change the already-decided verdict globally, so it aborts locally — the
+// recorded fault and abort request reach the leader with the next
+// superstep's flags, unwinding the whole world one superstep later.
+func (h commHost) CompleteWith(board []deposit, verdict uint8) transport.Slot {
+	c := h.c
+	m := board[0].Clock
+	for i := 1; i < len(board); i++ {
+		if board[i].Clock > m {
+			m = board[i].Clock
+		}
+	}
+	slot := transport.Slot{ClockMax: m}
+	if c.pending != nil && verdict == verdictRun {
+		if val, ok := c.runPending(board); ok {
+			slot.Val = val
+		} else {
+			verdict = verdictAbort
+		}
+	}
+	slot.Verdict = verdict
+	c.w.progress.Add(1)
+	return slot
+}
+
+// RemoteFaults records faults shipped from another process so they
+// participate in the job's primary-error selection alongside local ones.
+func (h commHost) RemoteFaults(fs []transport.RemoteFault) {
+	for i := range fs {
+		h.c.jb.recordFault(remoteJobError(&fs[i]))
+	}
+}
+
+// TransportFault records a transport-level failure (lost connection,
+// corrupt frame, exceeded deadline) as this job's fault and marks the world
+// broken WITHOUT poisoning it: the transport publishes an abort slot for
+// the current superstep, so the local ranks still unwind coherently through
+// the normal verdict path, and the poison hammer stays reserved for worlds
+// that can no longer complete a superstep at all.
+func (h commHost) TransportFault(err error) {
+	c := h.c
+	je := &JobError{
+		Kind:       FaultTransport,
+		Rank:       c.rank,
+		Superstep:  int(c.epoch),
+		Round:      c.round,
+		PanicValue: err,
+	}
+	if n := len(c.phaseStack); n > 0 {
+		je.Phase = c.phaseStack[n-1].name
+	}
+	c.jb.recordFault(je)
+	c.jb.abortReq.Store(true)
+	c.w.broken.Store(true)
 }
 
 // runPending executes the collective's combine closure, containing any
 // panic it raises: the fault is recorded against this PE (the closure runs
 // algorithm code) and the superstep becomes an abort, releasing the barrier
 // instead of leaving p-1 PEs blocked behind a dead combiner.
-func (c *Comm) runPending(boards []deposit) (val any, ok bool) {
+func (c *Comm) runPending(board []deposit) (val any, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.recordPanicFault(r)
@@ -668,7 +758,7 @@ func (c *Comm) runPending(boards []deposit) (val any, ok bool) {
 			val, ok = nil, false
 		}
 	}()
-	return c.pending(boards), true
+	return c.pending(board), true
 }
 
 // exchange runs one collective superstep: it deposits (tag, val, clock) on
@@ -690,14 +780,13 @@ func (c *Comm) runPending(boards []deposit) (val any, ok bool) {
 //
 // The tag check catches SPMD divergence bugs (different PEs calling
 // different collectives) immediately instead of deadlocking.
-func (c *Comm) exchange(tag opTag, val any, combine func(boards []deposit) any, read func(res any, boards []deposit)) {
-	board := c.deposit(tag, val, combine)
-	res := &c.w.combined[(c.epoch-1)&1]
-	if res.clockMax > c.clock {
-		c.clock = res.clockMax
+func (c *Comm) exchange(tag opTag, val any, cd *enc.Codec, combine func(board []deposit) any, read func(res any, board []deposit)) {
+	board, slot := c.deposit(tag, val, cd, combine)
+	if slot.ClockMax > c.clock {
+		c.clock = slot.ClockMax
 	}
 	if read != nil {
-		read(res.val, board)
+		read(slot.Val, board)
 	}
 }
 
@@ -705,21 +794,20 @@ func (c *Comm) exchange(tag opTag, val any, combine func(boards []deposit) any, 
 // of the world (pair exchanges, group reductions): it skips the global
 // clock synchronization and never combines; read inspects deposit clocks
 // itself.
-func (c *Comm) exchangeSubset(tag opTag, val any, read func(boards []deposit)) {
-	board := c.deposit(tag, val, nil)
+func (c *Comm) exchangeSubset(tag opTag, val any, cd *enc.Codec, read func(board []deposit)) {
+	board, _ := c.deposit(tag, val, cd, nil)
 	read(board)
 }
 
-// deposit publishes (tag, val, clock), meets the world at the barrier, acts
-// on the superstep's published verdict, checks SPMD agreement and advances
-// the epoch, returning this superstep's board.
-func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) []deposit {
+// deposit publishes (tag, val, clock) through the transport — which meets
+// the world at the barrier and returns the fully populated board plus the
+// combined slot — acts on the superstep's published verdict, checks SPMD
+// agreement and advances the epoch.
+func (c *Comm) deposit(tag opTag, val any, cd *enc.Codec, combine func(board []deposit) any) ([]deposit, transport.Slot) {
 	c.faultPoint(faultinject.SiteCollective)
 	w := c.w
-	board := w.boards[c.epoch&1]
-	s := &board[c.rank]
-	s.tag, s.val, s.clock = tag, val, c.clock
 	c.pending = combine
+	dep := deposit{Tag: uint32(tag), Clock: c.clock, Val: val, Codec: cd}
 	// Wall-side instrumentation of the superstep: entry timestamp taken
 	// only when someone is looking, recorded after release. Never touches
 	// the modeled clock.
@@ -727,10 +815,10 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 	if c.m != nil || c.ring != nil {
 		t0 = time.Now()
 	}
-	poisoned := c.arrive()
+	w.arrived[c.rank].v.Add(1)
+	board, slot, poisoned := w.tr.Exchange(c.rank, c.epoch, dep, c.host)
 	if c.m != nil || c.ring != nil {
 		el := time.Since(t0)
-		clk := s.clock // this rank's entry clock; own slot, stable until epoch+2
 		if c.m != nil {
 			c.m.supersteps[uint8(tag)].Inc()
 			c.m.barrierWait.Add(el.Seconds())
@@ -743,17 +831,17 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 				Name:  opNames[uint8(tag)],
 				Start: t0.Sub(c.traceEpoch).Nanoseconds(),
 				Dur:   int64(el),
-				Clock: clk,
+				Clock: dep.Clock,
 			})
 		}
 	}
 	if poisoned {
-		// Poisoned barrier: the world is broken (lost PE or stall) and this
+		// Poisoned substrate: the world is broken (lost PE or stall) and this
 		// superstep never completed coherently — unwind without reading.
 		panic(jobAborted{})
 	}
 	c.epoch++
-	switch w.combined[(c.epoch-1)&1].verdict {
+	switch slot.Verdict {
 	case verdictCancel:
 		// The pre-release combiner saw the job's context expire. Every PE
 		// of this superstep reads the same verdict, so the whole world
@@ -767,21 +855,12 @@ func (c *Comm) deposit(tag opTag, val any, combine func(boards []deposit) any) [
 	}
 	if c.rank == 0 {
 		for i := 1; i < w.p; i++ {
-			if board[i].tag != tag {
-				panic(fmt.Sprintf("comm: SPMD divergence: rank 0 in %v, rank %d in %v", tag, i, board[i].tag))
+			if opTag(board[i].Tag) != tag {
+				panic(fmt.Sprintf("comm: SPMD divergence: rank 0 in %v, rank %d in %v", tag, i, opTag(board[i].Tag)))
 			}
 		}
 	}
-	return board
-}
-
-// arrive meets the world at this epoch's barrier, bumping this rank's
-// arrival high-water mark (the stall watchdog's per-rank diagnostic), and
-// reports whether the barrier was poisoned — in which case the superstep
-// did NOT complete and no combined slot was written.
-func (c *Comm) arrive() (poisoned bool) {
-	c.w.arrived[c.rank].v.Add(1)
-	return c.w.bar.Wait(c.rank, c.preFn)
+	return board, slot
 }
 
 // closeOut is the job's final, invisible superstep (tag opJobEnd), run by
@@ -792,7 +871,7 @@ func (c *Comm) arrive() (poisoned bool) {
 // modeled time, no traffic, and no collective count — a job's metrics are
 // bit-identical with and without it.
 func (c *Comm) closeOut() {
-	c.deposit(mkTag(opJobEnd, 0), nil, nil)
+	c.deposit(mkTag(opJobEnd, 0), nil, nil, nil)
 }
 
 // drainAbort rejoins the world after this PE faulted so the containment
@@ -801,12 +880,17 @@ func (c *Comm) closeOut() {
 // close-out superstep guarantees each PE at least one more arrival), so a
 // single arrival completes that barrier; its pre-release combiner then
 // observes the abort request this PE published before draining and issues
-// the verdict that unwinds the world. Reports whether the drain completed
-// (false means the barrier was poisoned — the world is broken and already
-// released, so there is nothing left to drain).
+// the verdict that unwinds the world. The zero deposit (tag opNone, no
+// value) overwrites this rank's stale slot, which is safe under the same
+// parity argument as a normal deposit, and the superstep's abort verdict
+// means its clock fold and tags are never observed. Reports whether the
+// drain completed (false means the substrate was poisoned — the world is
+// broken and already released, so there is nothing left to drain).
 func (c *Comm) drainAbort() bool {
 	c.pending = nil
-	return !c.arrive()
+	c.w.arrived[c.rank].v.Add(1)
+	_, _, poisoned := c.w.tr.Exchange(c.rank, c.epoch, deposit{}, c.host)
+	return !poisoned
 }
 
 // faultPoint visits one injection site; a no-op unless the job carries an
@@ -842,8 +926,96 @@ func (c *Comm) FaultPoint(site faultinject.Site) error { return c.faultPoint(sit
 func (c *Comm) syncClocks(deps []deposit, members []int) float64 {
 	m := c.clock
 	for _, i := range members {
-		m = math.Max(m, deps[i].clock)
+		m = math.Max(m, deps[i].Clock)
 	}
 	c.clock = m
 	return m
+}
+
+// wireCodec resolves the value codec for a collective's deposit: nil on a
+// purely local world (the shared-memory substrate never serializes), the
+// cached enc codec for T when some rank is remote.
+func wireCodec[T any](c *Comm) *enc.Codec {
+	if !c.wire {
+		return nil
+	}
+	return enc.CodecFor[T]()
+}
+
+// a2aCodecs caches the hand-built codecs for the all-to-all frame type,
+// keyed by its (generic-instantiated) reflect type. The frame has
+// unexported fields — it is a comm-internal staging structure — so the enc
+// walker cannot reach it; the codec below composes the element codecs
+// explicitly instead.
+var a2aCodecs sync.Map // reflect.Type -> *enc.Codec
+
+// a2aCodecFor resolves the wire codec for *a2aFrame[T] deposits (nil on a
+// purely local world).
+func a2aCodecFor[T any](c *Comm) *enc.Codec {
+	if !c.wire {
+		return nil
+	}
+	key := reflect.TypeOf((*a2aFrame[T])(nil))
+	if cd, ok := a2aCodecs.Load(key); ok {
+		return cd.(*enc.Codec)
+	}
+	dataCd := enc.CodecFor[[]T]()
+	offCd := enc.CodecFor[[]int32]()
+	cd := enc.NewCodec(key.String(),
+		func(dst []byte, v any) []byte {
+			f := v.(*a2aFrame[T])
+			dst = dataCd.Append(dst, f.data)
+			return offCd.Append(dst, f.off)
+		},
+		func(b []byte) (any, []byte, error) {
+			dv, b, err := dataCd.Decode(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			ov, b, err := offCd.Decode(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &a2aFrame[T]{data: dv.([]T), off: ov.([]int32)}, b, nil
+		})
+	actual, _ := a2aCodecs.LoadOrStore(key, cd)
+	return actual.(*enc.Codec)
+}
+
+// Clocks returns a copy of the per-rank final modeled clocks of the last
+// run (zero for ranks that have not flushed — e.g. remote ranks before a
+// MergeRemote).
+func (w *World) Clocks() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, len(w.clocks))
+	copy(out, w.clocks)
+	return out
+}
+
+// MergeRemote folds a remote process's flushed metrics into this world's
+// aggregates with the same discipline as Comm.flush: maximum for times and
+// clocks (PEs overlap), sum for traffic (every byte is distinct). clocks
+// covers the remote block starting at global rank lo.
+func (w *World) MergeRemote(lo int, clocks []float64, phases map[string]PhaseTime, stats Stats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, cl := range clocks {
+		if r := lo + i; r >= 0 && r < w.p && cl > w.clocks[r] {
+			w.clocks[r] = cl
+		}
+	}
+	for name, pt := range phases {
+		agg := w.phases[name]
+		if agg == nil {
+			agg = &PhaseTime{}
+			w.phases[name] = agg
+		}
+		agg.Modeled = math.Max(agg.Modeled, pt.Modeled)
+		if pt.Wall > agg.Wall {
+			agg.Wall = pt.Wall
+		}
+		agg.Stats.add(pt.Stats)
+	}
+	w.stats.add(stats)
 }

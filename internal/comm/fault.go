@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"kamsta/internal/transport"
 )
 
 // This file is the world's failure model: the structured error a contained
@@ -31,6 +33,12 @@ const (
 	// containment recovery itself); the world is down a party and was
 	// poisoned — it must be rebuilt.
 	FaultLostPE
+	// FaultTransport means the substrate connecting this world to its
+	// remote rank blocks failed mid-job — a worker connection dropped, a
+	// frame arrived corrupt, or a read deadline expired. The local ranks
+	// unwound coherently (abort verdict), but the world's remote half is
+	// unreachable: the world reports Broken and must be replaced.
+	FaultTransport
 )
 
 // String names the kind for logs.
@@ -42,6 +50,8 @@ func (k FaultKind) String() string {
 		return "stall"
 	case FaultLostPE:
 		return "lostPE"
+	case FaultTransport:
+		return "transport"
 	}
 	return "(unknown fault)"
 }
@@ -76,23 +86,72 @@ type JobError struct {
 	// several PEs faulted before the world finished unwinding); this
 	// JobError is the first.
 	Faults int
+	// Remote marks a fault that happened in another process of a
+	// distributed world and was shipped here with the superstep flags; Rank
+	// is then the remote global rank, and PanicValue/Stack are the remote
+	// process's formatted strings.
+	Remote bool
 }
 
 // Error formats the fault for humans; the fields carry the structure.
 func (e *JobError) Error() string {
+	where := ""
+	if e.Remote {
+		where = " (remote)"
+	}
 	switch e.Kind {
 	case FaultStall:
 		return fmt.Sprintf("comm: job stalled at superstep %d: ranks %v reached the barrier, ranks %v did not",
 			e.Superstep, e.Arrived, e.Missing)
 	case FaultLostPE:
-		return fmt.Sprintf("comm: PE %d lost: goroutine exited without completing its job (panic value: %v)",
-			e.Rank, e.PanicValue)
+		return fmt.Sprintf("comm: PE %d%s lost: goroutine exited without completing its job (panic value: %v)",
+			e.Rank, where, e.PanicValue)
+	case FaultTransport:
+		return fmt.Sprintf("comm: transport failed at superstep %d (rank %d%s): %v",
+			e.Superstep, e.Rank, where, e.PanicValue)
 	}
-	msg := fmt.Sprintf("comm: PE %d panicked at superstep %d", e.Rank, e.Superstep)
+	msg := fmt.Sprintf("comm: PE %d%s panicked at superstep %d", e.Rank, where, e.Superstep)
 	if e.Phase != "" {
 		msg += fmt.Sprintf(" (phase %q, round %d)", e.Phase, e.Round)
 	}
 	return fmt.Sprintf("%s: %v", msg, e.PanicValue)
+}
+
+// wire converts the fault to its transport form for shipping to the
+// verdict-deciding process. PanicValue flattens to its formatted string —
+// the concrete value is process-local anyway.
+func (e *JobError) wire() transport.RemoteFault {
+	var pv string
+	if e.PanicValue != nil {
+		pv = fmt.Sprint(e.PanicValue)
+	}
+	return transport.RemoteFault{
+		Kind:      uint8(e.Kind),
+		Rank:      int32(e.Rank),
+		Superstep: int32(e.Superstep),
+		Round:     int32(e.Round),
+		Phase:     e.Phase,
+		Panic:     pv,
+		Stack:     e.Stack,
+	}
+}
+
+// remoteJobError rebuilds a shipped fault as a local JobError marked
+// Remote.
+func remoteJobError(f *transport.RemoteFault) *JobError {
+	je := &JobError{
+		Kind:      FaultKind(f.Kind),
+		Rank:      int(f.Rank),
+		Superstep: int(f.Superstep),
+		Round:     int(f.Round),
+		Phase:     f.Phase,
+		Stack:     f.Stack,
+		Remote:    true,
+	}
+	if f.Panic != "" {
+		je.PanicValue = f.Panic
+	}
+	return je
 }
 
 // ErrBroken is returned by RunJobCfg on a world that was poisoned by an
@@ -107,12 +166,12 @@ var ErrBroken = errors.New("comm: world is broken (poisoned by an earlier fault)
 // does this transparently).
 func (w *World) Broken() bool { return w.broken.Load() }
 
-// markBroken poisons the world: the barrier releases every current and
+// markBroken poisons the world: the transport releases every current and
 // future waiter with the poisoned signal, so blocked PEs unwind instead of
 // deadlocking behind a party that will never arrive.
 func (w *World) markBroken() {
 	w.broken.Store(true)
-	w.bar.Poison()
+	w.tr.Poison()
 }
 
 // recordPanicFault captures a recovered panic on this PE as a structured

@@ -8,6 +8,7 @@ import (
 
 	"kamsta/internal/faultinject"
 	"kamsta/internal/obs"
+	"kamsta/internal/transport"
 )
 
 // This file is the world's job engine: how an SPMD program is executed on
@@ -194,6 +195,10 @@ type worldJob struct {
 
 	faultMu sync.Mutex
 	faults  []*JobError
+	// faultsSent is the prefix of faults already shipped to the remote
+	// verdict-deciding process (see commHost.Flags); local-only worlds never
+	// advance it.
+	faultsSent int
 }
 
 // recordFault appends one structured fault. Several PEs may fault while the
@@ -216,6 +221,23 @@ func (jb *worldJob) primaryError() error {
 	je := jb.faults[0]
 	je.Faults = len(jb.faults)
 	return je
+}
+
+// snapshotFaults drains the faults not yet shipped to the remote
+// verdict-deciding process, in wire form. Allocation-free when nothing new
+// was recorded — the per-superstep case.
+func (jb *worldJob) snapshotFaults() []transport.RemoteFault {
+	jb.faultMu.Lock()
+	defer jb.faultMu.Unlock()
+	if jb.faultsSent >= len(jb.faults) {
+		return nil
+	}
+	out := make([]transport.RemoteFault, 0, len(jb.faults)-jb.faultsSent)
+	for _, je := range jb.faults[jb.faultsSent:] {
+		out = append(out, je.wire())
+	}
+	jb.faultsSent = len(jb.faults)
+	return out
 }
 
 // JobConfig carries the optional per-job settings of RunJobCfg.
@@ -338,17 +360,11 @@ func (w *World) RunJobCfg(ctx context.Context, cfg JobConfig, f func(*Comm)) err
 	}
 	if graceful {
 		// Drop deposit references so the last collective's payloads don't
-		// stay reachable through the world between (or after) jobs, and
+		// stay reachable through the transport between (or after) jobs, and
 		// clear the published verdicts. Skipped after an ungraceful stall
 		// return: a zombie PE may still write its board slot, and a broken
 		// world is never reused anyway.
-		for b := range w.boards {
-			for i := range w.boards[b] {
-				w.boards[b][i].val = nil
-			}
-			w.combined[b].val = nil
-			w.combined[b].verdict = verdictRun
-		}
+		w.tr.Drop()
 	}
 	// From here on the job is over from the caller's perspective: no PE —
 	// including a zombie left behind by an ungraceful stall return — may
@@ -363,17 +379,19 @@ func (w *World) RunJobCfg(ctx context.Context, cfg JobConfig, f func(*Comm)) err
 	return nil
 }
 
-// dispatch hands the job to every PE — parked goroutines on a persistent
-// world, freshly spawned ones otherwise.
+// dispatch hands the job to every LOCAL PE — parked goroutines on a
+// persistent world, freshly spawned ones otherwise. Remote ranks run in
+// their own processes, driven by their own worlds over the shared
+// transport.
 func (w *World) dispatch(jb *worldJob) {
-	jb.wg.Add(w.p)
+	jb.wg.Add(w.hi - w.lo)
 	if w.pes != nil {
-		for _, ch := range w.pes {
-			ch <- jb
+		for r := w.lo; r < w.hi; r++ {
+			w.pes[r] <- jb
 		}
 		return
 	}
-	for r := 0; r < w.p; r++ {
+	for r := w.lo; r < w.hi; r++ {
 		go w.runJobOnPE(r, jb)
 	}
 }
@@ -463,11 +481,13 @@ func (w *World) Start() {
 		return
 	}
 	w.pes = make([]chan *worldJob, w.p)
-	for r := range w.pes {
+	for r := w.lo; r < w.hi; r++ {
 		// Capacity 1 makes the dispatch loop non-blocking: a PE always
 		// consumes job k before signalling job k's completion, so when job
 		// k+1 is submitted (necessarily after k completed) every buffer is
 		// empty and the p sends cost p channel pushes, not p rendezvous.
+		// Remote ranks keep a nil channel: their goroutines live in their
+		// own processes.
 		ch := make(chan *worldJob, 1)
 		w.pes[r] = ch
 		go w.peLoop(r, ch)
@@ -493,7 +513,9 @@ func (w *World) Close() {
 		return
 	}
 	for _, ch := range w.pes {
-		close(ch)
+		if ch != nil {
+			close(ch)
+		}
 	}
 	w.pes = nil
 }

@@ -1,0 +1,186 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"kamsta/internal/transport/tcp"
+)
+
+// distWorld is a world split across a leader and one follower transport
+// over a real loopback TCP connection — two worlds in one process, as a
+// leader and an mstworker process would hold them.
+type distWorld struct {
+	leader, follower *World
+	lt               *tcp.Leader
+}
+
+// newDistWorld builds a p-rank world with local leader ranks and the rest
+// behind a loopback connection. Both halves are started; run() executes one
+// SPMD body on every rank of both.
+func newDistWorld(t *testing.T, p, local int) *distWorld {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	type accepted struct {
+		f   *tcp.Follower
+		hs  tcp.Handshake
+		err error
+	}
+	acceptCh := make(chan accepted, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			acceptCh <- accepted{err: err}
+			return
+		}
+		f, hs, err := tcp.AcceptFollower(conn, nil)
+		acceptCh <- accepted{f: f, hs: hs, err: err}
+	}()
+
+	lt, err := tcp.NewLeader(tcp.LeaderConfig{
+		P: p, LocalRanks: local, Workers: []string{lis.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-acceptCh
+	if acc.err != nil {
+		lt.Close()
+		t.Fatal(acc.err)
+	}
+
+	d := &distWorld{lt: lt}
+	d.leader = NewWorld(p, WithTransport(lt))
+	d.follower = NewWorld(p, WithTransport(acc.f))
+	d.leader.Start()
+	d.follower.Start()
+	t.Cleanup(func() {
+		d.leader.Close()
+		lt.Close()
+		d.follower.Close()
+		acc.f.Close()
+	})
+	return d
+}
+
+// run executes one SPMD body on both halves concurrently, as one job.
+func (d *distWorld) run(t *testing.T, body func(c *Comm)) {
+	t.Helper()
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.follower.RunJob(context.Background(), nil, body) }()
+	if err := d.leader.RunJob(context.Background(), nil, body); err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("follower: %v", err)
+	}
+}
+
+// shmReference runs body on a plain in-process world and returns the given
+// extractor's per-rank results for comparison.
+func shmReference(t *testing.T, p int, body func(c *Comm)) {
+	t.Helper()
+	w := NewWorld(p)
+	w.Start()
+	defer w.Close()
+	if err := w.RunJob(context.Background(), nil, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPTransportParity runs the collectives the algorithms lean on over
+// both backends and requires identical per-rank results and modeled clocks.
+func TestTCPTransportParity(t *testing.T) {
+	for _, g := range []struct{ p, local int }{{2, 1}, {8, 4}, {8, 7}} {
+		t.Run(fmt.Sprintf("p%d-local%d", g.p, g.local), func(t *testing.T) {
+			p := g.p
+
+			// One body exercising the pairwise and group paths together;
+			// results and final clocks are captured per rank.
+			mkBody := func(vals []int, clocks []float64) func(c *Comm) {
+				return func(c *Comm) {
+					r := c.Rank()
+					sum := Allreduce(c, r+1, func(a, b int) int { return a + b })
+					partner := r ^ 1
+					var pair []int
+					if partner < p {
+						pair = PairExchange(c, partner, []int{r, r * 10})
+					} else {
+						Barrier(c)
+						Barrier(c)
+					}
+					var raw []int
+					if partner < p {
+						raw = RawPairExchange(c, partner, []int{r + 100})
+					} else {
+						Barrier(c)
+						Barrier(c)
+					}
+					members := make([]int, 0, p/2+1)
+					for q := 0; q < p; q += 2 {
+						members = append(members, q)
+					}
+					gsum := GroupAllreduce(c, members, r+7, func(a, b int) int { return a + b })
+					all := AllgatherConcat(c, []int{r * 3})
+					acc := sum + gsum
+					for _, v := range pair {
+						acc += v
+					}
+					for _, v := range raw {
+						acc += v
+					}
+					for _, v := range all {
+						acc += v
+					}
+					vals[r] = acc
+					clocks[r] = c.Clock()
+				}
+			}
+
+			// PairExchange/RawPairExchange are two-sided: with an odd rank
+			// out, the partnerless rank must still match collective counts.
+			// Keep partners in range instead for simplicity.
+			wantVals := make([]int, p)
+			wantClocks := make([]float64, p)
+			shmReference(t, p, mkBody(wantVals, wantClocks))
+
+			gotVals := make([]int, p)
+			gotClocks := make([]float64, p)
+			d := newDistWorld(t, p, g.local)
+			d.run(t, mkBody(gotVals, gotClocks))
+
+			for r := 0; r < p; r++ {
+				if gotVals[r] != wantVals[r] {
+					t.Errorf("rank %d: value %d over tcp, %d over shm", r, gotVals[r], wantVals[r])
+				}
+				if gotClocks[r] != wantClocks[r] {
+					t.Errorf("rank %d: clock %v over tcp, %v over shm", r, gotClocks[r], wantClocks[r])
+				}
+			}
+		})
+	}
+}
+
+// TestTCPLeaderDialExhaustion pins that a dead worker port fails leader
+// construction after the configured retries instead of hanging.
+func TestTCPLeaderDialExhaustion(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // nothing listens here anymore
+	if _, err := tcp.NewLeader(tcp.LeaderConfig{
+		P: 2, LocalRanks: 1, Workers: []string{addr},
+		DialRetries: 2, DialBackoff: 1, DialTimeout: 1,
+	}); err == nil {
+		t.Fatal("NewLeader dialed a closed port successfully")
+	}
+}

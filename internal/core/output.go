@@ -6,7 +6,6 @@ import (
 
 	"kamsta/internal/alltoall"
 	"kamsta/internal/comm"
-	"kamsta/internal/enc"
 	"kamsta/internal/graph"
 )
 
@@ -20,7 +19,7 @@ func sortSlice(edges []graph.Edge) {
 // memory is scarce; decoded once before and once after the computation,
 // which we account in modeled time).
 type inputCopy struct {
-	comp    *enc.CompressedEdges
+	comp    *graph.CompressedEdges
 	offsets []uint64 // offsets[i] = first global ID on PE i; len p+1
 }
 
@@ -31,7 +30,7 @@ func makeInputCopy(c *comm.Comm, edges []graph.Edge) *inputCopy {
 	if len(edges) > 0 {
 		firstID = edges[0].ID
 	}
-	comp := enc.Encode(edges, firstID)
+	comp := graph.CompressEdges(edges, firstID)
 	counts := comm.Allgather(c, len(edges))
 	offsets := make([]uint64, c.P()+1)
 	for i, n := range counts {

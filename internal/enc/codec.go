@@ -1,0 +1,364 @@
+package enc
+
+// Value codecs for the transport layer: how one collective's deposit — an
+// `any` holding a concrete Go value — crosses a process boundary. The SPMD
+// contract makes every rank of a superstep deposit the same concrete type,
+// so frames never carry type descriptors: the sender encodes with its slot's
+// codec and the receiver decodes with its own collective's codec for the
+// same superstep.
+//
+// Two strategies, picked once per type and cached:
+//
+//   - POD fast path: fixed-size types containing no pointers (ints, floats,
+//     bools, and arrays/structs thereof — unexported fields included) are
+//     memcpy'd. The TCP handshake pins word size and byte order, so raw
+//     bytes round-trip exactly; float bits in particular survive untouched,
+//     which modeled-clock parity across transports depends on.
+//   - Reflect walker: strings, slices, pointers and structs of such are
+//     encoded field by field. Struct fields on this path must be exported
+//     (reflection cannot set unexported fields on decode); an unsupported
+//     type panics at codec construction — a programmer error, found the
+//     first time the collective runs — while malformed BYTES always surface
+//     as typed errors, never panics.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// Codec serializes one concrete value type for wire transport.
+type Codec struct {
+	name string
+	enc  func(dst []byte, v any) []byte
+	dec  func(b []byte) (any, []byte, error)
+}
+
+// Name reports the codec's type name, for diagnostics.
+func (c *Codec) Name() string { return c.name }
+
+// Append encodes v (which must hold the codec's type) onto dst.
+func (c *Codec) Append(dst []byte, v any) []byte { return c.enc(dst, v) }
+
+// Decode decodes one value from b, returning the value, the remaining
+// bytes, and a typed error (ErrTruncated/ErrOversized/ErrCorrupt) on
+// malformed input.
+func (c *Codec) Decode(b []byte) (any, []byte, error) { return c.dec(b) }
+
+// NewCodec wraps custom encode/decode functions as a Codec — for container
+// types with unexported fields that the reflect walker cannot reach (the
+// collectives' internal all-to-all frame builds one from element codecs).
+func NewCodec(name string, enc func(dst []byte, v any) []byte, dec func(b []byte) (any, []byte, error)) *Codec {
+	return &Codec{name: name, enc: enc, dec: dec}
+}
+
+// CodecFor returns the cached codec for T, building it on first use. It
+// panics if T is not wire-encodable (chan, func, map, interface fields, or
+// unexported fields on the reflect path) — a programmer error surfaced the
+// first time a remote-backed collective carries the type.
+func CodecFor[T any]() *Codec {
+	return codecOf(reflect.TypeOf((*T)(nil)).Elem())
+}
+
+var codecCache sync.Map // reflect.Type -> *Codec
+
+func codecOf(rt reflect.Type) *Codec {
+	if c, ok := codecCache.Load(rt); ok {
+		return c.(*Codec)
+	}
+	c := buildCodec(rt)
+	actual, _ := codecCache.LoadOrStore(rt, c)
+	return actual.(*Codec)
+}
+
+func buildCodec(rt reflect.Type) *Codec {
+	validateWireType(rt, rt)
+	name := rt.String()
+	if isPOD(rt) {
+		size := int(rt.Size())
+		return &Codec{
+			name: name,
+			enc: func(dst []byte, v any) []byte {
+				return append(dst, podBytes(v, size)...)
+			},
+			dec: func(b []byte) (any, []byte, error) {
+				if len(b) < size {
+					return nil, nil, fmt.Errorf("%w: %s needs %d bytes, %d left", ErrTruncated, name, size, len(b))
+				}
+				nv := reflect.New(rt)
+				if size > 0 {
+					copy(unsafe.Slice((*byte)(nv.UnsafePointer()), size), b[:size])
+				}
+				return nv.Elem().Interface(), b[size:], nil
+			},
+		}
+	}
+	return &Codec{
+		name: name,
+		enc: func(dst []byte, v any) []byte {
+			return encValue(dst, reflect.ValueOf(v))
+		},
+		dec: func(b []byte) (any, []byte, error) {
+			nv := reflect.New(rt).Elem()
+			rest, err := decValue(b, nv)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nv.Interface(), rest, nil
+		},
+	}
+}
+
+// podBytes views an interface's boxed POD payload as raw bytes. Every
+// non-pointer-shaped value is stored indirectly in an interface, so the data
+// word points at size bytes of the value.
+func podBytes(v any, size int) []byte {
+	if size == 0 {
+		return nil
+	}
+	data := (*[2]unsafe.Pointer)(unsafe.Pointer(&v))[1]
+	return unsafe.Slice((*byte)(data), size)
+}
+
+// isPOD reports whether rt is a fixed-size type containing no pointers, so
+// its in-memory bytes ARE its wire encoding.
+func isPOD(rt reflect.Type) bool {
+	switch rt.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return isPOD(rt.Elem())
+	case reflect.Struct:
+		for i := 0; i < rt.NumField(); i++ {
+			if !isPOD(rt.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// validateWireType panics (at codec construction, not at transfer time) if
+// any reachable part of rt cannot cross the wire.
+func validateWireType(root, rt reflect.Type) {
+	if isPOD(rt) {
+		return
+	}
+	switch rt.Kind() {
+	case reflect.String:
+	case reflect.Slice, reflect.Array, reflect.Pointer:
+		validateWireType(root, rt.Elem())
+	case reflect.Struct:
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if f.PkgPath != "" {
+				panic(fmt.Sprintf("enc: %v is not wire-encodable: unexported field %s.%s needs the reflect path", root, rt, f.Name))
+			}
+			validateWireType(root, f.Type)
+		}
+	default:
+		panic(fmt.Sprintf("enc: %v is not wire-encodable: %v (%v)", root, rt, rt.Kind()))
+	}
+}
+
+// encValue appends rv's walker encoding: fixed-width scalars, uvarint
+// length-prefixed strings and slices (with a nil flag), flag-prefixed
+// pointers, fields in order for structs. Slices of POD elements are bulk
+// copied.
+func encValue(dst []byte, rv reflect.Value) []byte {
+	rt := rv.Type()
+	switch rt.Kind() {
+	case reflect.Bool:
+		if rv.Bool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return AppendU64(dst, uint64(rv.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return AppendU64(dst, rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		return AppendF64(dst, rv.Float())
+	case reflect.String:
+		return AppendString(dst, rv.String())
+	case reflect.Slice:
+		if rv.IsNil() {
+			return append(dst, 0)
+		}
+		dst = append(dst, 1)
+		n := rv.Len()
+		dst = AppendUvarint(dst, uint64(n))
+		if et := rt.Elem(); isPOD(et) {
+			if n > 0 {
+				size := n * int(et.Size())
+				dst = append(dst, unsafe.Slice((*byte)(rv.UnsafePointer()), size)...)
+			}
+			return dst
+		}
+		for i := 0; i < n; i++ {
+			dst = encValue(dst, rv.Index(i))
+		}
+		return dst
+	case reflect.Array:
+		for i := 0; i < rv.Len(); i++ {
+			dst = encValue(dst, rv.Index(i))
+		}
+		return dst
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return append(dst, 0)
+		}
+		dst = append(dst, 1)
+		return encValue(dst, rv.Elem())
+	case reflect.Struct:
+		for i := 0; i < rv.NumField(); i++ {
+			dst = encValue(dst, rv.Field(i))
+		}
+		return dst
+	}
+	panic(fmt.Sprintf("enc: cannot encode %v", rt))
+}
+
+// decValue decodes one walker-encoded value into the settable rv, returning
+// the remaining bytes. Malformed input is a typed error; counts are checked
+// against the remaining byte budget before any allocation, so a corrupt
+// length cannot reserve unbounded memory.
+func decValue(b []byte, rv reflect.Value) ([]byte, error) {
+	rt := rv.Type()
+	switch rt.Kind() {
+	case reflect.Bool:
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: bool", ErrTruncated)
+		}
+		switch b[0] {
+		case 0:
+			rv.SetBool(false)
+		case 1:
+			rv.SetBool(true)
+		default:
+			return nil, fmt.Errorf("%w: bool flag %d", ErrCorrupt, b[0])
+		}
+		return b[1:], nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		r := NewReader(b)
+		u := r.U64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		switch rt.Kind() {
+		case reflect.Float32, reflect.Float64:
+			rv.SetFloat(frombits(u))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			rv.SetUint(u)
+		default:
+			rv.SetInt(int64(u))
+		}
+		return b[8:], nil
+	case reflect.String:
+		r := NewReader(b)
+		s := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		rv.SetString(s)
+		return b[len(b)-r.Len():], nil
+	case reflect.Slice:
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: slice flag", ErrTruncated)
+		}
+		flag := b[0]
+		b = b[1:]
+		switch flag {
+		case 0:
+			rv.SetZero()
+			return b, nil
+		case 1:
+		default:
+			return nil, fmt.Errorf("%w: slice flag %d", ErrCorrupt, flag)
+		}
+		r := NewReader(b)
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		b = b[len(b)-r.Len():]
+		et := rt.Elem()
+		if isPOD(et) {
+			size := uint64(et.Size())
+			if size > 0 && n > uint64(len(b))/size {
+				return nil, fmt.Errorf("%w: %d %s elements in %d bytes", ErrOversized, n, et, len(b))
+			}
+			sl := reflect.MakeSlice(rt, int(n), int(n))
+			if n > 0 && size > 0 {
+				total := int(n * size)
+				copy(unsafe.Slice((*byte)(sl.UnsafePointer()), total), b[:total])
+				b = b[total:]
+			}
+			rv.Set(sl)
+			return b, nil
+		}
+		// Non-POD elements occupy at least one byte each on the wire.
+		if n > uint64(len(b)) {
+			return nil, fmt.Errorf("%w: %d elements in %d bytes", ErrOversized, n, len(b))
+		}
+		sl := reflect.MakeSlice(rt, int(n), int(n))
+		var err error
+		for i := 0; i < int(n); i++ {
+			if b, err = decValue(b, sl.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		rv.Set(sl)
+		return b, nil
+	case reflect.Array:
+		var err error
+		for i := 0; i < rv.Len(); i++ {
+			if b, err = decValue(b, rv.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case reflect.Pointer:
+		if len(b) < 1 {
+			return nil, fmt.Errorf("%w: pointer flag", ErrTruncated)
+		}
+		flag := b[0]
+		b = b[1:]
+		switch flag {
+		case 0:
+			rv.SetZero()
+			return b, nil
+		case 1:
+			nv := reflect.New(rt.Elem())
+			rest, err := decValue(b, nv.Elem())
+			if err != nil {
+				return nil, err
+			}
+			rv.Set(nv)
+			return rest, nil
+		default:
+			return nil, fmt.Errorf("%w: pointer flag %d", ErrCorrupt, flag)
+		}
+	case reflect.Struct:
+		var err error
+		for i := 0; i < rv.NumField(); i++ {
+			if b, err = decValue(b, rv.Field(i)); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w: undecodable kind %v", ErrCorrupt, rt.Kind())
+}
+
+func frombits(u uint64) float64 {
+	r := NewReader(AppendU64(nil, u))
+	return r.F64()
+}

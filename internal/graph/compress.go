@@ -1,16 +1,14 @@
-// Package enc implements the compressed storage of the original edge list
-// described in §VI-C of the paper: to output the original endpoints of MST
+// Compressed storage of the original edge list, described in §VI-C of the
+// paper: to output the original endpoints of MST
 // edges without keeping a second full copy in scarce compute-node memory,
 // each PE stores its input chunk with 7-bit variable-length encoding of the
 // differences between consecutive vertices. A sparse block index grants
 // random access by edge ID without decoding the whole chunk.
-package enc
+package graph
 
 import (
 	"encoding/binary"
 	"fmt"
-
-	"kamsta/internal/graph"
 )
 
 // blockSize is the number of edges between index checkpoints; random access
@@ -19,8 +17,8 @@ const blockSize = 256
 
 type checkpoint struct {
 	offset int // byte offset into data
-	prevU  graph.VID
-	prevV  graph.VID
+	prevU  VID
+	prevV  VID
 }
 
 // CompressedEdges is an immutable, compressed, randomly accessible edge
@@ -42,16 +40,16 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // Encode compresses a sorted edge slice. firstID is the global ID of
 // edges[0]; the i-th stored edge is reproduced with ID firstID+i, so IDs
 // must be consecutive (which holds for the input sequence by construction).
-func Encode(edges []graph.Edge, firstID uint64) *CompressedEdges {
+func CompressEdges(edges []Edge, firstID uint64) *CompressedEdges {
 	c := &CompressedEdges{n: len(edges), firstID: firstID}
 	var buf [3 * binary.MaxVarintLen64]byte
-	var prevU, prevV graph.VID
+	var prevU, prevV VID
 	for i, e := range edges {
-		if i > 0 && graph.LessLex(e, edges[i-1]) {
-			panic("enc: edges must be sorted lexicographically")
+		if i > 0 && LessLex(e, edges[i-1]) {
+			panic("graph: edges must be sorted lexicographically")
 		}
 		if e.ID != firstID+uint64(i) {
-			panic(fmt.Sprintf("enc: edge %d has ID %d, want consecutive %d", i, e.ID, firstID+uint64(i)))
+			panic(fmt.Sprintf("graph: edge %d has ID %d, want consecutive %d", i, e.ID, firstID+uint64(i)))
 		}
 		if i%blockSize == 0 {
 			c.index = append(c.index, checkpoint{offset: len(c.data), prevU: prevU, prevV: prevV})
@@ -75,14 +73,14 @@ func (c *CompressedEdges) FirstID() uint64 { return c.firstID }
 func (c *CompressedEdges) SizeBytes() int { return len(c.data) }
 
 // At decodes the i-th stored edge (0-based position within this chunk).
-func (c *CompressedEdges) At(i int) graph.Edge {
+func (c *CompressedEdges) At(i int) Edge {
 	if i < 0 || i >= c.n {
-		panic(fmt.Sprintf("enc: index %d out of range [0,%d)", i, c.n))
+		panic(fmt.Sprintf("graph: index %d out of range [0,%d)", i, c.n))
 	}
 	cp := c.index[i/blockSize]
 	pos := cp.offset
 	prevU, prevV := cp.prevU, cp.prevV
-	var e graph.Edge
+	var e Edge
 	for j := (i / blockSize) * blockSize; j <= i; j++ {
 		du, k1 := binary.Uvarint(c.data[pos:])
 		pos += k1
@@ -91,27 +89,27 @@ func (c *CompressedEdges) At(i int) graph.Edge {
 		w, k3 := binary.Uvarint(c.data[pos:])
 		pos += k3
 		prevU += du
-		prevV = graph.VID(int64(prevV) + unzigzag(dv))
-		e = graph.Edge{U: prevU, V: prevV, W: graph.Weight(w), TB: graph.MakeTB(prevU, prevV), ID: c.firstID + uint64(j)}
+		prevV = VID(int64(prevV) + unzigzag(dv))
+		e = Edge{U: prevU, V: prevV, W: Weight(w), TB: MakeTB(prevU, prevV), ID: c.firstID + uint64(j)}
 	}
 	return e
 }
 
 // ByID decodes the edge with the given global ID; it must lie in
 // [FirstID, FirstID+Len()).
-func (c *CompressedEdges) ByID(id uint64) graph.Edge {
+func (c *CompressedEdges) ByID(id uint64) Edge {
 	if id < c.firstID || id >= c.firstID+uint64(c.n) {
-		panic(fmt.Sprintf("enc: ID %d outside chunk [%d,%d)", id, c.firstID, c.firstID+uint64(c.n)))
+		panic(fmt.Sprintf("graph: ID %d outside chunk [%d,%d)", id, c.firstID, c.firstID+uint64(c.n)))
 	}
 	return c.At(int(id - c.firstID))
 }
 
 // DecodeAll reproduces the full edge slice, accounting the sequential
 // decode pass the paper charges before and after the MST computation.
-func (c *CompressedEdges) DecodeAll() []graph.Edge {
-	out := make([]graph.Edge, 0, c.n)
+func (c *CompressedEdges) DecodeAll() []Edge {
+	out := make([]Edge, 0, c.n)
 	pos := 0
-	var prevU, prevV graph.VID
+	var prevU, prevV VID
 	for i := 0; i < c.n; i++ {
 		du, k1 := binary.Uvarint(c.data[pos:])
 		pos += k1
@@ -120,8 +118,8 @@ func (c *CompressedEdges) DecodeAll() []graph.Edge {
 		w, k3 := binary.Uvarint(c.data[pos:])
 		pos += k3
 		prevU += du
-		prevV = graph.VID(int64(prevV) + unzigzag(dv))
-		out = append(out, graph.Edge{U: prevU, V: prevV, W: graph.Weight(w), TB: graph.MakeTB(prevU, prevV), ID: c.firstID + uint64(i)})
+		prevV = VID(int64(prevV) + unzigzag(dv))
+		out = append(out, Edge{U: prevU, V: prevV, W: Weight(w), TB: MakeTB(prevU, prevV), ID: c.firstID + uint64(i)})
 	}
 	return out
 }

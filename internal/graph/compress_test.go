@@ -1,26 +1,25 @@
-package enc
+package graph
 
 import (
 	"sort"
 	"testing"
 	"testing/quick"
 
-	"kamsta/internal/graph"
 	"kamsta/internal/rng"
 )
 
-func makeSortedEdges(n int, seed uint64) []graph.Edge {
+func makeSortedEdges(n int, seed uint64) []Edge {
 	r := rng.New(seed)
-	edges := make([]graph.Edge, n)
+	edges := make([]Edge, n)
 	for i := range edges {
-		u := graph.VID(r.Intn(1000) + 1)
-		v := graph.VID(r.Intn(1000) + 1)
+		u := VID(r.Intn(1000) + 1)
+		v := VID(r.Intn(1000) + 1)
 		if v == u {
 			v = u + 1
 		}
-		edges[i] = graph.NewEdge(u, v, graph.RandomWeight(seed, u, v))
+		edges[i] = NewEdge(u, v, RandomWeight(seed, u, v))
 	}
-	sort.Slice(edges, func(i, j int) bool { return graph.LessLex(edges[i], edges[j]) })
+	sort.Slice(edges, func(i, j int) bool { return LessLex(edges[i], edges[j]) })
 	for i := range edges {
 		edges[i].ID = 100 + uint64(i)
 	}
@@ -30,7 +29,7 @@ func makeSortedEdges(n int, seed uint64) []graph.Edge {
 func TestRoundTripDecodeAll(t *testing.T) {
 	for _, n := range []int{0, 1, 5, blockSize - 1, blockSize, blockSize + 1, 4*blockSize + 7} {
 		edges := makeSortedEdges(n, uint64(n))
-		c := Encode(edges, 100)
+		c := CompressEdges(edges, 100)
 		got := c.DecodeAll()
 		if len(got) != n {
 			t.Fatalf("n=%d: decoded %d edges", n, len(got))
@@ -45,7 +44,7 @@ func TestRoundTripDecodeAll(t *testing.T) {
 
 func TestRandomAccessAt(t *testing.T) {
 	edges := makeSortedEdges(3*blockSize+17, 9)
-	c := Encode(edges, 100)
+	c := CompressEdges(edges, 100)
 	for _, i := range []int{0, 1, blockSize - 1, blockSize, 2*blockSize + 5, len(edges) - 1} {
 		if got := c.At(i); got != edges[i] {
 			t.Fatalf("At(%d): got %+v want %+v", i, got, edges[i])
@@ -55,7 +54,7 @@ func TestRandomAccessAt(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	edges := makeSortedEdges(50, 3)
-	c := Encode(edges, 100)
+	c := CompressEdges(edges, 100)
 	for i, e := range edges {
 		if got := c.ByID(100 + uint64(i)); got != e {
 			t.Fatalf("ByID(%d) mismatch", 100+i)
@@ -64,7 +63,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestByIDPanicsOutOfRange(t *testing.T) {
-	c := Encode(makeSortedEdges(10, 1), 100)
+	c := CompressEdges(makeSortedEdges(10, 1), 100)
 	for _, id := range []uint64{99, 110} {
 		func() {
 			defer func() {
@@ -78,7 +77,7 @@ func TestByIDPanicsOutOfRange(t *testing.T) {
 }
 
 func TestAtPanicsOutOfRange(t *testing.T) {
-	c := Encode(makeSortedEdges(10, 1), 100)
+	c := CompressEdges(makeSortedEdges(10, 1), 100)
 	defer func() {
 		if recover() == nil {
 			t.Error("At(-1) should panic")
@@ -88,39 +87,39 @@ func TestAtPanicsOutOfRange(t *testing.T) {
 }
 
 func TestEncodePanicsOnUnsorted(t *testing.T) {
-	edges := []graph.Edge{graph.NewEdge(5, 1, 2), graph.NewEdge(1, 2, 3)}
+	edges := []Edge{NewEdge(5, 1, 2), NewEdge(1, 2, 3)}
 	edges[0].ID, edges[1].ID = 0, 1
 	defer func() {
 		if recover() == nil {
 			t.Error("Encode should reject unsorted input")
 		}
 	}()
-	Encode(edges, 0)
+	CompressEdges(edges, 0)
 }
 
 func TestEncodePanicsOnNonConsecutiveIDs(t *testing.T) {
-	edges := []graph.Edge{graph.NewEdge(1, 2, 3), graph.NewEdge(1, 3, 4)}
+	edges := []Edge{NewEdge(1, 2, 3), NewEdge(1, 3, 4)}
 	edges[0].ID, edges[1].ID = 0, 5
 	defer func() {
 		if recover() == nil {
 			t.Error("Encode should reject non-consecutive IDs")
 		}
 	}()
-	Encode(edges, 0)
+	CompressEdges(edges, 0)
 }
 
 func TestCompressionSavesSpace(t *testing.T) {
 	// Locality-friendly input (small deltas) should compress far below the
 	// 40-byte in-memory representation.
 	n := 10000
-	edges := make([]graph.Edge, n)
+	edges := make([]Edge, n)
 	for i := range edges {
-		u := graph.VID(i/4 + 1)
-		v := u + graph.VID(i%4) + 1
-		edges[i] = graph.NewEdge(u, v, graph.Weight(i%254+1))
+		u := VID(i/4 + 1)
+		v := u + VID(i%4) + 1
+		edges[i] = NewEdge(u, v, Weight(i%254+1))
 		edges[i].ID = uint64(i)
 	}
-	c := Encode(edges, 0)
+	c := CompressEdges(edges, 0)
 	raw := n * 40
 	if c.SizeBytes()*4 > raw {
 		t.Fatalf("compressed %d bytes vs raw %d: expected at least 4x saving", c.SizeBytes(), raw)
@@ -135,22 +134,22 @@ func TestZigzagRoundTrip(t *testing.T) {
 }
 
 func TestLenAndFirstID(t *testing.T) {
-	c := Encode(makeSortedEdges(33, 2), 100)
+	c := CompressEdges(makeSortedEdges(33, 2), 100)
 	if c.Len() != 33 || c.FirstID() != 100 {
 		t.Fatalf("Len=%d FirstID=%d", c.Len(), c.FirstID())
 	}
 }
 
-func BenchmarkEncode(b *testing.B) {
+func BenchmarkCompressEdges(b *testing.B) {
 	edges := makeSortedEdges(100000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Encode(edges, 100)
+		CompressEdges(edges, 100)
 	}
 }
 
 func BenchmarkDecodeAll(b *testing.B) {
-	c := Encode(makeSortedEdges(100000, 4), 100)
+	c := CompressEdges(makeSortedEdges(100000, 4), 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.DecodeAll()
@@ -159,7 +158,7 @@ func BenchmarkDecodeAll(b *testing.B) {
 
 func BenchmarkRandomAccess(b *testing.B) {
 	edges := makeSortedEdges(100000, 4)
-	c := Encode(edges, 100)
+	c := CompressEdges(edges, 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.At(i % len(edges))

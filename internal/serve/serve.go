@@ -69,6 +69,14 @@ type Config struct {
 	// Pool lists the machine shapes to keep warm (default one {PEs: 4,
 	// Threads: 1, Count: 1}).
 	Pool []PoolShape
+	// Transport and Workers select every pooled machine's substrate backend
+	// (kamsta.MachineConfig.Transport/Workers): "" or "shm" runs in-process,
+	// "tcp" makes every machine lead a distributed world over the given
+	// mstworker addresses (one worker process serves many machines; each
+	// connection gets its own world). A distributed machine that loses a
+	// worker is condemned, not rebuilt — pair with QuarantineAfter.
+	Transport string
+	Workers   []string
 	// Tenants pre-registers tenants with weights. Unknown tenants are
 	// auto-registered with DefaultWeight, or rejected when it is 0 and
 	// Tenants is non-empty (a closed server).
@@ -368,6 +376,7 @@ func New(cfg Config) (*Server, error) {
 		for i := 0; i < count; i++ {
 			m, err := kamsta.NewMachine(kamsta.MachineConfig{
 				PEs: shape.PEs, Threads: shape.Threads, Metrics: cfg.Metrics,
+				Transport: cfg.Transport, Workers: cfg.Workers,
 			})
 			if err != nil {
 				for _, pm := range s.machines {

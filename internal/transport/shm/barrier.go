@@ -1,4 +1,4 @@
-package comm
+package shm
 
 import (
 	"runtime"
@@ -123,30 +123,31 @@ func newBarrier(p int) *barrier {
 	return b
 }
 
-// Wait blocks party rank until all p parties arrive, then rearms for the
-// next round. The party that completes the root — the last to arrive, once
-// all arrivals have propagated up the tree — runs pre (if non-nil) BEFORE
+// Wait blocks party li (a local party index in [0, parties)) until all
+// parties arrive, then rearms for the next round. The party that completes
+// the root — the last to arrive, once all arrivals have propagated up the
+// tree — runs pre(li) with its OWN index (if pre is non-nil) BEFORE
 // releasing anyone. At that moment every other party is still blocked
 // inside Wait, so pre may freely read state the parties wrote before
 // arriving and publish a combined result for all of them to read after
 // release; this is what lets collectives reduce p deposits once instead of
-// p times (see Comm.preRelease).
+// p times (see Substrate's completion hook).
 //
 // Wait reports whether the barrier was poisoned: a true return means the
 // round did NOT complete (no combine ran, no coherent release happened)
 // and the caller must unwind its job — the world is broken.
-func (b *barrier) Wait(rank int, pre func()) (poisoned bool) {
+func (b *barrier) Wait(li int, pre func(int)) (poisoned bool) {
 	if b.poisoned.Load() {
 		return true
 	}
 	if b.p <= 1 {
 		if pre != nil {
-			pre()
+			pre(li)
 		}
 		return false
 	}
 	e := b.epoch.Load()
-	ni := int32(rank / barrierFan)
+	ni := int32(li / barrierFan)
 	for {
 		n := &b.nodes[ni]
 		if n.count.Add(1) != n.arity {
@@ -168,7 +169,7 @@ func (b *barrier) Wait(rank int, pre func()) (poisoned bool) {
 			// cannot observe the old door because it can only run after
 			// this PE passed the next barrier.
 			if pre != nil {
-				pre()
+				pre(li)
 			}
 			door := b.doors[e&1].Load().(chan struct{})
 			b.epoch.Add(1)

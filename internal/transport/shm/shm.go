@@ -1,0 +1,142 @@
+// Package shm is the in-process shared-memory transport: the original
+// comm substrate — epoch-parity double-buffered deposit boards completed
+// under a fan-in-8 tree barrier with pre-release combining — extracted
+// behind the transport.Transport interface with zero behavior change.
+//
+// The Substrate also hosts the LOCAL rank block of a multi-process world:
+// the TCP backend embeds it with lo/hi a strict sub-range of [0, p) and a
+// completion hook that syncs the superstep over the network while all
+// local ranks are blocked in the barrier. The boards stay p-wide so the
+// collectives index them by global rank on every backend.
+package shm
+
+import (
+	"kamsta/internal/transport"
+)
+
+// completeFunc finishes one superstep while every local party is blocked
+// in the barrier: given the epoch, the (locally populated) board and the
+// completing rank's Host, it returns the combined slot all ranks read
+// after release. The purely local substrate completes via Host.Complete;
+// the TCP backend's hook exchanges remote slots first.
+type completeFunc func(epoch uint64, board []transport.Deposit, h transport.Host) transport.Slot
+
+// pendSlot records, per local party, what Exchange deposited before
+// arriving at the barrier, so whichever party completes the root can run
+// the completion with ITS OWN pending state. Padded so neighbouring
+// parties' writes never share a cache line.
+type pendSlot struct {
+	h     transport.Host
+	epoch uint64
+	_     [40]byte
+}
+
+// Substrate is the shared-memory superstep engine. It implements
+// transport.Transport for the single-process world (New) and is embedded
+// by the TCP leader/follower for the local block of a distributed one
+// (NewSubstrate with a custom completion hook).
+type Substrate struct {
+	p      int
+	lo, hi int
+	bar    *barrier
+	// boards[e%2] is the deposit board for superstep parity e&1: one slot
+	// per GLOBAL rank, written by local ranks before they arrive and — on
+	// remote-backed worlds — by the completion hook for remote ranks.
+	// Double buffering lets ranks released from superstep e read e's board
+	// while early arrivals already deposit into e+1's.
+	boards [2][]transport.Deposit
+	// combined[e%2] is the published result of superstep e, written by the
+	// completion hook before the barrier releases anyone.
+	combined [2]transport.Slot
+	pend     []pendSlot
+	complete completeFunc
+	preFn    func(int) // bound once: the barrier's pre-release hook
+}
+
+// NewSubstrate builds the substrate for local ranks [lo, hi) of a p-rank
+// world, completing each superstep through the given hook. The barrier has
+// hi-lo parties; a single-local-rank world degenerates to an inline hook
+// call per superstep (still a network sync on remote-backed worlds).
+func NewSubstrate(p, lo, hi int, complete completeFunc) *Substrate {
+	s := &Substrate{
+		p:        p,
+		lo:       lo,
+		hi:       hi,
+		bar:      newBarrier(hi - lo),
+		pend:     make([]pendSlot, hi-lo),
+		complete: complete,
+	}
+	s.boards[0] = make([]transport.Deposit, p)
+	s.boards[1] = make([]transport.Deposit, p)
+	s.preFn = s.runComplete
+	return s
+}
+
+// New builds the purely local transport for a p-rank single-process world:
+// all ranks local, completion is the Host's own (no remote flags).
+func New(p int) *Substrate {
+	return NewSubstrate(p, 0, p, localComplete)
+}
+
+func localComplete(_ uint64, board []transport.Deposit, h transport.Host) transport.Slot {
+	return h.Complete(board, transport.Flags{})
+}
+
+// P is the total rank count.
+func (s *Substrate) P() int { return s.p }
+
+// Local is the locally hosted rank range.
+func (s *Substrate) Local() (lo, hi int) { return s.lo, s.hi }
+
+// Exchange runs one superstep for local rank rank: deposit onto the
+// parity board, publish the pending (host, epoch) for the completing
+// party, and block until the barrier releases — at which point the
+// combined slot for this epoch has been published. Allocation-free: the
+// deposit and pending writes go into preallocated padded slots and preFn
+// is bound once at construction.
+func (s *Substrate) Exchange(rank int, epoch uint64, dep transport.Deposit, h transport.Host) ([]transport.Deposit, transport.Slot, bool) {
+	board := s.boards[epoch&1]
+	board[rank] = dep
+	li := rank - s.lo
+	ps := &s.pend[li]
+	ps.h = h
+	ps.epoch = epoch
+	if s.bar.Wait(li, s.preFn) {
+		return nil, transport.Slot{}, true
+	}
+	return board, s.combined[epoch&1], false
+}
+
+// runComplete is the barrier's pre-release hook: the completing party
+// finishes the superstep with its own pending state while everyone else is
+// still blocked, publishing the combined slot they will all read.
+func (s *Substrate) runComplete(li int) {
+	ps := &s.pend[li]
+	s.combined[ps.epoch&1] = s.complete(ps.epoch, s.boards[ps.epoch&1], ps.h)
+}
+
+// Poison permanently breaks the substrate; all in-flight and future
+// Exchanges return poisoned.
+func (s *Substrate) Poison() { s.bar.Poison() }
+
+// Poisoned reports whether the substrate was poisoned.
+func (s *Substrate) Poisoned() bool { return s.bar.Poisoned() }
+
+// Drop clears deposited values, codecs and combined slots so a finished
+// job's data can be collected while the world idles between jobs. Must be
+// called with no rank inside an Exchange.
+func (s *Substrate) Drop() {
+	for i := range s.boards {
+		for j := range s.boards[i] {
+			s.boards[i][j].Val = nil
+			s.boards[i][j].Codec = nil
+		}
+		s.combined[i] = transport.Slot{}
+	}
+	for i := range s.pend {
+		s.pend[i].h = nil
+	}
+}
+
+// Close releases nothing for the in-process substrate.
+func (s *Substrate) Close() error { return nil }

@@ -9,10 +9,21 @@ import (
 	"sync/atomic"
 	"time"
 
-	"kamsta/internal/baselines"
 	"kamsta/internal/comm"
-	"kamsta/internal/core"
 	"kamsta/internal/graph"
+	"kamsta/internal/transport/tcp"
+)
+
+// Transport backends a Machine can run on (MachineConfig.Transport).
+const (
+	// TransportSHM is the in-process shared-memory substrate: every PE is a
+	// goroutine of this process. The default.
+	TransportSHM = "shm"
+	// TransportTCP spans the world across processes: this process leads
+	// ranks [0, k) and each MachineConfig.Workers address hosts a contiguous
+	// block of the rest (see cmd/mstworker). Modeled clocks and results are
+	// bit-identical to TransportSHM; only wall time changes.
+	TransportTCP = "tcp"
 )
 
 // MachineConfig describes a simulated machine: the settings that outlive
@@ -32,6 +43,13 @@ type MachineConfig struct {
 	// so totals survive transparent world rebuilds. Nil disables metrics
 	// entirely — the disabled path stays allocation-free at steady state.
 	Metrics *Metrics
+	// Transport selects the substrate backend: TransportSHM (default) or
+	// TransportTCP.
+	Transport string
+	// Workers lists worker addresses ("host:port") for TransportTCP; the
+	// PEs split into len(Workers)+1 contiguous blocks, the first staying in
+	// this process. Must be empty for TransportSHM.
+	Workers []string
 }
 
 func (mc MachineConfig) withDefaults() MachineConfig {
@@ -43,6 +61,9 @@ func (mc MachineConfig) withDefaults() MachineConfig {
 	}
 	if mc.Cost == (comm.CostModel{}) {
 		mc.Cost = comm.DefaultCostModel()
+	}
+	if mc.Transport == "" {
+		mc.Transport = TransportSHM
 	}
 	return mc
 }
@@ -78,11 +99,36 @@ func (mc MachineConfig) Validate() error {
 			return fmt.Errorf("kamsta: MachineConfig.Cost.%s is not a finite non-negative number (%v)", p.name, p.v)
 		}
 	}
+	switch mc.Transport {
+	case "", TransportSHM:
+		if len(mc.Workers) > 0 {
+			return fmt.Errorf("kamsta: MachineConfig.Workers set without Transport %q", TransportTCP)
+		}
+	case TransportTCP:
+		if len(mc.Workers) == 0 {
+			return fmt.Errorf("kamsta: Transport %q needs at least one worker address", TransportTCP)
+		}
+		pes := mc.PEs
+		if pes == 0 {
+			pes = 4
+		}
+		if pes < len(mc.Workers)+1 {
+			return fmt.Errorf("kamsta: %d PEs cannot split over this process plus %d workers", pes, len(mc.Workers))
+		}
+	default:
+		return fmt.Errorf("kamsta: unknown transport %q", mc.Transport)
+	}
 	return nil
 }
 
 // ErrMachineClosed is returned by Compute on a closed Machine.
 var ErrMachineClosed = errors.New("kamsta: machine is closed")
+
+// ErrWorldFailed is returned by Compute after a distributed machine's
+// transport failed: worker connections do not recover mid-world, so the
+// machine is condemned instead of transparently rebuilt. Close it and
+// build a new one.
+var ErrWorldFailed = errors.New("kamsta: distributed world failed; the machine must be rebuilt")
 
 // Machine is a persistent simulated machine: its PE goroutines are spawned
 // once and stay parked between jobs, so a service computing many instances
@@ -117,6 +163,13 @@ type Machine struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 
+	// lt is the distributed leader transport (nil on TransportSHM). dead
+	// marks a condemned distributed machine: remote worker state cannot be
+	// transparently re-dialed, so instead of a rebuild, Compute fast-fails
+	// with ErrWorldFailed.
+	lt   *tcp.Leader
+	dead atomic.Bool
+
 	// mm holds the machine's resolved job-level metric instruments (nil
 	// without MachineConfig.Metrics).
 	mm *machineMetrics
@@ -130,14 +183,36 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	w := comm.NewWorld(cfg.PEs, comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost),
-		comm.WithMetrics(cfg.Metrics))
-	w.Start()
 	m := &Machine{
 		cfg:    cfg,
 		closed: make(chan struct{}),
 		mm:     newMachineMetrics(cfg.Metrics),
 	}
+	opts := []comm.Option{comm.WithThreads(cfg.Threads), comm.WithCost(cfg.Cost),
+		comm.WithMetrics(cfg.Metrics)}
+	if cfg.Transport == TransportTCP {
+		// Split the PEs into len(Workers)+1 near-even contiguous blocks;
+		// this process keeps the first (rounded up, so it is never smaller
+		// than a worker's — rank 0 must stay local).
+		nw := len(cfg.Workers)
+		lt, err := tcp.NewLeader(tcp.LeaderConfig{
+			P:          cfg.PEs,
+			LocalRanks: (cfg.PEs + nw) / (nw + 1),
+			Workers:    cfg.Workers,
+			Threads:    cfg.Threads,
+			Alpha:      cfg.Cost.Alpha,
+			Beta:       cfg.Cost.Beta,
+			Compute:    cfg.Cost.Compute,
+			Reg:        cfg.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.lt = lt
+		opts = append(opts, comm.WithTransport(lt))
+	}
+	w := comm.NewWorld(cfg.PEs, opts...)
+	w.Start()
 	m.world.Store(w)
 	return m, nil
 }
@@ -162,6 +237,9 @@ func (m *Machine) Healthy() bool {
 		return false
 	default:
 	}
+	if m.dead.Load() {
+		return false
+	}
 	return !m.world.Load().Broken()
 }
 
@@ -183,6 +261,11 @@ func (m *Machine) Close() error {
 		// when they observe the closed channel.
 		_ = m.jobs.acquire(context.Background(), nil)
 		m.world.Load().Close()
+		if m.lt != nil {
+			// Workers observe EOF on their idle job wait and tear their
+			// worlds down.
+			m.lt.Close()
+		}
 		m.jobs.release()
 	})
 	return nil
@@ -240,6 +323,10 @@ func (m *Machine) Compute(ctx context.Context, src Source, opts ...RunOption) (*
 		m.mm.finish(nil, ErrMachineClosed)
 		return nil, ErrMachineClosed
 	default:
+	}
+	if m.dead.Load() {
+		m.mm.finish(nil, ErrWorldFailed)
+		return nil, ErrWorldFailed
 	}
 	rep, err := m.run(ctx, src, rs)
 	m.mm.finish(rep, err)
@@ -355,7 +442,8 @@ func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report,
 			return rep, err
 		}
 		je := toJobError(ce, m.restoreWorld())
-		if attempt >= rs.retries {
+		if attempt >= rs.retries || m.dead.Load() {
+			// A condemned distributed world cannot host a retry.
 			return nil, je
 		}
 		if m.mm != nil {
@@ -369,8 +457,21 @@ func (m *Machine) run(ctx context.Context, src Source, rs runSettings) (*Report,
 // (poisoned barrier: stall, lost PE) is always rebuilt; a world that
 // unwound cooperatively is kept only if a probe job proves it still
 // completes collectives correctly — graceful degradation in one step.
+//
+// A distributed world is never rebuilt: its worker processes' halves
+// cannot be transparently re-dialed into a known-clean state, so a fault
+// that breaks it condemns the machine (ErrWorldFailed) instead.
 func (m *Machine) restoreWorld() (rebuilt bool) {
 	w := m.world.Load()
+	if m.lt != nil {
+		if !w.Broken() && !m.lt.Failed() && m.probeWorld(w) {
+			return false
+		}
+		m.dead.Store(true)
+		w.Close()
+		m.lt.Close()
+		return false
+	}
 	if !w.Broken() && m.probeWorld(w) {
 		return false
 	}
@@ -397,15 +498,24 @@ const probeStallTimeout = 2 * time.Second
 // trivial SPMD job: every PE contributes 1 to an Allreduce and rank 0
 // checks the sum. It exercises the full superstep path — deposits, barrier,
 // pre-release combine, verdict — on the state the aborted job left behind.
+// On a distributed machine the probe is a dispatched job like any other, so
+// it also proves the workers and the wire.
 func (m *Machine) probeWorld(w *comm.World) bool {
-	got := -1
-	err := w.RunJobCfg(context.Background(), comm.JobConfig{StallTimeout: probeStallTimeout}, func(c *comm.Comm) {
-		n := comm.Allreduce(c, 1, func(a, b int) int { return a + b })
-		if c.Rank() == 0 {
-			got = n
+	job := &probeJob{got: -1}
+	if m.lt != nil {
+		if err := m.startRemote(jobProbe, nil, runSettings{stall: probeStallTimeout}); err != nil {
+			return false
 		}
-	})
-	return err == nil && got == m.cfg.PEs
+	}
+	err := w.RunJobCfg(context.Background(), comm.JobConfig{StallTimeout: probeStallTimeout}, job.run)
+	if m.lt != nil {
+		if err != nil {
+			m.drainRemote(w)
+		} else if m.finishRemote(w, nil) != nil {
+			return false
+		}
+	}
+	return err == nil && job.got == m.cfg.PEs
 }
 
 // runOnce executes one attempt of one job on the machine's current world.
@@ -436,75 +546,30 @@ func (m *Machine) runOnce(ctx context.Context, src Source, rs runSettings) (*Rep
 	w := m.world.Load()
 	w.ResetMetrics() // this job's makespan, not the machine's history
 	rep := &Report{}
-	shares := make([][]graph.Edge, m.cfg.PEs)
-	var algErr error
+	job := &msfJob{src: src, rs: rs, w: w, rep: rep, shares: make([][]graph.Edge, m.cfg.PEs)}
+	if m.lt != nil {
+		if err := m.startRemote(jobMSF, src, rs); err != nil {
+			return nil, err
+		}
+	}
 	start := time.Now()
-	err := w.RunJobCfg(ctx, m.jobConfig(rs), func(c *comm.Comm) {
-		edges, layout, inErr := src.provide(c, rs)
-		if inErr != nil {
-			// provide returns the same error on every PE, so all PEs
-			// leave the SPMD program here together.
-			if c.Rank() == 0 {
-				algErr = inErr
-			}
-			return
+	err := w.RunJobCfg(ctx, m.jobConfig(rs), job.run)
+	if m.lt != nil {
+		// Keep the job-control streams in lockstep: on success fold the
+		// workers' reports into the world's aggregates before reading them;
+		// on any failure (including a leader-local input error, which the
+		// workers saw too and completed past) drain the pending reports.
+		if err != nil || job.algErr != nil {
+			m.drainRemote(w)
+		} else if ferr := m.finishRemote(w, job.shares); ferr != nil {
+			return nil, ferr
 		}
-		// The input cost is the clock maximum now, before the nv/ne stats
-		// collectives below add their own charges.
-		iclk := comm.Allreduce(c, c.Clock(), math.Max)
-		nv := graph.GlobalVertexCount(c, layout, edges)
-		ne := comm.Allreduce(c, len(edges), func(a, b int) int { return a + b })
-		// Measure the algorithm, not the generation.
-		comm.Barrier(c)
-		c.ResetLocalMetrics()
-		if c.Rank() == 0 {
-			w.ResetMetrics()
-		}
-		comm.Barrier(c)
-		switch rs.alg {
-		case AlgBoruvka:
-			r := core.Boruvka(c, edges, layout, rs.core)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
-			}
-		case AlgFilterBoruvka:
-			r := core.FilterBoruvka(c, edges, layout, rs.core)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds, rep.BaseCalls = r.Rounds, r.BaseCalls
-			}
-		case AlgMNDMST:
-			r := baselines.MNDMST(c, edges, layout, rs.baseline)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds = r.Rounds
-			}
-		case AlgSparseMatrix:
-			r := baselines.SparseMatrix(c, edges, layout, rs.baseline)
-			shares[c.Rank()] = r.MSTEdges
-			if c.Rank() == 0 {
-				rep.TotalWeight, rep.NumEdges = r.TotalWeight, r.NumEdges
-				rep.Rounds = r.Rounds
-			}
-		default:
-			if c.Rank() == 0 {
-				algErr = fmt.Errorf("kamsta: unknown algorithm %q", rs.alg)
-			}
-		}
-		if c.Rank() == 0 {
-			rep.InputVertices, rep.InputEdges = nv, ne
-			rep.InputModeledSeconds = iclk
-		}
-	})
+	}
 	if err != nil {
 		return nil, err
 	}
-	if algErr != nil {
-		return nil, algErr
+	if job.algErr != nil {
+		return nil, job.algErr
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	rep.ModeledSeconds = w.MaxClock()
@@ -513,7 +578,7 @@ func (m *Machine) runOnce(ctx context.Context, src Source, rs runSettings) (*Rep
 	}
 	rep.Phases = w.Phases()
 	rep.Stats = w.TotalStats()
-	for _, sh := range shares {
+	for _, sh := range job.shares {
 		for _, e := range sh {
 			u, v := e.OrigPair()
 			rep.MSTEdges = append(rep.MSTEdges, InputEdge{U: u, V: v, W: e.W})
@@ -535,31 +600,87 @@ func (m *Machine) jobConfig(rs runSettings) comm.JobConfig {
 // modeled time this collection cost, so the sequential report can carry
 // them instead of a silent zero.
 func (m *Machine) collectCanonical(ctx context.Context, src Source, rs runSettings) ([]InputEdge, comm.Stats, float64, error) {
-	var collected []InputEdge
-	var inputErr error
 	cfg := m.jobConfig(rs)
 	cfg.Observer = nil // no algorithm phases to observe on this path
 	w := m.world.Load()
 	w.ResetMetrics() // this job's traffic, not the machine's history
-	err := w.RunJobCfg(ctx, cfg, func(c *comm.Comm) {
-		edges, _, err := src.provide(c, rs)
-		if err != nil {
-			if c.Rank() == 0 {
-				inputErr = err
-			}
-			return
+	job := &collectJob{src: src, rs: rs}
+	if m.lt != nil {
+		if err := m.startRemote(jobCollect, src, rs); err != nil {
+			return nil, comm.Stats{}, 0, err
 		}
-		all := comm.AllgatherConcat(c, edges)
-		if c.Rank() == 0 {
-			for _, e := range all {
-				if e.U < e.V {
-					collected = append(collected, InputEdge{U: e.U, V: e.V, W: e.W})
-				}
-			}
+	}
+	err := w.RunJobCfg(ctx, cfg, job.run)
+	if m.lt != nil {
+		if err != nil || job.inputErr != nil {
+			m.drainRemote(w)
+		} else if ferr := m.finishRemote(w, nil); ferr != nil {
+			return nil, comm.Stats{}, 0, ferr
 		}
-	})
+	}
 	if err != nil {
 		return nil, comm.Stats{}, 0, err
 	}
-	return collected, w.TotalStats(), w.MaxClock(), inputErr
+	return job.collected, w.TotalStats(), w.MaxClock(), job.inputErr
+}
+
+// startRemote dispatches one job's spec to every worker and arms the wire
+// deadlines from its stall budget. A dispatch failure condemns the machine
+// (the streams' states are unknowable).
+func (m *Machine) startRemote(kind string, src Source, rs runSettings) error {
+	spec, err := specOf(kind, src, rs)
+	if err != nil {
+		return err
+	}
+	m.lt.SetIOTimeout(ioTimeoutFor(rs.stall))
+	if err := m.lt.StartJob(encodeJobSpec(spec)); err != nil {
+		m.dead.Store(true)
+		return fmt.Errorf("kamsta: dispatching %s job: %w", kind, err)
+	}
+	return nil
+}
+
+// finishRemote collects every worker's end-of-job report and folds it into
+// the leader world's aggregates (and, for MSF jobs, the share table). Any
+// wire failure, undecodable report, or worker-side failure the superstep
+// flags did not already surface condemns the machine.
+func (m *Machine) finishRemote(w *comm.World, shares [][]graph.Edge) error {
+	reports, err := m.lt.FinishJob()
+	if err != nil {
+		m.dead.Store(true)
+		return fmt.Errorf("kamsta: collecting worker reports: %w", err)
+	}
+	for _, b := range reports {
+		end, err := decodeJobEnd(b)
+		if err != nil {
+			m.dead.Store(true)
+			return err
+		}
+		if !end.OK {
+			// The leader's ranks finished but this worker's did not — SPMD
+			// divergence the flags should have caught. Nothing to trust.
+			m.dead.Store(true)
+			return fmt.Errorf("kamsta: worker ranks [%d,%d) failed: %s", end.Lo, end.Hi, end.Err)
+		}
+		if err := end.merge(w, shares); err != nil {
+			m.dead.Store(true)
+			return err
+		}
+	}
+	return nil
+}
+
+// drainRemote keeps the job-control streams synchronized after a job the
+// leader's ranks did not complete normally. When the world unwound
+// cooperatively (abort or cancel verdict, or an input error every rank
+// returned on) the workers still send reports — read and discard them so
+// the next job's frames line up. After a transport failure or a poisoned
+// world there is nothing left to read; restoreWorld condemns the machine.
+func (m *Machine) drainRemote(w *comm.World) {
+	if w.Broken() || m.lt.Failed() {
+		return
+	}
+	if _, err := m.lt.FinishJob(); err != nil {
+		m.dead.Store(true)
+	}
 }
